@@ -1,0 +1,110 @@
+// Experiment ABL (DESIGN.md): ablations of the design choices called out
+// in DESIGN.md —
+//  (a) memoization of set-independent subformulas in the fixed-point
+//      evaluator (Evaluator::Options::memoize),
+//  (b) the cheapest-first variable-ordering heuristic in multi-variable
+//      Fourier-Motzkin elimination,
+//  (c) redundant-atom removal in answer formulas (output size, not speed).
+
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "core/evaluator.h"
+#include "core/parser.h"
+#include "core/queries.h"
+#include "db/region_extension.h"
+#include "db/workloads.h"
+#include "qe/fourier_motzkin.h"
+
+namespace {
+
+void BM_MemoizationAblation(benchmark::State& state) {
+  // The river query's fixed-point body re-evaluates element-sort side
+  // conditions (river/chem membership) for every region in every stage —
+  // exactly what the memo table elides.
+  const size_t len = static_cast<size_t>(state.range(0));
+  const bool memoize = state.range(1) != 0;
+  lcdb::ConstraintDatabase db =
+      lcdb::MakeRiverScenario(len, {}, {0}, {len - 1});
+  auto ext = lcdb::MakeArrangementExtension(db);
+  auto query = lcdb::ParseQuery(lcdb::RiverPollutionQueryText(), "S");
+  lcdb::Evaluator::Options options;
+  options.memoize = memoize;
+  for (auto _ : state) {
+    lcdb::Evaluator evaluator(*ext, options);
+    auto result = evaluator.EvaluateSentence(**query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    if (!*result) state.SkipWithError("river query must hold");
+    benchmark::DoNotOptimize(*result);
+  }
+  state.counters["regions"] = static_cast<double>(ext->num_regions());
+  state.counters["memo"] = memoize ? 1 : 0;
+}
+
+BENCHMARK(BM_MemoizationAblation)
+    ->Args({2, 1})
+    ->Args({2, 0})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+lcdb::DnfFormula RandomSystem(size_t vars, size_t atoms, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> coeff(-3, 3);
+  std::vector<lcdb::LinearAtom> list;
+  for (size_t i = 0; i < atoms; ++i) {
+    lcdb::Vec c(vars);
+    for (size_t j = 0; j < vars; ++j) c[j] = lcdb::Rational(coeff(rng));
+    if (lcdb::VecIsZero(c)) c[i % vars] = lcdb::Rational(1);
+    list.emplace_back(c, i % 2 ? lcdb::RelOp::kLe : lcdb::RelOp::kGe,
+                      lcdb::Rational(coeff(rng)));
+  }
+  return lcdb::DnfFormula(vars, {lcdb::Conjunction(vars, std::move(list))});
+}
+
+void BM_QeOrderingAblation(benchmark::State& state) {
+  const bool heuristic = state.range(0) != 0;
+  const size_t vars = 4;
+  lcdb::DnfFormula f = RandomSystem(vars, 10, 4242);
+  for (auto _ : state) {
+    lcdb::DnfFormula g = f;
+    if (heuristic) {
+      std::vector<size_t> all;
+      for (size_t v = 0; v + 1 < vars; ++v) all.push_back(v);
+      g = lcdb::ExistsVariables(g, all);  // cheapest-first ordering
+    } else {
+      for (size_t v = 0; v + 1 < vars; ++v) {
+        g = lcdb::ExistsVariable(g, v);  // fixed textual order
+      }
+    }
+    benchmark::DoNotOptimize(g.AtomCount());
+  }
+  state.counters["heuristic"] = heuristic ? 1 : 0;
+}
+
+BENCHMARK(BM_QeOrderingAblation)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StrongSimplifyAblation(benchmark::State& state) {
+  const bool strong = state.range(0) != 0;
+  lcdb::ConstraintDatabase db = lcdb::MakeComb(3, /*connected=*/false);
+  auto ext = lcdb::MakeArrangementExtension(db);
+  size_t atoms = 0;
+  for (auto _ : state) {
+    auto result = lcdb::EvaluateQueryText(*ext, "exists y . S(x, y)");
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    lcdb::DnfFormula answer = result->formula;
+    if (strong) answer.SimplifyStrong();
+    atoms = answer.AtomCount();
+    benchmark::DoNotOptimize(atoms);
+  }
+  state.counters["answer_atoms"] = static_cast<double>(atoms);
+  state.counters["strong"] = strong ? 1 : 0;
+}
+
+BENCHMARK(BM_StrongSimplifyAblation)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

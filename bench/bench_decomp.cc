@@ -1,0 +1,101 @@
+// Experiment A.1 (DESIGN.md): Lemma A.1 — the Section 7 decomposition is
+// NC^1-computable; sequentially, polynomial work in the representation
+// size. The benchmark sweeps polytope vertex counts and disjunct counts,
+// and compares region counts and build times against the arrangement of
+// the same input (the trade-off Note 7.1 discusses: cheaper to compute,
+// but regions overlap and do not partition R^d).
+
+#include <benchmark/benchmark.h>
+
+#include "arrangement/arrangement.h"
+#include "constraint/parser.h"
+#include "db/workloads.h"
+#include "decomp/decomposition.h"
+
+namespace {
+
+/// A convex polygon with `k` vertices on a rational circle-ish fan.
+lcdb::DnfFormula RegularishPolygon(size_t k) {
+  // Vertices chosen on a convex position; half-plane per edge.
+  std::vector<std::pair<int64_t, int64_t>> pts;
+  for (size_t i = 0; i < k; ++i) {
+    // A convex polygon: points on the parabola-like arc, mirrored.
+    int64_t t = static_cast<int64_t>(i);
+    pts.push_back({t, t * t});
+  }
+  // Upper chain closes the region: y <= big.
+  std::vector<lcdb::LinearAtom> atoms;
+  const int64_t top = static_cast<int64_t>((k - 1) * (k - 1));
+  atoms.emplace_back(lcdb::Vec{lcdb::Rational(0), lcdb::Rational(1)},
+                     lcdb::RelOp::kLe, lcdb::Rational(top));
+  atoms.emplace_back(lcdb::Vec{lcdb::Rational(1), lcdb::Rational(0)},
+                     lcdb::RelOp::kGe, lcdb::Rational(0));
+  atoms.emplace_back(lcdb::Vec{lcdb::Rational(1), lcdb::Rational(0)},
+                     lcdb::RelOp::kLe,
+                     lcdb::Rational(static_cast<int64_t>(k - 1)));
+  for (size_t i = 0; i + 1 < pts.size(); ++i) {
+    // Edge between consecutive parabola points: y >= a x + b.
+    auto [x1, y1] = pts[i];
+    auto [x2, y2] = pts[i + 1];
+    // Line through the two points: (y2-y1) x - (x2-x1) y = (y2-y1)x1 -
+    // (x2-x1)y1; region above.
+    lcdb::Rational a(y2 - y1), b(x2 - x1);
+    lcdb::Rational rhs = a * lcdb::Rational(x1) - b * lcdb::Rational(y1);
+    atoms.emplace_back(lcdb::Vec{a, -b}, lcdb::RelOp::kLe, rhs);
+  }
+  return lcdb::DnfFormula(
+      2, {lcdb::Conjunction(2, std::move(atoms))});
+}
+
+void BM_DecomposePolygon(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  lcdb::DnfFormula f = RegularishPolygon(k);
+  size_t regions = 0;
+  for (auto _ : state) {
+    auto rs = lcdb::DecomposeFormula(f);
+    regions = rs.size();
+    benchmark::DoNotOptimize(regions);
+  }
+  state.counters["vertices"] = static_cast<double>(k);
+  state.counters["regions"] = static_cast<double>(regions);
+}
+
+BENCHMARK(BM_DecomposePolygon)->Arg(3)->Arg(4)->Arg(5)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ArrangementOfSameInput(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  lcdb::DnfFormula f = RegularishPolygon(k);
+  size_t faces = 0;
+  for (auto _ : state) {
+    auto arr = lcdb::Arrangement::FromFormula(f);
+    faces = arr.num_faces();
+    benchmark::DoNotOptimize(faces);
+  }
+  state.counters["vertices"] = static_cast<double>(k);
+  state.counters["faces"] = static_cast<double>(faces);
+}
+
+BENCHMARK(BM_ArrangementOfSameInput)->Arg(3)->Arg(4)->Arg(5)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DecomposeSlabUnion(benchmark::State& state) {
+  // Unbounded disjuncts exercise the icube/up(psi) machinery.
+  const size_t n = static_cast<size_t>(state.range(0));
+  lcdb::ConstraintDatabase db = lcdb::MakeRandomSlabs(n, 2, 3, 99 + n);
+  size_t regions = 0;
+  for (auto _ : state) {
+    auto rs = lcdb::DecomposeFormula(db.representation());
+    regions = rs.size();
+    benchmark::DoNotOptimize(regions);
+  }
+  state.counters["disjuncts"] = static_cast<double>(n);
+  state.counters["regions"] = static_cast<double>(regions);
+}
+
+BENCHMARK(BM_DecomposeSlabUnion)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,159 @@
+// Experiment F1-F4, F7-F10 (DESIGN.md): regenerates the paper's worked
+// figures as tables — the face inventory of the Figures 1-3 arrangement,
+// the Figure 4 incidence-graph neighbourhood, and the Appendix A
+// decompositions of the Figures 7-10 polyhedra. Expected values from the
+// paper's text are printed alongside the computed ones.
+
+#include <cstdio>
+
+#include "arrangement/arrangement.h"
+#include "arrangement/incidence_graph.h"
+#include "constraint/parser.h"
+#include "decomp/decomposition.h"
+#include "geometry/vertex_enumeration.h"
+
+namespace {
+
+using lcdb::Conjunction;
+using lcdb::ParseDnf;
+
+const std::vector<std::string> kXY = {"x", "y"};
+
+Conjunction Poly(const std::string& text) {
+  auto f = ParseDnf(text, kXY);
+  if (!f.ok() || f->disjuncts().size() != 1) {
+    std::fprintf(stderr, "bad polyhedron: %s\n", text.c_str());
+    std::exit(1);
+  }
+  return f->disjuncts()[0];
+}
+
+void CheckRow(const char* what, size_t got, size_t expected) {
+  std::printf("  %-38s computed=%3zu  paper=%3zu  %s\n", what, got, expected,
+              got == expected ? "ok" : "*** MISMATCH ***");
+}
+
+void FiguresOneToThree() {
+  std::printf("F1-F3: relation S, hyperplanes H(S), arrangement A(S)\n");
+  std::printf("(three hyperplanes in general position; the paper reports\n");
+  std::printf(" 7 two-dim faces e1..e7, 9 one-dim l1..l9, 3 vertices)\n");
+  auto f = ParseDnf("x >= 0 & y >= 0 & x + y <= 4", kXY);
+  lcdb::Arrangement arr = lcdb::Arrangement::FromFormula(*f);
+  std::printf("  hyperplanes in H(S): %zu\n", arr.planes().size());
+  auto counts = arr.FaceCountsByDimension();
+  CheckRow("2-dimensional faces (e1..e7)", counts[2], 7);
+  CheckRow("1-dimensional faces (l1..l9)", counts[1], 9);
+  CheckRow("0-dimensional faces (p1..p3)", counts[0], 3);
+  CheckRow("total faces", arr.num_faces(), 19);
+  std::printf("\n");
+}
+
+void FigureFour() {
+  std::printf("F4: incidence graph around a vertex (cf. paper's p2)\n");
+  auto f = ParseDnf("x >= 0 & y >= 0 & x + y <= 4", kXY);
+  lcdb::Arrangement arr = lcdb::Arrangement::FromFormula(*f);
+  lcdb::IncidenceGraph graph(arr);
+  size_t p = arr.LocateFace({lcdb::Rational(0), lcdb::Rational(4)});
+  std::printf("%s", graph.DescribeNeighbourhood(arr, p).c_str());
+  CheckRow("1-faces incident to the vertex", graph.Up(p).size(), 4);
+  size_t improper_down = graph.Down(p).size();
+  CheckRow("down-edges (improper bottom)", improper_down, 1);
+  std::printf("\n");
+}
+
+void FiguresSevenEight() {
+  std::printf("F7-F8: Section 7 decomposition of the pentagon polytope\n");
+  std::printf("(paper: 3 two-dim fan regions, 7 one-dim of which the two\n");
+  std::printf(" diagonals from p1 are inner, 5 vertices — 15 regions)\n");
+  Conjunction pentagon = Poly(
+      "x + 2y >= 0 & 2x - y <= 5 & 2x + y <= 7 & x - 2y >= -4 & x >= 0");
+  auto regions = lcdb::DecomposeDisjunct(pentagon, 0);
+  auto counts = lcdb::RegionCountsByDimension(regions, 2);
+  CheckRow("2-dimensional regions (R1..R3)", counts[2], 3);
+  CheckRow("1-dimensional regions (l1..l5 + diags)", counts[1], 7);
+  CheckRow("0-dimensional regions (p1..p5)", counts[0], 5);
+  size_t inner = 0;
+  for (const auto& r : regions) {
+    if (r.kind == lcdb::DecompKind::kInner) ++inner;
+  }
+  CheckRow("inner regions (3 triangles + 2 diagonals)", inner, 5);
+  std::printf("\n");
+}
+
+void FigureNine() {
+  std::printf("F9 (Appendix A): bounded polyhedron with an excluded\n");
+  std::printf("intersection point p outside closure(psi)\n");
+  Conjunction p = Poly("y >= 0 & y <= x & x <= 2");
+  auto vertices = lcdb::VerticesOf(p);
+  CheckRow("vertices of the triangle", vertices.size(), 3);
+  // All pairwise hyperplane intersections: 3 (the third, like the paper's
+  // point p for its polytope, coincides here with a vertex; use a shape
+  // with a genuine outside intersection):
+  // The quad below has one hyperplane intersection (3,3) outside its
+  // closure — the analogue of the paper's point p in Figure 9.
+  Conjunction q = Poly("y >= 0 & y <= 2 & y <= x & x + y <= 6");
+  auto hp = lcdb::HyperplanesOf(q);
+  auto all = lcdb::EnumerateIntersectionPoints(hp, 2);
+  auto vq = lcdb::VerticesOf(q);
+  std::printf("  quad: %zu pairwise intersection points, %zu are vertices\n",
+              all.size(), vq.size());
+  CheckRow("intersections dropped (the point p)", all.size() - vq.size(), 1);
+  CheckRow("vertices kept", vq.size(), 4);
+  std::printf("\n");
+}
+
+void FigureTen() {
+  std::printf("F10 (Appendix A): unbounded polyhedron — icube clipping,\n");
+  std::printf("up(psi) rays and unbounded hull regions\n");
+  Conjunction wedge = Poly("x >= 0 & y >= 0 & x + y >= 1");
+  auto regions = lcdb::DecomposeDisjunct(wedge, 0);
+  size_t rays = 0, hulls = 0, bounded = 0;
+  for (const auto& r : regions) {
+    switch (r.kind) {
+      case lcdb::DecompKind::kRay:
+        ++rays;
+        break;
+      case lcdb::DecompKind::kUnboundedHull:
+        ++hulls;
+        break;
+      default:
+        ++bounded;
+        break;
+    }
+  }
+  std::printf("  bounded regions (from psi ∩ icube): %zu\n", bounded);
+  std::printf("  unbounded ray regions (up pairs):   %zu\n", rays);
+  std::printf("  unbounded hull regions:             %zu\n", hulls);
+  std::printf("  (the paper's minimal picture has 2 rays and 1 hull; the\n");
+  std::printf("   literal Appendix A rules admit every valid up pair, so\n");
+  std::printf("   counts are >= the paper's and the regions still cover S)\n");
+  bool has_up_ray = false, has_right_ray = false;
+  lcdb::GeneratorRegion up_ray = lcdb::GeneratorRegion::OpenRay(
+      {lcdb::Rational(0), lcdb::Rational(4)},
+      {lcdb::Rational(0), lcdb::Rational(3)});
+  lcdb::GeneratorRegion right_ray = lcdb::GeneratorRegion::OpenRay(
+      {lcdb::Rational(4), lcdb::Rational(0)},
+      {lcdb::Rational(3), lcdb::Rational(0)});
+  for (const auto& r : regions) {
+    if (r.region == up_ray) has_up_ray = true;
+    if (r.region == right_ray) has_right_ray = true;
+  }
+  CheckRow("axis ray (0,4)+a(0,3) present", has_up_ray ? 1 : 0, 1);
+  CheckRow("axis ray (4,0)+a(3,0) present", has_right_ray ? 1 : 0, 1);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure reproductions (see EXPERIMENTS.md) ===\n\n");
+  FiguresOneToThree();
+  FigureFour();
+  FiguresSevenEight();
+  FigureNine();
+  FigureTen();
+  std::printf("F5 (multiplication from convex closure) is reproduced by\n");
+  std::printf("examples/multiplication_demo; F6 (river) by\n");
+  std::printf("examples/river_pollution.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Experiment T4.3 (part 1, DESIGN.md): the quantifier-elimination engine
+// behind RegFO's PTIME data complexity. Benchmarks Fourier-Motzkin
+// elimination on growing conjunction sizes and variable counts, plus the
+// negation/DNF algebra that the symbolic evaluator leans on.
+
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "qe/fourier_motzkin.h"
+
+namespace {
+
+using lcdb::Conjunction;
+using lcdb::DnfFormula;
+using lcdb::LinearAtom;
+using lcdb::Rational;
+using lcdb::RelOp;
+using lcdb::Vec;
+
+/// A random conjunction of `atoms` constraints over `vars` variables.
+DnfFormula RandomConjunction(size_t vars, size_t atoms, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> coeff(-4, 4);
+  std::uniform_int_distribution<int> rel(0, 4);
+  const RelOp rels[] = {RelOp::kLt, RelOp::kLe, RelOp::kEq, RelOp::kGe,
+                        RelOp::kGt};
+  std::vector<LinearAtom> list;
+  for (size_t i = 0; i < atoms; ++i) {
+    Vec c(vars);
+    for (size_t j = 0; j < vars; ++j) c[j] = Rational(coeff(rng));
+    if (lcdb::VecIsZero(c)) c[i % vars] = Rational(1);
+    list.emplace_back(c, rels[rel(rng)], Rational(coeff(rng)));
+  }
+  return DnfFormula(vars, {Conjunction(vars, std::move(list))});
+}
+
+void BM_ExistsVariable(benchmark::State& state) {
+  const size_t vars = static_cast<size_t>(state.range(0));
+  const size_t atoms = static_cast<size_t>(state.range(1));
+  DnfFormula f = RandomConjunction(vars, atoms, 42 * vars + atoms);
+  size_t out_atoms = 0;
+  for (auto _ : state) {
+    DnfFormula g = lcdb::ExistsVariable(f, 0);
+    out_atoms = g.AtomCount();
+    benchmark::DoNotOptimize(g.num_vars());
+  }
+  state.counters["atoms_in"] = static_cast<double>(atoms);
+  state.counters["atoms_out"] = static_cast<double>(out_atoms);
+}
+
+BENCHMARK(BM_ExistsVariable)
+    ->Args({2, 4})
+    ->Args({2, 8})
+    ->Args({2, 16})
+    ->Args({3, 8})
+    ->Args({3, 16})
+    ->Args({4, 12})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EliminateAllVariables(benchmark::State& state) {
+  const size_t vars = static_cast<size_t>(state.range(0));
+  const size_t atoms = static_cast<size_t>(state.range(1));
+  DnfFormula f = RandomConjunction(vars, atoms, 7 * vars + atoms);
+  std::vector<size_t> all;
+  for (size_t v = 0; v < vars; ++v) all.push_back(v);
+  for (auto _ : state) {
+    DnfFormula g = lcdb::ExistsVariables(f, all);
+    benchmark::DoNotOptimize(g.IsSyntacticallyTrue());
+  }
+}
+
+BENCHMARK(BM_EliminateAllVariables)
+    ->Args({2, 8})
+    ->Args({3, 8})
+    ->Args({4, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NegateDnf(benchmark::State& state) {
+  // Negation (the expensive DNF operation) over a union of boxes.
+  const size_t boxes = static_cast<size_t>(state.range(0));
+  std::vector<Conjunction> disjuncts;
+  for (size_t b = 0; b < boxes; ++b) {
+    const Rational lo(static_cast<int64_t>(2 * b));
+    const Rational hi(static_cast<int64_t>(2 * b + 1));
+    disjuncts.push_back(
+        Conjunction(2, {LinearAtom({Rational(1), Rational(0)}, RelOp::kGe, lo),
+                        LinearAtom({Rational(1), Rational(0)}, RelOp::kLe, hi),
+                        LinearAtom({Rational(0), Rational(1)}, RelOp::kGe, lo),
+                        LinearAtom({Rational(0), Rational(1)}, RelOp::kLe,
+                                   hi)}));
+  }
+  DnfFormula f(2, std::move(disjuncts));
+  size_t out = 0;
+  for (auto _ : state) {
+    DnfFormula g = f.Negate();
+    out = g.disjuncts().size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["disjuncts_out"] = static_cast<double>(out);
+}
+
+BENCHMARK(BM_NegateDnf)->Arg(1)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ForallVariable(benchmark::State& state) {
+  const size_t atoms = static_cast<size_t>(state.range(0));
+  DnfFormula f = RandomConjunction(2, atoms, 1234 + atoms);
+  for (auto _ : state) {
+    DnfFormula g = lcdb::ForallVariable(f, 1);
+    benchmark::DoNotOptimize(g.disjuncts().size());
+  }
+}
+
+BENCHMARK(BM_ForallVariable)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+// Experiment T7.3/T7.4 (DESIGN.md): Theorems 7.3/7.4 — RegTC has
+// NLOGSPACE and RegDTC LOGSPACE data complexity. A sequential evaluator
+// cannot literally exhibit a space bound, so the experiment measures (a)
+// evaluation time scaling of the TC/DTC reachability queries over growing
+// region counts and (b) the *auxiliary state* a streaming reachability
+// check needs: for DTC a single cursor (constant words beyond the input),
+// for TC a visited set (the classic NL certificate), versus the LFP
+// evaluator's full tuple-set — the three classes the paper separates.
+
+#include <benchmark/benchmark.h>
+
+#include "core/evaluator.h"
+#include "core/queries.h"
+#include "db/region_extension.h"
+#include "db/workloads.h"
+
+namespace {
+
+void BM_RegTcConnectivity(benchmark::State& state) {
+  const size_t teeth = static_cast<size_t>(state.range(0));
+  const bool deterministic = state.range(1) != 0;
+  lcdb::ConstraintDatabase db = lcdb::MakeComb(teeth, /*connected=*/true);
+  auto ext = lcdb::MakeArrangementExtension(db);
+  const std::string query = lcdb::RegionConnTcQueryText(deterministic);
+  for (auto _ : state) {
+    auto result = lcdb::EvaluateSentenceText(*ext, query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(*result);
+  }
+  state.counters["regions"] = static_cast<double>(ext->num_regions());
+}
+
+BENCHMARK(BM_RegTcConnectivity)
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({3, 0})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({3, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/// Streaming reachability over the in-S adjacency graph. Returns the peak
+/// number of auxiliary machine words used:
+///  * DTC walk: current region + step counter — O(1) words (LOGSPACE:
+///    the words hold region indices, i.e. O(log n) bits each);
+///  * TC search: visited bitmap — O(n) bits = the NL certificate;
+///  * the LFP evaluator: the tuple set, O(n^2) entries worst case.
+size_t DtcWalkAuxWords(const lcdb::RegionExtension& ext, size_t start,
+                       size_t goal) {
+  size_t current = start;
+  size_t steps = 0;
+  const size_t n = ext.num_regions();
+  while (current != goal && steps <= n) {
+    size_t successor = n;
+    size_t count = 0;
+    for (size_t g = 0; g < n; ++g) {
+      if (g != current && ext.RegionSubsetOfS(g) && ext.Adjacent(current, g)) {
+        successor = g;
+        ++count;
+      }
+    }
+    if (count != 1) break;
+    current = successor;
+    ++steps;
+  }
+  return 2;  // current + steps: constant number of words
+}
+
+size_t TcSearchAuxWords(const lcdb::RegionExtension& ext, size_t start,
+                        size_t goal) {
+  const size_t n = ext.num_regions();
+  std::vector<bool> visited(n, false);
+  std::vector<size_t> stack = {start};
+  visited[start] = true;
+  size_t peak = 1;
+  while (!stack.empty()) {
+    size_t r = stack.back();
+    stack.pop_back();
+    if (r == goal) break;
+    for (size_t g = 0; g < n; ++g) {
+      if (!visited[g] && ext.RegionSubsetOfS(g) && ext.Adjacent(r, g)) {
+        visited[g] = true;
+        stack.push_back(g);
+        peak = std::max(peak, stack.size());
+      }
+    }
+  }
+  // Visited bitmap in words + peak stack.
+  return (n + 63) / 64 + peak;
+}
+
+void BM_AuxiliaryState(benchmark::State& state) {
+  const size_t teeth = static_cast<size_t>(state.range(0));
+  lcdb::ConstraintDatabase db = lcdb::MakeComb(teeth, /*connected=*/true);
+  auto ext = lcdb::MakeArrangementExtension(db);
+  // Endpoints: first and last in-S regions.
+  size_t first = ext->num_regions(), last = 0;
+  for (size_t r = 0; r < ext->num_regions(); ++r) {
+    if (ext->RegionSubsetOfS(r)) {
+      if (first == ext->num_regions()) first = r;
+      last = r;
+    }
+  }
+  size_t dtc_words = 0, tc_words = 0;
+  for (auto _ : state) {
+    dtc_words = DtcWalkAuxWords(*ext, first, last);
+    tc_words = TcSearchAuxWords(*ext, first, last);
+    benchmark::DoNotOptimize(dtc_words + tc_words);
+  }
+  state.counters["regions"] = static_cast<double>(ext->num_regions());
+  state.counters["dtc_aux_words"] = static_cast<double>(dtc_words);
+  state.counters["tc_aux_words"] = static_cast<double>(tc_words);
+  // LFP holds a set of region pairs: n^2 worst-case certificate.
+  state.counters["lfp_tuplespace"] =
+      static_cast<double>(ext->num_regions() * ext->num_regions());
+}
+
+BENCHMARK(BM_AuxiliaryState)->Arg(1)->Arg(2)->Arg(4)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+// TC over the Section 7 decomposition extension (the decomposition the
+// paper introduces precisely for the TC logics, Note 7.1).
+void BM_RegTcOnDecomposition(benchmark::State& state) {
+  const size_t boxes = static_cast<size_t>(state.range(0));
+  lcdb::ConstraintDatabase db = lcdb::MakeBoxGrid(boxes);
+  auto ext = lcdb::MakeDecompositionExtension(db);
+  for (auto _ : state) {
+    auto result =
+        lcdb::EvaluateSentenceText(*ext, lcdb::RegionConnTcQueryText(false));
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    // A grid of >= 2 boxes is disconnected.
+    if (*result != (boxes == 1)) state.SkipWithError("wrong grid answer");
+    benchmark::DoNotOptimize(*result);
+  }
+  state.counters["regions"] = static_cast<double>(ext->num_regions());
+}
+
+BENCHMARK(BM_RegTcOnDecomposition)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

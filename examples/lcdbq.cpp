@@ -1,0 +1,88 @@
+// lcdbq — batch query runner:  lcdbq <database-file> <query> [options]
+//
+//   ./lcdbq data/intervals.lcdb 'exists x . (S(x) & x > 2)'
+//   ./lcdbq data/comb.lcdb --conn
+//   ./lcdbq data/triangle.lcdb 'exists y . S(x, y)' --decomposition
+//
+// Options:
+//   --decomposition   use the Section 7 region extension (default: Sec. 3
+//                     arrangement)
+//   --conn            shorthand for the region connectivity query
+//   --stats           print evaluator statistics
+//
+// Exit code: 0 = query evaluated (sentences print true/false), 1 = error.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/evaluator.h"
+#include "core/parser.h"
+#include "core/queries.h"
+#include "db/io.h"
+#include "db/region_extension.h"
+
+int main(int argc, char** argv) {
+  std::string db_path;
+  std::string query;
+  bool use_decomposition = false;
+  bool show_stats = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--decomposition") == 0) {
+      use_decomposition = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      show_stats = true;
+    } else if (std::strcmp(argv[i], "--conn") == 0) {
+      query = lcdb::RegionConnQueryText();
+    } else if (db_path.empty()) {
+      db_path = argv[i];
+    } else if (query.empty()) {
+      query = argv[i];
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+      return 1;
+    }
+  }
+  if (db_path.empty() || query.empty()) {
+    std::fprintf(stderr,
+                 "usage: lcdbq <database-file> <query> "
+                 "[--decomposition] [--stats]\n"
+                 "       lcdbq <database-file> --conn\n");
+    return 1;
+  }
+
+  auto db = lcdb::LoadDatabaseFromFile(db_path);
+  if (!db.ok()) {
+    std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  auto ext = use_decomposition ? lcdb::MakeDecompositionExtension(*db)
+                               : lcdb::MakeArrangementExtension(*db);
+
+  auto parsed = lcdb::ParseQuery(query, db->relation_name());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  lcdb::Evaluator evaluator(*ext);
+  auto answer = evaluator.Evaluate(**parsed);
+  if (!answer.ok()) {
+    std::fprintf(stderr, "error: %s\n", answer.status().ToString().c_str());
+    return 1;
+  }
+  if (answer->free_vars.empty()) {
+    std::printf("%s\n", answer->formula.IsEmpty() ? "false" : "true");
+  } else {
+    std::printf("%s\n", answer->ToString().c_str());
+  }
+  if (show_stats) {
+    const lcdb::Evaluator::Stats& s = evaluator.stats();
+    std::fprintf(stderr,
+                 "# extension=%s regions=%zu node_evals=%zu bool_evals=%zu "
+                 "memo_hits=%zu lfp_iters=%zu qe=%zu\n",
+                 ext->kind().c_str(), ext->num_regions(),
+                 s.node_evaluations, s.bool_evaluations, s.memo_hits,
+                 s.fixpoint_iterations, s.qe_eliminations);
+  }
+  return 0;
+}

@@ -1,0 +1,164 @@
+// lcdbsh — a tiny interactive shell for linear constraint databases.
+//
+// Commands (one per line, also usable via piped stdin):
+//   db <relation-header-formula>   e.g.  db S(x, y) : x >= 0 & y >= 0
+//   load <path>                    load a database file (db/io.h format)
+//   regions [arr|dec]              list the regions of the chosen extension
+//   encode                         print the Theorem 6.4 encoding
+//   query <text>                   evaluate a query (boolean or symbolic)
+//   use arr|dec                    switch region extension
+//   help, quit
+//
+// Example session:
+//   db S(x) : (x > 0 & x < 1) | x = 5
+//   regions
+//   query exists x . (S(x) & x > 2)
+//   query [lfp M R R' : (R = R' & subset(R)) | (exists Z . (M(R, Z) &
+//         adj(Z, R') & subset(R')))](A, A)   -- needs bound A, use Conn
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "capture/encoding.h"
+#include "constraint/parser.h"
+#include "core/evaluator.h"
+#include "core/queries.h"
+#include "db/io.h"
+#include "db/region_extension.h"
+#include "util/strings.h"
+
+namespace {
+
+struct Session {
+  std::optional<lcdb::ConstraintDatabase> db;
+  std::unique_ptr<lcdb::RegionExtension> ext;
+  bool use_decomposition = false;
+
+  bool RebuildExtension() {
+    if (!db.has_value()) {
+      std::printf("no database loaded; use 'db' or 'load'\n");
+      return false;
+    }
+    if (ext == nullptr) {
+      ext = use_decomposition ? lcdb::MakeDecompositionExtension(*db)
+                              : lcdb::MakeArrangementExtension(*db);
+      std::printf("[%s extension: %zu regions]\n", ext->kind().c_str(),
+                  ext->num_regions());
+    }
+    return true;
+  }
+};
+
+void CmdDb(Session& session, const std::string& args) {
+  // Syntax: NAME(v1, v2, ...) : formula
+  size_t colon = args.find(':');
+  if (colon == std::string::npos) {
+    std::printf("usage: db S(x, y) : <formula>\n");
+    return;
+  }
+  auto loaded = lcdb::LoadDatabaseFromString(
+      "relation " + args.substr(0, colon) + "\nformula " +
+      args.substr(colon + 1));
+  if (!loaded.ok()) {
+    std::printf("%s\n", loaded.status().ToString().c_str());
+    return;
+  }
+  session.db = *loaded;
+  session.ext.reset();
+  std::printf("ok: %s\n", session.db->ToString().c_str());
+}
+
+void CmdLoad(Session& session, const std::string& path) {
+  auto loaded = lcdb::LoadDatabaseFromFile(std::string(
+      lcdb::StripWhitespace(path)));
+  if (!loaded.ok()) {
+    std::printf("%s\n", loaded.status().ToString().c_str());
+    return;
+  }
+  session.db = *loaded;
+  session.ext.reset();
+  std::printf("ok: %s\n", session.db->ToString().c_str());
+}
+
+void CmdRegions(Session& session) {
+  if (!session.RebuildExtension()) return;
+  const lcdb::RegionExtension& ext = *session.ext;
+  for (size_t r = 0; r < ext.num_regions(); ++r) {
+    std::printf("  R%-3zu dim=%d %s%s  witness=%s  %s\n", r, ext.RegionDim(r),
+                ext.RegionBounded(r) ? "bounded  " : "unbounded",
+                ext.RegionSubsetOfS(r) ? " in-S " : "      ",
+                lcdb::VecToString(ext.RegionWitness(r)).c_str(),
+                ext.RegionFormula(r)
+                    .ToString(ext.database().var_names())
+                    .c_str());
+  }
+}
+
+void CmdQuery(Session& session, const std::string& text) {
+  if (!session.RebuildExtension()) return;
+  auto answer = lcdb::EvaluateQueryText(*session.ext, text);
+  if (!answer.ok()) {
+    std::printf("%s\n", answer.status().ToString().c_str());
+    return;
+  }
+  if (answer->free_vars.empty()) {
+    std::printf("=> %s\n", answer->formula.IsEmpty() ? "false" : "true");
+  } else {
+    std::printf("=> %s\n", answer->ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  Session session;
+  std::printf("lcdb shell — 'help' for commands\n");
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    std::string_view stripped = lcdb::StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    std::string cmd(stripped.substr(0, stripped.find(' ')));
+    std::string rest(stripped.size() > cmd.size()
+                         ? stripped.substr(cmd.size() + 1)
+                         : std::string_view{});
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      std::printf(
+          "  db S(x, y) : <formula>  define a database inline\n"
+          "  load <path>             load a database file\n"
+          "  use arr|dec             choose arrangement/decomposition\n"
+          "  regions                 list regions of the extension\n"
+          "  encode                  print the Theorem 6.4 word encoding\n"
+          "  conn                    run the region connectivity query\n"
+          "  query <text>            evaluate a query\n"
+          "  quit\n");
+    } else if (cmd == "db") {
+      CmdDb(session, rest);
+    } else if (cmd == "load") {
+      CmdLoad(session, rest);
+    } else if (cmd == "use") {
+      session.use_decomposition = lcdb::StripWhitespace(rest) == "dec";
+      session.ext.reset();
+      std::printf("using %s extension\n",
+                  session.use_decomposition ? "decomposition" : "arrangement");
+    } else if (cmd == "regions") {
+      CmdRegions(session);
+    } else if (cmd == "encode") {
+      if (session.RebuildExtension()) {
+        std::printf("%s\n", lcdb::EncodeDatabase(*session.ext).c_str());
+      }
+    } else if (cmd == "conn") {
+      CmdQuery(session, lcdb::RegionConnQueryText());
+    } else if (cmd == "query") {
+      CmdQuery(session, rest);
+    } else {
+      std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

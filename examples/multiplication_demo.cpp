@@ -1,0 +1,70 @@
+// Figure 5 of the paper: why region quantification must be restricted to
+// regions of the *input* relation. If the language could quantify over the
+// regions (convex hulls) of arbitrary definable sets, multiplication would
+// become definable and the language would lose closure and decidability:
+//
+//   x * y = z  iff  (x, y - 1) lies in conv{(0, y), (z, 0)}    (x,y,z > 0)
+//
+// This program computes that membership test exactly (with the library's
+// own geometry) and verifies it recovers multiplication on a rational grid
+// — demonstrating the danger the paper's design rules out.
+
+#include <cstdio>
+
+#include "geometry/generator_region.h"
+
+namespace {
+
+/// The Figure 5 test: (x, y-1) in conv{(0, y), (z, 0)}.
+bool FigureFiveSaysProduct(const lcdb::Rational& x, const lcdb::Rational& y,
+                           const lcdb::Rational& z) {
+  lcdb::GeneratorRegion segment = lcdb::GeneratorRegion::ClosedSegment(
+      {lcdb::Rational(0), y}, {z, lcdb::Rational(0)});
+  return segment.Contains({x, y - lcdb::Rational(1)});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 5: defining multiplication from convex closure.\n");
+  std::printf("Checking (x, y-1) in conv{(0,y), (z,0)}  <=>  x*y = z\n\n");
+
+  size_t checked = 0, mismatches = 0;
+  // Rational grid of positive values; y > 1 so the witness row y-1 is
+  // strictly between the segment endpoints.
+  const int64_t nums[] = {1, 2, 3, 5, 7};
+  const int64_t dens[] = {1, 2, 3};
+  for (int64_t xn : nums) {
+    for (int64_t xd : dens) {
+      for (int64_t yn : nums) {
+        for (int64_t yd : dens) {
+          lcdb::Rational x(xn, xd);
+          lcdb::Rational y = lcdb::Rational(yn, yd) + lcdb::Rational(1);
+          lcdb::Rational product = x * y;
+          // Exact product must be recognized...
+          ++checked;
+          if (!FigureFiveSaysProduct(x, y, product)) {
+            ++mismatches;
+            std::printf("MISS   %s * %s = %s\n", x.ToString().c_str(),
+                        y.ToString().c_str(), product.ToString().c_str());
+          }
+          // ...and a perturbed value rejected.
+          ++checked;
+          if (FigureFiveSaysProduct(x, y, product + lcdb::Rational(1, 97))) {
+            ++mismatches;
+            std::printf("FALSE+ %s * %s != %s + 1/97\n", x.ToString().c_str(),
+                        y.ToString().c_str(), product.ToString().c_str());
+          }
+        }
+      }
+    }
+  }
+  std::printf("grid checks: %zu, mismatches: %zu  ->  %s\n\n", checked,
+              mismatches, mismatches == 0 ? "Figure 5 verified" : "BROKEN");
+  std::printf(
+      "Consequence (Section 4): quantifiers 'exists R in regions(psi)' over\n"
+      "definable sets would make multiplication definable over (R, <, +),\n"
+      "so lcdb's region sort is fixed to the decomposition of the INPUT\n"
+      "relation only, exactly as in the paper.\n");
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+#include "arith/rational.h"
+
+#include <ostream>
+
+#include "util/strings.h"
+
+namespace lcdb {
+
+Rational::Rational(BigInt numerator, BigInt denominator)
+    : num_(std::move(numerator)), den_(std::move(denominator)) {
+  LCDB_CHECK_MSG(!den_.IsZero(), "rational with zero denominator");
+  Normalize();
+}
+
+void Rational::Normalize() {
+  if (den_.IsNegative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.IsZero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::Gcd(num_, den_);
+  if (!g.IsOne()) {
+    num_ = num_ / g;
+    den_ = den_ / g;
+  }
+}
+
+Result<Rational> Rational::FromString(std::string_view text) {
+  text = StripWhitespace(text);
+  size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    LCDB_ASSIGN_OR_RETURN(BigInt n, BigInt::FromString(text));
+    return Rational(std::move(n));
+  }
+  LCDB_ASSIGN_OR_RETURN(BigInt n,
+                        BigInt::FromString(StripWhitespace(text.substr(0, slash))));
+  LCDB_ASSIGN_OR_RETURN(BigInt d,
+                        BigInt::FromString(StripWhitespace(text.substr(slash + 1))));
+  if (d.IsZero()) return Status::ParseError("zero denominator: " + std::string(text));
+  return Rational(std::move(n), std::move(d));
+}
+
+Rational Rational::operator-() const {
+  Rational out = *this;
+  out.num_ = -out.num_;
+  return out;
+}
+
+Rational Rational::operator+(const Rational& other) const {
+  return Rational(num_ * other.den_ + other.num_ * den_, den_ * other.den_);
+}
+
+Rational Rational::operator-(const Rational& other) const {
+  return Rational(num_ * other.den_ - other.num_ * den_, den_ * other.den_);
+}
+
+Rational Rational::operator*(const Rational& other) const {
+  return Rational(num_ * other.num_, den_ * other.den_);
+}
+
+Rational Rational::operator/(const Rational& other) const {
+  LCDB_CHECK_MSG(!other.IsZero(), "rational division by zero");
+  return Rational(num_ * other.den_, den_ * other.num_);
+}
+
+bool Rational::operator<(const Rational& other) const {
+  // Denominators are positive, so cross multiplication preserves order.
+  return num_ * other.den_ < other.num_ * den_;
+}
+
+std::string Rational::ToString() const {
+  if (den_.IsOne()) return num_.ToString();
+  return num_.ToString() + "/" + den_.ToString();
+}
+
+Rational Rational::Midpoint(const Rational& a, const Rational& b) {
+  return (a + b) * Rational(1, 2);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& value) {
+  return os << value.ToString();
+}
+
+}  // namespace lcdb

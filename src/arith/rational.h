@@ -1,0 +1,79 @@
+#ifndef LCDB_ARITH_RATIONAL_H_
+#define LCDB_ARITH_RATIONAL_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "arith/bigint.h"
+#include "util/status.h"
+
+namespace lcdb {
+
+/// Exact rational number: numerator / denominator with denominator > 0 and
+/// gcd(|numerator|, denominator) == 1. This is the coordinate domain of
+/// every geometric object in lcdb (arrangement vertices, witness points,
+/// barycentric coordinates). The rBIT operator reads bits of `num()` and
+/// `den()` directly.
+class Rational {
+ public:
+  Rational() : num_(0), den_(1) {}
+  Rational(int64_t value) : num_(value), den_(1) {}  // NOLINT
+  Rational(BigInt value) : num_(std::move(value)), den_(1) {}  // NOLINT
+  Rational(BigInt numerator, BigInt denominator);
+  Rational(int64_t numerator, int64_t denominator)
+      : Rational(BigInt(numerator), BigInt(denominator)) {}
+
+  /// Parses "p", "-p", or "p/q" with integer p, q (q != 0).
+  static Result<Rational> FromString(std::string_view text);
+
+  const BigInt& num() const { return num_; }
+  const BigInt& den() const { return den_; }
+
+  bool IsZero() const { return num_.IsZero(); }
+  int Sign() const { return num_.Sign(); }
+  bool IsInteger() const { return den_.IsOne(); }
+
+  Rational operator-() const;
+  Rational operator+(const Rational& other) const;
+  Rational operator-(const Rational& other) const;
+  Rational operator*(const Rational& other) const;
+  /// `other` must be nonzero.
+  Rational operator/(const Rational& other) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  bool operator==(const Rational& other) const {
+    return num_ == other.num_ && den_ == other.den_;
+  }
+  bool operator!=(const Rational& other) const { return !(*this == other); }
+  bool operator<(const Rational& other) const;
+  bool operator<=(const Rational& other) const { return !(other < *this); }
+  bool operator>(const Rational& other) const { return other < *this; }
+  bool operator>=(const Rational& other) const { return !(*this < other); }
+
+  Rational Abs() const { return Sign() < 0 ? -*this : *this; }
+
+  /// "p" if integral, otherwise "p/q".
+  std::string ToString() const;
+
+  size_t Hash() const { return num_.Hash() * 31 + den_.Hash(); }
+
+  /// Midpoint (a+b)/2, used for witness-point construction.
+  static Rational Midpoint(const Rational& a, const Rational& b);
+
+ private:
+  void Normalize();
+
+  BigInt num_;
+  BigInt den_;  // > 0
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& value);
+
+}  // namespace lcdb
+
+#endif  // LCDB_ARITH_RATIONAL_H_

@@ -1,0 +1,274 @@
+#include "arrangement/arrangement.h"
+
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <string>
+
+#include "geometry/vertex_enumeration.h"
+#include "linalg/gauss.h"
+#include "lp/feasibility.h"
+#include "util/status.h"
+
+namespace lcdb {
+
+namespace {
+
+std::string SignKey(const SignVector& sv) {
+  std::string key(sv.size(), '0');
+  for (size_t i = 0; i < sv.size(); ++i) {
+    key[i] = sv[i] > 0 ? '+' : (sv[i] < 0 ? '-' : '0');
+  }
+  return key;
+}
+
+/// Working face during incremental construction.
+struct PendingFace {
+  SignVector sign;
+  Vec witness;
+  bool is_point = false;  // dimension 0 (no further splits possible)
+};
+
+}  // namespace
+
+Arrangement Arrangement::Build(std::vector<Hyperplane> planes, size_t dim) {
+  std::sort(planes.begin(), planes.end());
+  planes.erase(std::unique(planes.begin(), planes.end()), planes.end());
+  Arrangement arr(dim, std::move(planes));
+  arr.BuildFaces();
+  arr.FinalizeFaceData();
+  for (size_t i = 0; i < arr.faces_.size(); ++i) {
+    arr.sign_index_.emplace(SignKey(arr.faces_[i].sign), i);
+  }
+  return arr;
+}
+
+Arrangement Arrangement::FromFormula(const DnfFormula& formula) {
+  std::vector<Hyperplane> planes;
+  for (const Conjunction& conj : formula.disjuncts()) {
+    for (const Hyperplane& h : HyperplanesOf(conj)) planes.push_back(h);
+  }
+  return Build(std::move(planes), formula.num_vars());
+}
+
+void Arrangement::BuildFaces() {
+  // Start with the single face R^d (empty position vector).
+  std::vector<PendingFace> faces;
+  {
+    PendingFace all;
+    all.witness = Vec(dim_);
+    all.is_point = dim_ == 0;
+    faces.push_back(std::move(all));
+  }
+
+  // Whether the zero-set of a sign vector pins the face to a point.
+  auto zero_rank_is_full = [&](const SignVector& sv) {
+    Matrix rows;
+    for (size_t k = 0; k < sv.size(); ++k) {
+      if (sv[k] != 0) continue;
+      Vec row(dim_);
+      for (size_t c = 0; c < dim_; ++c) row[c] = Rational(planes_[k].coeffs()[c]);
+      rows.AppendRow(row);
+    }
+    return rows.rows() >= dim_ && Rank(rows) == dim_;
+  };
+
+  for (size_t i = 0; i < planes_.size(); ++i) {
+    const Hyperplane& h = planes_[i];
+    std::vector<PendingFace> next;
+    next.reserve(faces.size() + faces.size() / 2);
+    for (PendingFace& face : faces) {
+      const int side = h.SideOf(face.witness);
+      // The part on the witness's side always exists.
+      auto keep_side = [&](int sign_value, Vec witness, bool is_point) {
+        PendingFace part;
+        part.sign = face.sign;
+        part.sign.push_back(static_cast<int8_t>(sign_value));
+        part.witness = std::move(witness);
+        part.is_point = is_point;
+        next.push_back(std::move(part));
+      };
+
+      if (face.is_point) {
+        // A single point lies in exactly one part; no LP needed.
+        keep_side(side, std::move(face.witness), true);
+        continue;
+      }
+
+      // Whether h cuts the (relatively open, convex) face. One feasibility
+      // LP per (face, plane) decides everything: if F meets h and the
+      // witness is off h, then relative openness makes BOTH strict parts
+      // nonempty; if the witness is ON h, either F ⊆ h or both strict
+      // parts are nonempty. The third witness is constructed by an exact
+      // extrapolation step instead of a second LP.
+      std::vector<LinearConstraint> face_constraints;
+      face_constraints.reserve(i + 1);
+      for (size_t k = 0; k < i; ++k) {
+        RelOp rel = face.sign[k] > 0
+                        ? RelOp::kGt
+                        : (face.sign[k] < 0 ? RelOp::kLt : RelOp::kEq);
+        face_constraints.push_back(planes_[k].ToAtom(rel).ToLinearConstraint());
+      }
+      ++lp_calls_;
+      if (side == 0) {
+        // Witness already on h; probe one strict side.
+        std::vector<LinearConstraint> probe = face_constraints;
+        probe.push_back(h.ToAtom(RelOp::kGt).ToLinearConstraint());
+        FeasibilityResult above = CheckFeasibility(dim_, probe);
+        if (!above.feasible) {
+          // Convexity: with the witness on h in the relative interior, an
+          // empty upper part forces an empty lower part too, i.e. F ⊆ h.
+          SignVector on_sign = face.sign;
+          on_sign.push_back(0);
+          keep_side(0, std::move(face.witness), zero_rank_is_full(on_sign));
+          continue;
+        }
+        Vec below =
+            ExtrapolateWitness(face.witness, above.witness, face_constraints);
+        SignVector on_sign = face.sign;
+        on_sign.push_back(0);
+        const bool on_is_point = zero_rank_is_full(on_sign);
+        keep_side(0, face.witness, on_is_point);
+        keep_side(1, std::move(above.witness), false);
+        keep_side(-1, std::move(below), false);
+        continue;
+      }
+      std::vector<LinearConstraint> probe = face_constraints;
+      probe.push_back(h.ToAtom(RelOp::kEq).ToLinearConstraint());
+      FeasibilityResult on = CheckFeasibility(dim_, probe);
+      if (!on.feasible) {
+        // h misses the face: unsplit.
+        keep_side(side, std::move(face.witness), false);
+        continue;
+      }
+      // Split into three parts: witness side (old witness), on-part (LP
+      // witness), opposite side (extrapolated witness).
+      Vec beyond =
+          ExtrapolateWitness(on.witness, face.witness, face_constraints);
+      SignVector on_sign = face.sign;
+      on_sign.push_back(0);
+      const bool on_is_point = zero_rank_is_full(on_sign);
+      keep_side(side, std::move(face.witness), false);
+      keep_side(0, std::move(on.witness), on_is_point);
+      keep_side(-side, std::move(beyond), false);
+    }
+    faces = std::move(next);
+  }
+
+  faces_.clear();
+  faces_.reserve(faces.size());
+  for (PendingFace& face : faces) {
+    Face out;
+    out.sign = std::move(face.sign);
+    out.witness = std::move(face.witness);
+    faces_.push_back(std::move(out));
+  }
+}
+
+Vec Arrangement::ExtrapolateWitness(
+    const Vec& anchor, const Vec& inside,
+    const std::vector<LinearConstraint>& constraints) const {
+  // z(t) = anchor + t * (anchor - inside) stays in the relatively open face
+  // for small t > 0 (anchor is a relative-interior point of the face's
+  // boundary slice, inside is a face point on the other side of the new
+  // hyperplane), and lies strictly beyond the new hyperplane for every
+  // t > 0. Pick t as half the largest step keeping all strict constraints.
+  Vec direction = VecSub(anchor, inside);
+  Rational t(1);
+  bool bounded_step = false;
+  for (const LinearConstraint& c : constraints) {
+    const Rational slope = Dot(c.coeffs, direction);
+    if (c.rel == RelOp::kEq) continue;  // slope is 0 on equalities
+    // Constraints are strict (face parts); compute slack at the anchor.
+    const Rational value = Dot(c.coeffs, anchor);
+    Rational slack;
+    bool tightening = false;
+    switch (c.rel) {
+      case RelOp::kLt:
+      case RelOp::kLe:
+        slack = c.rhs - value;
+        tightening = slope.Sign() > 0;
+        break;
+      case RelOp::kGt:
+      case RelOp::kGe:
+        slack = value - c.rhs;
+        tightening = slope.Sign() < 0;
+        break;
+      default:
+        break;
+    }
+    if (!tightening) continue;
+    Rational limit = slack / slope.Abs();
+    if (!bounded_step || limit < t) {
+      t = limit;
+      bounded_step = true;
+    }
+  }
+  if (bounded_step) t = t * Rational(1, 2);
+  return VecAdd(anchor, VecScale(t, direction));
+}
+
+void Arrangement::FinalizeFaceData() {
+  for (Face& face : faces_) {
+    // Dimension: d minus the rank of the zero-set hyperplanes (the face is
+    // relatively open in that flat).
+    Matrix zero_rows;
+    for (size_t i = 0; i < planes_.size(); ++i) {
+      if (face.sign[i] != 0) continue;
+      Vec row(dim_);
+      for (size_t c = 0; c < dim_; ++c) {
+        row[c] = Rational(planes_[i].coeffs()[c]);
+      }
+      zero_rows.AppendRow(row);
+    }
+    face.dim = static_cast<int>(dim_) -
+               static_cast<int>(zero_rows.rows() == 0 ? 0 : Rank(zero_rows));
+    if (face.dim == 0) {
+      face.bounded = true;
+    } else {
+      const Conjunction conj = FaceFormulaFor(face);
+      face.bounded = IsBoundedSystem(dim_, conj.ToConstraints());
+    }
+  }
+}
+
+Conjunction Arrangement::FaceFormulaFor(const Face& face) const {
+  if (planes_.empty()) return Conjunction(dim_);  // the single face R^d
+  return SignVectorConjunction(planes_, face.sign);
+}
+
+Conjunction Arrangement::FaceFormula(size_t index) const {
+  return FaceFormulaFor(faces_[index]);
+}
+
+size_t Arrangement::LocateFace(const Vec& point) const {
+  const SignVector sv = PositionVector(planes_, point);
+  auto it = sign_index_.find(SignKey(sv));
+  LCDB_CHECK_MSG(it != sign_index_.end(),
+                 "faces partition R^d; point must be in some face");
+  return it->second;
+}
+
+bool Arrangement::Adjacent(size_t f, size_t g) const {
+  if (f == g) return false;
+  const SignVector& a = faces_[f].sign;
+  const SignVector& b = faces_[g].sign;
+  return InClosureOf(a, b) || InClosureOf(b, a);
+}
+
+bool Arrangement::Incident(size_t f, size_t g) const {
+  const int df = faces_[f].dim;
+  const int dg = faces_[g].dim;
+  if (df + 1 != dg && dg + 1 != df) return false;
+  return Adjacent(f, g);
+}
+
+std::vector<size_t> Arrangement::FaceCountsByDimension() const {
+  std::vector<size_t> counts(dim_ + 1, 0);
+  for (const Face& face : faces_) {
+    counts[static_cast<size_t>(face.dim)]++;
+  }
+  return counts;
+}
+
+}  // namespace lcdb

@@ -1,0 +1,14 @@
+#include "arrangement/face.h"
+
+namespace lcdb {
+
+std::string Face::ToString() const {
+  std::string out = "Face{dim=" + std::to_string(dim);
+  out += bounded ? ", bounded" : ", unbounded";
+  out += ", sign=" + SignVectorToString(sign);
+  out += ", witness=" + VecToString(witness);
+  out += "}";
+  return out;
+}
+
+}  // namespace lcdb

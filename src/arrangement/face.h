@@ -1,0 +1,29 @@
+#ifndef LCDB_ARRANGEMENT_FACE_H_
+#define LCDB_ARRANGEMENT_FACE_H_
+
+#include <string>
+
+#include "geometry/hyperplane.h"
+
+namespace lcdb {
+
+/// One face of a hyperplane arrangement (Section 3): the set of all points
+/// sharing a position vector. A face is relatively open and convex; its
+/// affine support is the intersection of the hyperplanes it lies on.
+struct Face {
+  /// Position vector w.r.t. the arrangement's hyperplane list.
+  SignVector sign;
+  /// A rational point in the (relative interior of the) face.
+  Vec witness;
+  /// Dimension of the affine support.
+  int dim = 0;
+  /// Whether the face is contained in some hypercube (used by the capture
+  /// machinery's bounded/unbounded split, proof of Theorem 6.4).
+  bool bounded = false;
+
+  std::string ToString() const;
+};
+
+}  // namespace lcdb
+
+#endif  // LCDB_ARRANGEMENT_FACE_H_

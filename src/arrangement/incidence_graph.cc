@@ -1,0 +1,50 @@
+#include "arrangement/incidence_graph.h"
+
+namespace lcdb {
+
+IncidenceGraph::IncidenceGraph(const Arrangement& arrangement) {
+  const size_t n = arrangement.num_faces();
+  up_.resize(n);
+  down_.resize(n);
+  for (size_t f = 0; f < n; ++f) {
+    for (size_t g = 0; g < n; ++g) {
+      if (f == g) continue;
+      if (arrangement.face(f).dim + 1 != arrangement.face(g).dim) continue;
+      if (arrangement.Incident(f, g)) {
+        up_[f].push_back(g);
+        down_[g].push_back(f);
+      }
+    }
+    if (arrangement.face(f).dim == 0) down_[f].push_back(kBottom);
+    if (arrangement.face(f).dim == static_cast<int>(arrangement.dim())) {
+      up_[f].push_back(kTop);
+    }
+  }
+}
+
+size_t IncidenceGraph::num_edges() const {
+  size_t count = 0;
+  for (const auto& edges : up_) count += edges.size();
+  for (const auto& edges : down_) count += edges.size();
+  return count;
+}
+
+std::string IncidenceGraph::DescribeNeighbourhood(
+    const Arrangement& arrangement, size_t face) const {
+  auto name = [&](size_t id) -> std::string {
+    if (id == kBottom) return "EMPTY(-1)";
+    if (id == kTop) return "A(S)(d+1)";
+    return "f" + std::to_string(id) + "(dim " +
+           std::to_string(arrangement.face(id).dim) + ")";
+  };
+  std::string out = name(face) + " sign " +
+                    SignVectorToString(arrangement.face(face).sign) + "\n";
+  out += "  up:";
+  for (size_t g : up_[face]) out += " " + name(g);
+  out += "\n  down:";
+  for (size_t g : down_[face]) out += " " + name(g);
+  out += "\n";
+  return out;
+}
+
+}  // namespace lcdb

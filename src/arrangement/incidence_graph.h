@@ -1,0 +1,49 @@
+#ifndef LCDB_ARRANGEMENT_INCIDENCE_GRAPH_H_
+#define LCDB_ARRANGEMENT_INCIDENCE_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "arrangement/arrangement.h"
+
+namespace lcdb {
+
+/// The incidence graph of an arrangement (Section 3): one proper vertex per
+/// face plus two improper vertices — the virtual (-1)-dimensional face ∅
+/// incident to every 0-dimensional face, and the (d+1)-dimensional face
+/// A(S) that every d-dimensional face is incident to. Each proper vertex
+/// stores two directed edge lists: faces incident *to* it (one dimension
+/// lower, `down`) and faces it is incident to (one dimension higher, `up`).
+class IncidenceGraph {
+ public:
+  /// Identifier of the improper bottom vertex ∅.
+  static constexpr size_t kBottom = static_cast<size_t>(-1);
+  /// Identifier of the improper top vertex A(S).
+  static constexpr size_t kTop = static_cast<size_t>(-2);
+
+  explicit IncidenceGraph(const Arrangement& arrangement);
+
+  /// Proper faces of dimension one higher whose boundary contains `face`,
+  /// plus kTop for d-dimensional faces.
+  const std::vector<size_t>& Up(size_t face) const { return up_[face]; }
+  /// Proper faces of dimension one lower contained in the boundary of
+  /// `face`, plus kBottom for 0-dimensional faces.
+  const std::vector<size_t>& Down(size_t face) const { return down_[face]; }
+
+  size_t num_proper_vertices() const { return up_.size(); }
+  /// Total directed edge count (both lists, improper edges included).
+  size_t num_edges() const;
+
+  /// Textual rendering of the neighbourhood of one face, in the spirit of
+  /// the paper's Figure 4.
+  std::string DescribeNeighbourhood(const Arrangement& arrangement,
+                                    size_t face) const;
+
+ private:
+  std::vector<std::vector<size_t>> up_;
+  std::vector<std::vector<size_t>> down_;
+};
+
+}  // namespace lcdb
+
+#endif  // LCDB_ARRANGEMENT_INCIDENCE_GRAPH_H_

@@ -1,0 +1,78 @@
+#include "capture/encoding.h"
+
+#include "capture/region_order.h"
+#include "util/status.h"
+
+namespace lcdb {
+
+namespace {
+
+/// LSB-first bit string of a magnitude.
+std::string BitsOf(const BigInt& value) {
+  if (value.IsZero()) return "0";
+  std::string out;
+  for (size_t i = 0; i < value.BitLength(); ++i) {
+    out.push_back(value.Bit(i) ? '1' : '0');
+  }
+  return out;
+}
+
+}  // namespace
+
+bool HasSmallCoordinateProperty(const RegionExtension& ext, size_t c) {
+  const size_t n = ext.num_regions();
+  const BigInt bound = BigInt::Pow2(c * n);
+  for (size_t r : ext.ZeroDimRegions()) {
+    for (const Rational& coord : ext.ZeroDimPoint(r)) {
+      if (coord.num().Abs() > bound || coord.den() > bound) return false;
+    }
+  }
+  return true;
+}
+
+std::string EncodeDatabase(const RegionExtension& ext) {
+  std::string out;
+  const std::vector<size_t> order = CaptureRegionOrder(ext);
+  const size_t d = ext.database().arity();
+
+  // 0-dimensional records (the capture order lists them first among the
+  // bounded regions, in lexicographic order).
+  for (size_t r : ext.ZeroDimRegions()) {
+    const Vec point = ext.ZeroDimPoint(r);
+    for (size_t i = 0; i < d; ++i) {
+      if (i > 0) out += ",";
+      if (point[i].Sign() < 0) out += "-";
+      out += BitsOf(point[i].num());
+      out += "/";
+      out += BitsOf(point[i].den());
+    }
+    out += ";";
+    out += ext.RegionSubsetOfS(r) ? "1" : "0";
+    out += "|";
+  }
+
+  // Bounded higher-dimensional regions, one bit each, dimension-major.
+  for (size_t dim = 1; dim <= d; ++dim) {
+    out += "#";
+    for (size_t r : order) {
+      if (!ext.RegionBounded(r)) continue;
+      if (ext.RegionDim(r) != static_cast<int>(dim)) continue;
+      out += ext.RegionSubsetOfS(r) ? "1" : "0";
+    }
+  }
+
+  out += "##";
+
+  // Unbounded regions, dimension-major.
+  for (size_t dim = 1; dim <= d; ++dim) {
+    for (size_t r : order) {
+      if (ext.RegionBounded(r)) continue;
+      if (ext.RegionDim(r) != static_cast<int>(dim)) continue;
+      out += ext.RegionSubsetOfS(r) ? "1" : "0";
+    }
+    if (dim < d) out += "#";
+  }
+  return out;
+}
+
+}  // namespace lcdb

@@ -1,0 +1,43 @@
+#ifndef LCDB_CAPTURE_ENCODING_H_
+#define LCDB_CAPTURE_ENCODING_H_
+
+#include <string>
+
+#include "db/region_extension.h"
+
+namespace lcdb {
+
+/// The small coordinate property of Definition 6.2: the absolute values of
+/// the coordinates of all points contained in 0-dimensional regions are
+/// bounded by 2^(c*n), where n is the number of regions. The paper states
+/// the bound as 2^O(n); `c` fixes the constant. (With bounded coordinates
+/// both the numerator and denominator must fit, since rBIT addresses bits
+/// by 0-dimensional-region rank.)
+bool HasSmallCoordinateProperty(const RegionExtension& ext, size_t c = 1);
+
+/// The binary word encoding of a database from the proof of Theorem 6.4 —
+/// the input-tape representation β that the capture formula feeds to the
+/// simulated Turing machine. Layout (exact format fixed by this library,
+/// the proof only requires *some* RegFO-definable layout):
+///
+///   bounded part:
+///     one record per 0-dimensional region in lexicographic order:
+///       coord ("," coord)* ";" s_bit "|"
+///       coord := ["-"] <numerator bits, LSB first> "/" <denominator bits>
+///     then, per dimension i = 1..d: "#" followed by one s-bit per bounded
+///     i-dimensional region in capture order;
+///   "##"
+///   unbounded part: per dimension i = 1..d: one s-bit per unbounded
+///     i-dimensional region in capture order, "#"-separated.
+///
+/// s-bits are 1 iff the region is contained in S. The encoding is a
+/// deterministic function of the region extension. Note that — exactly as
+/// in the paper — different representations of the same abstract database
+/// induce different arrangements and hence different encodings; a machine
+/// deciding an *abstract* query must return the same verdict on all of them
+/// (Section 2's abstractness requirement, exercised in the capture tests).
+std::string EncodeDatabase(const RegionExtension& ext);
+
+}  // namespace lcdb
+
+#endif  // LCDB_CAPTURE_ENCODING_H_

@@ -1,0 +1,75 @@
+#include "capture/region_order.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace lcdb {
+
+namespace {
+
+/// Sort key for one region.
+struct OrderKey {
+  bool unbounded = false;
+  int dim = 0;
+  std::vector<size_t> anchor_ranks;  // ranks of adjacent anchor regions
+  Vec witness;                       // deterministic tie-break
+};
+
+bool KeyLess(const OrderKey& a, const OrderKey& b) {
+  if (a.unbounded != b.unbounded) return !a.unbounded;
+  if (a.dim != b.dim) return a.dim < b.dim;
+  if (a.anchor_ranks != b.anchor_ranks) return a.anchor_ranks < b.anchor_ranks;
+  return VecLexCompare(a.witness, b.witness) < 0;
+}
+
+}  // namespace
+
+std::vector<size_t> CaptureRegionOrder(const RegionExtension& ext) {
+  const size_t n = ext.num_regions();
+  // Ranks of 0-dimensional regions in their lexicographic order.
+  std::vector<size_t> zero_rank(n, n);
+  const std::vector<size_t>& zeros = ext.ZeroDimRegions();
+  for (size_t i = 0; i < zeros.size(); ++i) zero_rank[zeros[i]] = i;
+
+  std::vector<OrderKey> keys(n);
+  for (size_t r = 0; r < n; ++r) {
+    OrderKey& key = keys[r];
+    key.unbounded = !ext.RegionBounded(r);
+    key.dim = ext.RegionDim(r);
+    key.witness = ext.RegionWitness(r);
+    if (key.dim == 0) {
+      key.anchor_ranks = {zero_rank[r]};
+      continue;
+    }
+    // Anchor on adjacent 0-dimensional regions; unbounded regions also
+    // anchor on adjacent bounded regions of any dimension (their "(p, q)"
+    // data in the proof reduces to which bounded skeleton they touch).
+    for (size_t g = 0; g < n; ++g) {
+      if (!ext.Adjacent(r, g)) continue;
+      if (ext.RegionDim(g) == 0) {
+        key.anchor_ranks.push_back(zero_rank[g]);
+      } else if (key.unbounded && ext.RegionBounded(g)) {
+        // Offset bounded non-vertex anchors past the vertex ranks so the
+        // two anchor classes cannot collide.
+        key.anchor_ranks.push_back(zeros.size() + g);
+      }
+    }
+    std::sort(key.anchor_ranks.begin(), key.anchor_ranks.end());
+  }
+
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return KeyLess(keys[a], keys[b]); });
+  return order;
+}
+
+std::vector<size_t> CaptureRegionRanks(const RegionExtension& ext) {
+  std::vector<size_t> order = CaptureRegionOrder(ext);
+  std::vector<size_t> ranks(order.size());
+  for (size_t i = 0; i < order.size(); ++i) ranks[order[i]] = i;
+  return ranks;
+}
+
+}  // namespace lcdb

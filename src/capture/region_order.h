@@ -1,0 +1,39 @@
+#ifndef LCDB_CAPTURE_REGION_ORDER_H_
+#define LCDB_CAPTURE_REGION_ORDER_H_
+
+#include <vector>
+
+#include "db/region_extension.h"
+
+namespace lcdb {
+
+/// The total order on regions used by the proof of Theorem 6.4 to lay the
+/// database out on a Turing tape:
+///
+///  * bounded regions come before unbounded ones;
+///  * within each group, lower dimension first ("If R, R' are bounded
+///    regions and R' is of higher dimension than R, then R < R'");
+///  * 0-dimensional regions are ordered lexicographically by their point;
+///  * bounded i-dimensional regions (i > 0) are ordered by the
+///    lexicographic order on the sorted tuple of ranks of 0-dimensional
+///    regions adjacent to them (the paper's "(i+1)-tuples of 0-dimensional
+///    regions");
+///  * unbounded regions are ordered by the sorted tuple of ranks of their
+///    adjacent bounded regions (the paper anchors 1-dimensional unbounded
+///    regions at their unique adjacent 0-dimensional region and proceeds
+///    analogously upwards).
+///
+/// The paper's sketch does not fully resolve ties (e.g. two regions with
+/// the same adjacent vertex set); we break them by the region's witness
+/// point, lexicographically — a deterministic, representation-independent
+/// refinement (documented in DESIGN.md).
+///
+/// Returns the region ids in ascending order.
+std::vector<size_t> CaptureRegionOrder(const RegionExtension& ext);
+
+/// Rank of every region in the capture order (inverse permutation).
+std::vector<size_t> CaptureRegionRanks(const RegionExtension& ext);
+
+}  // namespace lcdb
+
+#endif  // LCDB_CAPTURE_REGION_ORDER_H_

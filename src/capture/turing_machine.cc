@@ -1,0 +1,114 @@
+#include "capture/turing_machine.h"
+
+namespace lcdb {
+
+void TuringMachine::AddTransition(int state, char read, int next_state,
+                                  char write, Move move) {
+  delta_[{state, read}] = Transition{next_state, write, move};
+}
+
+TuringMachine::RunResult TuringMachine::Run(const std::string& input,
+                                            size_t max_steps) const {
+  std::string tape = input.empty() ? " " : input;
+  size_t head = 0;
+  int state = start_;
+  RunResult result;
+  while (result.steps < max_steps) {
+    if (state == accept_ || state == reject_) {
+      result.halted = true;
+      result.accepted = state == accept_;
+      return result;
+    }
+    auto it = delta_.find({state, tape[head]});
+    if (it == delta_.end()) {
+      result.halted = true;
+      result.accepted = false;
+      return result;
+    }
+    tape[head] = it->second.write;
+    switch (it->second.move) {
+      case Move::kLeft:
+        if (head == 0) {
+          tape.insert(tape.begin(), ' ');
+        } else {
+          --head;
+        }
+        break;
+      case Move::kRight:
+        ++head;
+        if (head == tape.size()) tape.push_back(' ');
+        break;
+      case Move::kStay:
+        break;
+    }
+    state = it->second.next_state;
+    ++result.steps;
+  }
+  return result;  // not halted
+}
+
+namespace {
+constexpr int kScan = 0;
+constexpr int kAfterSemi = 1;
+constexpr int kAccept = 100;
+constexpr int kReject = 101;
+}  // namespace
+
+TuringMachine TuringMachine::SNonEmptyChecker() {
+  // Accept on the first '1' that is an S-membership bit: the character
+  // right after a ';', or any character inside the '#' blocks. To keep the
+  // machine simple it tracks whether it is inside the coordinate part of a
+  // record (between '|'/start and ';') — bits there are coordinate data and
+  // must be ignored.
+  TuringMachine tm(kScan, kAccept, kReject);
+  // kScan: inside coordinate data; skip everything until ';' or '#'.
+  for (char c : std::string("01-/,")) {
+    tm.AddTransition(kScan, c, kScan, c, Move::kRight);
+  }
+  tm.AddTransition(kScan, ';', kAfterSemi, ';', Move::kRight);
+  tm.AddTransition(kScan, '|', kScan, '|', Move::kRight);
+  // After the first '#', every 0/1 is a membership bit: reuse kAfterSemi
+  // but return to it on separators.
+  tm.AddTransition(kScan, '#', kAfterSemi, '#', Move::kRight);
+  tm.AddTransition(kScan, ' ', kReject, ' ', Move::kStay);
+  // kAfterSemi: the current cell is a membership bit (or a separator).
+  tm.AddTransition(kAfterSemi, '1', kAccept, '1', Move::kStay);
+  tm.AddTransition(kAfterSemi, '0', kAfterSemi, '0', Move::kRight);
+  tm.AddTransition(kAfterSemi, '|', kScan, '|', Move::kRight);
+  tm.AddTransition(kAfterSemi, '#', kAfterSemi, '#', Move::kRight);
+  tm.AddTransition(kAfterSemi, ' ', kReject, ' ', Move::kStay);
+  return tm;
+}
+
+TuringMachine TuringMachine::ZeroDimParityChecker() {
+  // Count '|' before the first '#' modulo 2; accept iff even.
+  constexpr int kEven = 0;
+  constexpr int kOdd = 1;
+  TuringMachine tm(kEven, kAccept, kReject);
+  for (char c : std::string("01-/,;")) {
+    tm.AddTransition(kEven, c, kEven, c, Move::kRight);
+    tm.AddTransition(kOdd, c, kOdd, c, Move::kRight);
+  }
+  tm.AddTransition(kEven, '|', kOdd, '|', Move::kRight);
+  tm.AddTransition(kOdd, '|', kEven, '|', Move::kRight);
+  tm.AddTransition(kEven, '#', kAccept, '#', Move::kStay);
+  tm.AddTransition(kOdd, '#', kReject, '#', Move::kStay);
+  tm.AddTransition(kEven, ' ', kAccept, ' ', Move::kStay);
+  tm.AddTransition(kOdd, ' ', kReject, ' ', Move::kStay);
+  return tm;
+}
+
+TuringMachine TuringMachine::AllVerticesInSChecker() {
+  TuringMachine tm(kScan, kAccept, kReject);
+  for (char c : std::string("01-/,|")) {
+    tm.AddTransition(kScan, c, kScan, c, Move::kRight);
+  }
+  tm.AddTransition(kScan, ';', kAfterSemi, ';', Move::kRight);
+  tm.AddTransition(kScan, '#', kAccept, '#', Move::kStay);
+  tm.AddTransition(kScan, ' ', kAccept, ' ', Move::kStay);
+  tm.AddTransition(kAfterSemi, '1', kScan, '1', Move::kRight);
+  tm.AddTransition(kAfterSemi, '0', kReject, '0', Move::kStay);
+  return tm;
+}
+
+}  // namespace lcdb

@@ -1,0 +1,71 @@
+#ifndef LCDB_CAPTURE_TURING_MACHINE_H_
+#define LCDB_CAPTURE_TURING_MACHINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lcdb {
+
+/// A deterministic single-tape Turing machine — the computation model of
+/// the capture theorems (Theorems 6.4, 7.4). The capture proof encodes the
+/// run of such a machine on the database encoding into a RegLFP sentence;
+/// this simulator runs the machine on the very same encoding so the two
+/// sides of the theorem can be compared experimentally (see DESIGN.md's
+/// substitution table).
+class TuringMachine {
+ public:
+  enum class Move { kLeft, kRight, kStay };
+
+  struct Transition {
+    int next_state = 0;
+    char write = ' ';
+    Move move = Move::kStay;
+  };
+
+  /// States are non-negative integers; `accept` and `reject` are terminal.
+  TuringMachine(int start, int accept, int reject)
+      : start_(start), accept_(accept), reject_(reject) {}
+
+  /// Adds delta(state, read) = (next, write, move).
+  void AddTransition(int state, char read, int next_state, char write,
+                     Move move);
+
+  struct RunResult {
+    bool halted = false;
+    bool accepted = false;
+    size_t steps = 0;
+  };
+
+  /// Runs on `input` (blank = ' '); missing transitions reject. Gives up
+  /// after `max_steps`.
+  RunResult Run(const std::string& input, size_t max_steps = 1u << 20) const;
+
+  /// A machine accepting iff some S-membership bit in a database encoding
+  /// is 1, i.e. iff S is nonempty (scans for '1' in the positions following
+  /// ';' and in the bit blocks after '#'). Accepts exactly when the RegFO
+  /// sentence "exists x̄ S(x̄)" holds.
+  static TuringMachine SNonEmptyChecker();
+
+  /// A machine accepting iff the number of 0-dimensional regions is even
+  /// (counts '|' separators before the first '#'). Parity is a PTIME — in
+  /// fact LOGSPACE — query that is not RegFO-definable; it needs the
+  /// fixed-point machinery of Theorem 6.4.
+  static TuringMachine ZeroDimParityChecker();
+
+  /// A machine accepting iff every 0-dimensional region lies in S (all
+  /// ';'-following bits are 1).
+  static TuringMachine AllVerticesInSChecker();
+
+ private:
+  int start_;
+  int accept_;
+  int reject_;
+  std::map<std::pair<int, char>, Transition> delta_;
+};
+
+}  // namespace lcdb
+
+#endif  // LCDB_CAPTURE_TURING_MACHINE_H_

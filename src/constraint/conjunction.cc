@@ -1,0 +1,138 @@
+#include "constraint/conjunction.h"
+
+#include <algorithm>
+
+#include "lp/feasibility.h"
+#include "util/status.h"
+
+namespace lcdb {
+
+namespace {
+LinearAtom FalseAtom(size_t num_vars) {
+  return LinearAtom(Vec(num_vars), RelOp::kLt, Rational(0));  // 0 < 0
+}
+}  // namespace
+
+Conjunction::Conjunction(size_t num_vars, std::vector<LinearAtom> atoms)
+    : num_vars_(num_vars), atoms_(std::move(atoms)) {
+  Normalize();
+}
+
+void Conjunction::Normalize() {
+  for (const LinearAtom& atom : atoms_) {
+    LCDB_CHECK(atom.num_vars() == num_vars_);
+    if (atom.IsConstant() && !atom.ConstantValue()) {
+      atoms_ = {FalseAtom(num_vars_)};
+      return;
+    }
+  }
+  std::erase_if(atoms_, [](const LinearAtom& a) { return a.IsConstant(); });
+  std::sort(atoms_.begin(), atoms_.end());
+  atoms_.erase(std::unique(atoms_.begin(), atoms_.end()), atoms_.end());
+}
+
+bool Conjunction::IsSyntacticallyFalse() const {
+  return atoms_.size() == 1 && atoms_[0].IsConstant() &&
+         !atoms_[0].ConstantValue();
+}
+
+void Conjunction::AddAtom(const LinearAtom& atom) {
+  atoms_.push_back(atom);
+  Normalize();
+}
+
+bool Conjunction::Satisfies(const Vec& point) const {
+  for (const LinearAtom& atom : atoms_) {
+    if (atom.IsConstant()) {
+      if (!atom.ConstantValue()) return false;
+      continue;
+    }
+    if (!atom.Satisfies(point)) return false;
+  }
+  return true;
+}
+
+std::vector<LinearConstraint> Conjunction::ToConstraints() const {
+  std::vector<LinearConstraint> out;
+  out.reserve(atoms_.size());
+  for (const LinearAtom& atom : atoms_) out.push_back(atom.ToLinearConstraint());
+  return out;
+}
+
+bool Conjunction::IsFeasible() const {
+  if (IsSyntacticallyFalse()) return false;
+  if (atoms_.empty()) return true;
+  return CheckFeasibility(num_vars_, ToConstraints()).feasible;
+}
+
+Vec Conjunction::FindWitness() const {
+  if (IsSyntacticallyFalse()) return {};
+  FeasibilityResult r = CheckFeasibility(num_vars_, ToConstraints());
+  return r.feasible ? r.witness : Vec{};
+}
+
+Conjunction Conjunction::Substitute(const std::vector<AffineExpr>& map,
+                                    size_t target_arity) const {
+  std::vector<LinearAtom> atoms;
+  atoms.reserve(atoms_.size());
+  for (const LinearAtom& atom : atoms_) {
+    atoms.push_back(atom.Substitute(map, target_arity));
+  }
+  return Conjunction(target_arity, std::move(atoms));
+}
+
+Conjunction Conjunction::ClosureConjunction() const {
+  std::vector<LinearAtom> atoms;
+  atoms.reserve(atoms_.size());
+  for (const LinearAtom& atom : atoms_) atoms.push_back(atom.ClosureAtom());
+  return Conjunction(num_vars_, std::move(atoms));
+}
+
+bool Conjunction::SyntacticallySubsumes(const Conjunction& other) const {
+  // Both atom lists are sorted.
+  return std::includes(other.atoms_.begin(), other.atoms_.end(),
+                       atoms_.begin(), atoms_.end());
+}
+
+void Conjunction::RemoveRedundantAtoms() {
+  if (atoms_.size() <= 1) return;
+  for (size_t i = 0; i < atoms_.size();) {
+    std::vector<LinearConstraint> rest;
+    rest.reserve(atoms_.size() - 1);
+    for (size_t j = 0; j < atoms_.size(); ++j) {
+      if (j != i) rest.push_back(atoms_[j].ToLinearConstraint());
+    }
+    if (!IsConsistentWithNegation(num_vars_, rest,
+                                  atoms_[i].ToLinearConstraint())) {
+      atoms_.erase(atoms_.begin() + i);
+    } else {
+      ++i;
+    }
+  }
+}
+
+std::string Conjunction::ToString(
+    const std::vector<std::string>& var_names) const {
+  if (atoms_.empty()) return "true";
+  if (IsSyntacticallyFalse()) return "false";
+  std::string out;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += atoms_[i].ToString(var_names);
+  }
+  return out;
+}
+
+bool Conjunction::operator<(const Conjunction& other) const {
+  return atoms_ < other.atoms_;
+}
+
+size_t Conjunction::Hash() const {
+  size_t h = 1469598103934665603ull;
+  for (const LinearAtom& atom : atoms_) {
+    h ^= atom.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace lcdb

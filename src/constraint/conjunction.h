@@ -1,0 +1,77 @@
+#ifndef LCDB_CONSTRAINT_CONJUNCTION_H_
+#define LCDB_CONSTRAINT_CONJUNCTION_H_
+
+#include <string>
+#include <vector>
+
+#include "constraint/linear_atom.h"
+
+namespace lcdb {
+
+/// A conjunction of linear atoms, i.e. one disjunct of a DNF representation.
+/// Geometrically this is a (possibly relatively open) polyhedron: the
+/// intersection of open/closed halfspaces and hyperplanes — exactly the
+/// paper's generalized polyhedra (Section 3 allows open halfspaces).
+///
+/// Invariant: atoms are sorted and deduplicated; constant-true atoms are
+/// dropped. A conjunction containing a constant-false atom normalizes to the
+/// canonical false conjunction (single false atom). An empty atom list means
+/// TRUE (all of R^d).
+class Conjunction {
+ public:
+  explicit Conjunction(size_t num_vars) : num_vars_(num_vars) {}
+  Conjunction(size_t num_vars, std::vector<LinearAtom> atoms);
+
+  size_t num_vars() const { return num_vars_; }
+  const std::vector<LinearAtom>& atoms() const { return atoms_; }
+  bool IsTrue() const { return atoms_.empty(); }
+  /// Syntactically false (contains a constant-false atom). A conjunction can
+  /// also be semantically empty without being syntactically false; use
+  /// `IsFeasible` for the semantic test.
+  bool IsSyntacticallyFalse() const;
+
+  void AddAtom(const LinearAtom& atom);
+
+  bool Satisfies(const Vec& point) const;
+
+  /// LP view of the atoms.
+  std::vector<LinearConstraint> ToConstraints() const;
+
+  /// Exact feasibility via the LP oracle.
+  bool IsFeasible() const;
+
+  /// A point satisfying all atoms (empty if infeasible).
+  Vec FindWitness() const;
+
+  /// Atom-wise affine substitution (see LinearAtom::Substitute).
+  Conjunction Substitute(const std::vector<AffineExpr>& map,
+                         size_t target_arity) const;
+
+  /// Topological closure (strict atoms relaxed).
+  Conjunction ClosureConjunction() const;
+
+  /// True if this conjunction's atom set is a subset of `other`'s, which
+  /// means `other` implies this syntactically (used for subsumption).
+  bool SyntacticallySubsumes(const Conjunction& other) const;
+
+  /// Removes atoms implied by the remaining ones (one LP call per atom).
+  void RemoveRedundantAtoms();
+
+  std::string ToString(const std::vector<std::string>& var_names = {}) const;
+
+  bool operator==(const Conjunction& other) const {
+    return num_vars_ == other.num_vars_ && atoms_ == other.atoms_;
+  }
+  bool operator<(const Conjunction& other) const;
+  size_t Hash() const;
+
+ private:
+  void Normalize();
+
+  size_t num_vars_;
+  std::vector<LinearAtom> atoms_;
+};
+
+}  // namespace lcdb
+
+#endif  // LCDB_CONSTRAINT_CONJUNCTION_H_

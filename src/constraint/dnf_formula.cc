@@ -1,0 +1,187 @@
+#include "constraint/dnf_formula.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace lcdb {
+
+DnfFormula::DnfFormula(size_t num_vars, std::vector<Conjunction> disjuncts)
+    : num_vars_(num_vars), disjuncts_(std::move(disjuncts)) {
+  for (const Conjunction& c : disjuncts_) {
+    LCDB_CHECK(c.num_vars() == num_vars_);
+  }
+  std::erase_if(disjuncts_,
+                [](const Conjunction& c) { return c.IsSyntacticallyFalse(); });
+  for (const Conjunction& c : disjuncts_) {
+    if (c.IsTrue()) {
+      disjuncts_ = {Conjunction(num_vars_)};
+      break;
+    }
+  }
+}
+
+DnfFormula DnfFormula::True(size_t num_vars) {
+  return DnfFormula(num_vars, {Conjunction(num_vars)});
+}
+
+DnfFormula DnfFormula::False(size_t num_vars) { return DnfFormula(num_vars); }
+
+DnfFormula DnfFormula::FromAtom(const LinearAtom& atom) {
+  if (atom.IsConstant()) {
+    return atom.ConstantValue() ? True(atom.num_vars()) : False(atom.num_vars());
+  }
+  return DnfFormula(atom.num_vars(), {Conjunction(atom.num_vars(), {atom})});
+}
+
+bool DnfFormula::IsEmpty() const {
+  for (const Conjunction& c : disjuncts_) {
+    if (c.IsFeasible()) return false;
+  }
+  return true;
+}
+
+Vec DnfFormula::FindWitness() const {
+  for (const Conjunction& c : disjuncts_) {
+    Vec w = c.FindWitness();
+    if (!w.empty() || (c.IsTrue() && num_vars_ == 0)) return w;
+    if (c.IsTrue()) return Vec(num_vars_);
+  }
+  return {};
+}
+
+bool DnfFormula::Satisfies(const Vec& point) const {
+  for (const Conjunction& c : disjuncts_) {
+    if (c.Satisfies(point)) return true;
+  }
+  return false;
+}
+
+DnfFormula DnfFormula::Or(const DnfFormula& other) const {
+  LCDB_CHECK(num_vars_ == other.num_vars_);
+  std::vector<Conjunction> out = disjuncts_;
+  out.insert(out.end(), other.disjuncts_.begin(), other.disjuncts_.end());
+  DnfFormula result(num_vars_, std::move(out));
+  result.Simplify();
+  return result;
+}
+
+DnfFormula DnfFormula::And(const DnfFormula& other) const {
+  LCDB_CHECK(num_vars_ == other.num_vars_);
+  std::vector<Conjunction> out;
+  out.reserve(disjuncts_.size() * other.disjuncts_.size());
+  for (const Conjunction& a : disjuncts_) {
+    for (const Conjunction& b : other.disjuncts_) {
+      std::vector<LinearAtom> atoms = a.atoms();
+      atoms.insert(atoms.end(), b.atoms().begin(), b.atoms().end());
+      Conjunction merged(num_vars_, std::move(atoms));
+      if (!merged.IsSyntacticallyFalse()) out.push_back(std::move(merged));
+    }
+  }
+  DnfFormula result(num_vars_, std::move(out));
+  result.Simplify();
+  return result;
+}
+
+DnfFormula DnfFormula::Negate() const {
+  // NOT (C1 | ... | Cm) == AND_i NOT(Ci); NOT(Ci) is the disjunction of the
+  // negations of its atoms. Build the conjunction incrementally with pruning
+  // so intermediate formulas stay small.
+  DnfFormula acc = True(num_vars_);
+  for (const Conjunction& c : disjuncts_) {
+    if (c.IsTrue()) return False(num_vars_);
+    std::vector<Conjunction> negated;
+    for (const LinearAtom& atom : c.atoms()) {
+      for (const LinearAtom& neg : atom.Negate()) {
+        negated.emplace_back(num_vars_, std::vector<LinearAtom>{neg});
+      }
+    }
+    acc = acc.And(DnfFormula(num_vars_, std::move(negated)));
+    if (acc.IsSyntacticallyFalse()) return acc;
+  }
+  return acc;
+}
+
+DnfFormula DnfFormula::Substitute(const std::vector<AffineExpr>& map,
+                                  size_t target_arity) const {
+  std::vector<Conjunction> out;
+  out.reserve(disjuncts_.size());
+  bool top = false;
+  for (const Conjunction& c : disjuncts_) {
+    Conjunction sub = c.Substitute(map, target_arity);
+    if (sub.IsTrue()) top = true;
+    if (!sub.IsSyntacticallyFalse()) out.push_back(std::move(sub));
+  }
+  if (top) return True(target_arity);
+  return DnfFormula(target_arity, std::move(out));
+}
+
+void DnfFormula::Simplify() {
+  // Drop semantically empty disjuncts.
+  std::erase_if(disjuncts_,
+                [](const Conjunction& c) { return !c.IsFeasible(); });
+  // Sort + dedupe.
+  std::sort(disjuncts_.begin(), disjuncts_.end());
+  disjuncts_.erase(std::unique(disjuncts_.begin(), disjuncts_.end()),
+                   disjuncts_.end());
+  // Syntactic subsumption: disjunct B is redundant if some other disjunct's
+  // atoms are a subset of B's.
+  std::vector<bool> dead(disjuncts_.size(), false);
+  for (size_t i = 0; i < disjuncts_.size(); ++i) {
+    if (dead[i]) continue;
+    for (size_t j = 0; j < disjuncts_.size(); ++j) {
+      if (i == j || dead[j]) continue;
+      if (disjuncts_[i].SyntacticallySubsumes(disjuncts_[j])) dead[j] = true;
+    }
+  }
+  size_t keep = 0;
+  for (size_t i = 0; i < disjuncts_.size(); ++i) {
+    if (dead[i]) continue;
+    if (keep != i) disjuncts_[keep] = std::move(disjuncts_[i]);
+    ++keep;
+  }
+  disjuncts_.erase(disjuncts_.begin() + keep, disjuncts_.end());
+  if (disjuncts_.size() == 1 && disjuncts_[0].IsTrue()) return;
+  for (const Conjunction& c : disjuncts_) {
+    if (c.IsTrue()) {
+      disjuncts_ = {Conjunction(num_vars_)};
+      return;
+    }
+  }
+}
+
+void DnfFormula::SimplifyStrong() {
+  Simplify();
+  for (Conjunction& c : disjuncts_) c.RemoveRedundantAtoms();
+  Simplify();
+}
+
+size_t DnfFormula::AtomCount() const {
+  size_t n = 0;
+  for (const Conjunction& c : disjuncts_) n += c.atoms().size();
+  return n;
+}
+
+std::string DnfFormula::ToString(
+    const std::vector<std::string>& var_names) const {
+  if (disjuncts_.empty()) return "false";
+  if (IsSyntacticallyTrue()) return "true";
+  std::string out;
+  for (size_t i = 0; i < disjuncts_.size(); ++i) {
+    if (i > 0) out += " | ";
+    if (disjuncts_.size() > 1 && disjuncts_[i].atoms().size() > 1) {
+      out += "(" + disjuncts_[i].ToString(var_names) + ")";
+    } else {
+      out += disjuncts_[i].ToString(var_names);
+    }
+  }
+  return out;
+}
+
+size_t DnfFormula::SizeMeasure() const {
+  size_t n = 1;  // the formula itself
+  for (const Conjunction& c : disjuncts_) n += 1 + c.atoms().size();
+  return n;
+}
+
+}  // namespace lcdb

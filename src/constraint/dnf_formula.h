@@ -1,0 +1,83 @@
+#ifndef LCDB_CONSTRAINT_DNF_FORMULA_H_
+#define LCDB_CONSTRAINT_DNF_FORMULA_H_
+
+#include <string>
+#include <vector>
+
+#include "constraint/conjunction.h"
+
+namespace lcdb {
+
+/// A quantifier-free formula in disjunctive normal form over `num_vars` real
+/// variables — the paper's representation format for database relations and
+/// for every query answer (Section 2 requires representations in DNF and
+/// query languages to be *closed*, i.e. to output such formulas again).
+///
+/// Semantics: the union of the disjunct polyhedra; an empty disjunct list is
+/// FALSE, a disjunct with no atoms is TRUE.
+class DnfFormula {
+ public:
+  explicit DnfFormula(size_t num_vars) : num_vars_(num_vars) {}
+  DnfFormula(size_t num_vars, std::vector<Conjunction> disjuncts);
+
+  static DnfFormula True(size_t num_vars);
+  static DnfFormula False(size_t num_vars);
+  /// The formula with a single atom.
+  static DnfFormula FromAtom(const LinearAtom& atom);
+
+  size_t num_vars() const { return num_vars_; }
+  const std::vector<Conjunction>& disjuncts() const { return disjuncts_; }
+
+  bool IsSyntacticallyFalse() const { return disjuncts_.empty(); }
+  bool IsSyntacticallyTrue() const {
+    return disjuncts_.size() == 1 && disjuncts_[0].IsTrue();
+  }
+
+  /// Exact semantic emptiness via the LP oracle.
+  bool IsEmpty() const;
+  /// A point satisfying the formula (empty vector if none).
+  Vec FindWitness() const;
+
+  bool Satisfies(const Vec& point) const;
+
+  /// Disjunction (concatenates and light-normalizes).
+  DnfFormula Or(const DnfFormula& other) const;
+  /// Conjunction (pairwise products of disjuncts, infeasible ones pruned).
+  DnfFormula And(const DnfFormula& other) const;
+  /// Negation via De Morgan, distributing back into DNF with pruning. This
+  /// is the expensive operation; the simplifier keeps the result small.
+  DnfFormula Negate() const;
+
+  /// Atom-wise affine substitution x_i := map[i] into a `target_arity`-ary
+  /// formula.
+  DnfFormula Substitute(const std::vector<AffineExpr>& map,
+                        size_t target_arity) const;
+
+  /// Drops infeasible disjuncts (LP per disjunct), deduplicates, and removes
+  /// syntactically subsumed disjuncts.
+  void Simplify();
+  /// Additionally removes per-disjunct redundant atoms (more LP calls).
+  void SimplifyStrong();
+
+  /// Total number of atoms across disjuncts; the paper's notion of the size
+  /// of a representation (Section 2) up to a constant factor.
+  size_t AtomCount() const;
+
+  std::string ToString(const std::vector<std::string>& var_names = {}) const;
+
+  /// Number of boolean constants, atoms and connectives — the database size
+  /// measure |B| used in the complexity statements.
+  size_t SizeMeasure() const;
+
+  bool operator==(const DnfFormula& other) const {
+    return num_vars_ == other.num_vars_ && disjuncts_ == other.disjuncts_;
+  }
+
+ private:
+  size_t num_vars_;
+  std::vector<Conjunction> disjuncts_;
+};
+
+}  // namespace lcdb
+
+#endif  // LCDB_CONSTRAINT_DNF_FORMULA_H_

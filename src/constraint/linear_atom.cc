@@ -1,0 +1,223 @@
+#include "constraint/linear_atom.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace lcdb {
+
+AffineExpr AffineExpr::Variable(size_t num_vars, size_t index) {
+  LCDB_CHECK(index < num_vars);
+  AffineExpr out;
+  out.coeffs.assign(num_vars, Rational(0));
+  out.coeffs[index] = Rational(1);
+  return out;
+}
+
+AffineExpr AffineExpr::Constant(size_t num_vars, Rational k) {
+  AffineExpr out;
+  out.coeffs.assign(num_vars, Rational(0));
+  out.constant = std::move(k);
+  return out;
+}
+
+Rational AffineExpr::EvaluateAt(const Vec& point) const {
+  return Dot(coeffs, point) + constant;
+}
+
+LinearAtom::LinearAtom(const Vec& coeffs, RelOp rel, const Rational& rhs) {
+  rel_ = rel;
+  Vec c = coeffs;
+  Rational b = rhs;
+  // Orient greater-relations to less-relations by negating the row.
+  if (rel_ == RelOp::kGt || rel_ == RelOp::kGe) {
+    for (Rational& x : c) x = -x;
+    b = -b;
+    rel_ = (rel_ == RelOp::kGt) ? RelOp::kLt : RelOp::kLe;
+  }
+  Canonicalize(c, b);
+}
+
+void LinearAtom::Canonicalize(const Vec& coeffs, const Rational& rhs) {
+  // Scale by the lcm of denominators to obtain integers.
+  BigInt lcm(1);
+  auto fold = [&lcm](const Rational& r) {
+    BigInt g = BigInt::Gcd(lcm, r.den());
+    lcm = (lcm / g) * r.den();
+  };
+  for (const Rational& r : coeffs) fold(r);
+  fold(rhs);
+  std::vector<BigInt> ints;
+  ints.reserve(coeffs.size());
+  const Rational scale(lcm);
+  for (const Rational& r : coeffs) {
+    Rational v = r * scale;
+    LCDB_CHECK(v.IsInteger());
+    ints.push_back(v.num());
+  }
+  Rational scaled_rhs = rhs * scale;
+  LCDB_CHECK(scaled_rhs.IsInteger());
+  BigInt b = scaled_rhs.num();
+
+  // Divide by the gcd of all entries.
+  BigInt g;
+  for (const BigInt& v : ints) g = BigInt::Gcd(g, v);
+  g = BigInt::Gcd(g, b);
+  if (!g.IsZero() && !g.IsOne()) {
+    for (BigInt& v : ints) v = v / g;
+    b = b / g;
+  }
+
+  // Equalities: positive leading coefficient.
+  if (rel_ == RelOp::kEq) {
+    for (const BigInt& v : ints) {
+      if (v.IsZero()) continue;
+      if (v.IsNegative()) {
+        for (BigInt& w : ints) w = -w;
+        b = -b;
+      }
+      break;
+    }
+  }
+  coeffs_ = std::move(ints);
+  rhs_ = std::move(b);
+}
+
+bool LinearAtom::IsConstant() const {
+  for (const BigInt& v : coeffs_) {
+    if (!v.IsZero()) return false;
+  }
+  return true;
+}
+
+bool LinearAtom::ConstantValue() const {
+  LCDB_CHECK(IsConstant());
+  // The left-hand side is 0, so compare 0 REL rhs.
+  return EvalRelOp(-rhs_.Sign(), rel_);
+}
+
+bool LinearAtom::Satisfies(const Vec& point) const {
+  LCDB_CHECK(point.size() == coeffs_.size());
+  Rational lhs;
+  for (size_t i = 0; i < coeffs_.size(); ++i) {
+    if (coeffs_[i].IsZero()) continue;
+    lhs += Rational(coeffs_[i]) * point[i];
+  }
+  const Rational b(rhs_);
+  int cmp = lhs < b ? -1 : (b < lhs ? 1 : 0);
+  return EvalRelOp(cmp, rel_);
+}
+
+std::vector<LinearAtom> LinearAtom::Negate() const {
+  Vec c(coeffs_.size());
+  for (size_t i = 0; i < coeffs_.size(); ++i) c[i] = Rational(coeffs_[i]);
+  const Rational b(rhs_);
+  switch (rel_) {
+    case RelOp::kLt:
+      return {LinearAtom(c, RelOp::kGe, b)};
+    case RelOp::kLe:
+      return {LinearAtom(c, RelOp::kGt, b)};
+    case RelOp::kEq:
+      return {LinearAtom(c, RelOp::kLt, b), LinearAtom(c, RelOp::kGt, b)};
+    case RelOp::kGe:
+      return {LinearAtom(c, RelOp::kLt, b)};
+    case RelOp::kGt:
+      return {LinearAtom(c, RelOp::kLe, b)};
+  }
+  LCDB_CHECK(false);
+  return {};
+}
+
+LinearAtom LinearAtom::ClosureAtom() const {
+  LinearAtom out = *this;
+  out.rel_ = Closure(rel_);
+  return out;
+}
+
+LinearAtom LinearAtom::Substitute(const std::vector<AffineExpr>& map,
+                                  size_t target_arity) const {
+  LCDB_CHECK(map.size() == coeffs_.size());
+  Vec new_coeffs(target_arity);
+  Rational new_rhs(rhs_);
+  for (size_t i = 0; i < coeffs_.size(); ++i) {
+    if (coeffs_[i].IsZero()) continue;
+    const Rational factor{coeffs_[i]};
+    LCDB_CHECK(map[i].coeffs.size() == target_arity);
+    for (size_t j = 0; j < target_arity; ++j) {
+      new_coeffs[j] += factor * map[i].coeffs[j];
+    }
+    new_rhs -= factor * map[i].constant;
+  }
+  return LinearAtom(new_coeffs, rel_, new_rhs);
+}
+
+LinearConstraint LinearAtom::ToLinearConstraint() const {
+  Vec c(coeffs_.size());
+  for (size_t i = 0; i < coeffs_.size(); ++i) c[i] = Rational(coeffs_[i]);
+  return LinearConstraint(std::move(c), rel_, Rational(rhs_));
+}
+
+std::string LinearAtom::ToString(
+    const std::vector<std::string>& var_names) const {
+  std::string out;
+  bool first = true;
+  for (size_t i = 0; i < coeffs_.size(); ++i) {
+    if (coeffs_[i].IsZero()) continue;
+    const BigInt& c = coeffs_[i];
+    std::string name = i < var_names.size()
+                           ? var_names[i]
+                           : "x" + std::to_string(i);
+    if (first) {
+      if (c == BigInt(1)) {
+        out += name;
+      } else if (c == BigInt(-1)) {
+        out += "-" + name;
+      } else {
+        out += c.ToString() + name;
+      }
+      first = false;
+    } else {
+      if (c.IsNegative()) {
+        out += " - ";
+        BigInt a = -c;
+        if (!a.IsOne()) out += a.ToString();
+      } else {
+        out += " + ";
+        if (!c.IsOne()) out += c.ToString();
+      }
+      out += name;
+    }
+  }
+  if (first) out += "0";
+  out += " ";
+  out += RelOpToString(rel_);
+  out += " ";
+  out += rhs_.ToString();
+  return out;
+}
+
+bool LinearAtom::operator==(const LinearAtom& other) const {
+  return rel_ == other.rel_ && rhs_ == other.rhs_ && coeffs_ == other.coeffs_;
+}
+
+bool LinearAtom::operator<(const LinearAtom& other) const {
+  if (rel_ != other.rel_) return static_cast<int>(rel_) < static_cast<int>(other.rel_);
+  if (coeffs_.size() != other.coeffs_.size()) {
+    return coeffs_.size() < other.coeffs_.size();
+  }
+  for (size_t i = 0; i < coeffs_.size(); ++i) {
+    if (coeffs_[i] != other.coeffs_[i]) return coeffs_[i] < other.coeffs_[i];
+  }
+  return rhs_ < other.rhs_;
+}
+
+size_t LinearAtom::Hash() const {
+  size_t h = static_cast<size_t>(rel_) * 0x9e3779b97f4a7c15ull;
+  for (const BigInt& c : coeffs_) {
+    h ^= c.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  h ^= rhs_.Hash() + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace lcdb

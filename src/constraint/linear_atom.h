@@ -1,0 +1,97 @@
+#ifndef LCDB_CONSTRAINT_LINEAR_ATOM_H_
+#define LCDB_CONSTRAINT_LINEAR_ATOM_H_
+
+#include <string>
+#include <vector>
+
+#include "arith/bigint.h"
+#include "linalg/matrix.h"
+#include "lp/simplex.h"
+#include "util/relop.h"
+
+namespace lcdb {
+
+/// An affine expression  coeffs . y + constant  over a variable space of
+/// fixed arity. Used to substitute terms for variables in atoms (e.g. when
+/// evaluating S(t1, ..., td) for compound terms t_i).
+struct AffineExpr {
+  Vec coeffs;
+  Rational constant;
+
+  AffineExpr() = default;
+  AffineExpr(Vec c, Rational k) : coeffs(std::move(c)), constant(std::move(k)) {}
+
+  /// The expression `y_index` over `num_vars` variables.
+  static AffineExpr Variable(size_t num_vars, size_t index);
+  /// The constant expression `k` over `num_vars` variables.
+  static AffineExpr Constant(size_t num_vars, Rational k);
+
+  Rational EvaluateAt(const Vec& point) const;
+};
+
+/// A canonical linear atom  sum coeffs_i x_i  REL  rhs  with *integer*
+/// (BigInt) coefficients — exactly the atoms the paper's representation
+/// formulas are built from (Section 2 fixes integer coefficients).
+///
+/// Canonical form:
+///  - coefficients and rhs are integers with gcd 1 (or the atom is the
+///    trivial `0 REL rhs` constant atom),
+///  - the relation is one of <, <=, = (greater relations are flipped by
+///    negating the row),
+///  - equalities have a positive leading (first nonzero) coefficient.
+/// Canonicalization makes syntactic equality meaningful, which DNF
+/// deduplication and hyperplane identification rely on.
+class LinearAtom {
+ public:
+  /// Builds the canonical atom for `coeffs . x REL rhs` with rational input.
+  LinearAtom(const Vec& coeffs, RelOp rel, const Rational& rhs);
+
+  size_t num_vars() const { return coeffs_.size(); }
+  const std::vector<BigInt>& coeffs() const { return coeffs_; }
+  const BigInt& rhs() const { return rhs_; }
+  RelOp rel() const { return rel_; }
+
+  /// True if all coefficients are zero, i.e. the atom is constantly true or
+  /// false.
+  bool IsConstant() const;
+  /// For constant atoms: the truth value.
+  bool ConstantValue() const;
+
+  bool Satisfies(const Vec& point) const;
+
+  /// The negation, which is again a single atom (e.g. !(a.x <= b) is
+  /// a.x > b, canonicalized to -a.x < -b) — except for equalities which
+  /// split into two strict atoms.
+  std::vector<LinearAtom> Negate() const;
+
+  /// The atom with strictness relaxed (topological closure).
+  LinearAtom ClosureAtom() const;
+
+  /// Rewrites the atom under the affine substitution x_i := map[i], yielding
+  /// an atom over the target variable space of `target_arity` variables.
+  LinearAtom Substitute(const std::vector<AffineExpr>& map,
+                        size_t target_arity) const;
+
+  /// LP-facing view (rational coefficients).
+  LinearConstraint ToLinearConstraint() const;
+
+  /// Renders e.g. "2x - 3y <= 5" using the given variable names (or x0, x1,
+  /// ... when names are not provided).
+  std::string ToString(const std::vector<std::string>& var_names = {}) const;
+
+  bool operator==(const LinearAtom& other) const;
+  bool operator<(const LinearAtom& other) const;  ///< arbitrary total order
+  size_t Hash() const;
+
+ private:
+  LinearAtom() = default;
+  void Canonicalize(const Vec& coeffs, const Rational& rhs);
+
+  std::vector<BigInt> coeffs_;
+  RelOp rel_ = RelOp::kLe;
+  BigInt rhs_;
+};
+
+}  // namespace lcdb
+
+#endif  // LCDB_CONSTRAINT_LINEAR_ATOM_H_

@@ -1,0 +1,34 @@
+#ifndef LCDB_CONSTRAINT_PARSER_H_
+#define LCDB_CONSTRAINT_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "constraint/dnf_formula.h"
+#include "util/status.h"
+
+namespace lcdb {
+
+/// Parses a quantifier-free boolean combination of linear (in)equalities
+/// over the named variables into DNF.
+///
+/// Grammar (usual precedence, `&` over `|`):
+///   formula := conj ('|' conj)* ; conj := unary ('&' unary)*
+///   unary   := '!' unary | '(' formula ')' | atom
+///   atom    := linexpr (< | <= | = | >= | > | !=) linexpr
+///   linexpr := ['-'] term (('+'|'-') term)*
+///   term    := rational ['*' var | var] | var      e.g. "2x", "3/2*y", "5"
+///
+/// `!=` desugars to a disjunction of `<` and `>`; `!` is compiled away by
+/// DNF negation, matching the paper's negation-free representations.
+Result<DnfFormula> ParseDnf(std::string_view text,
+                            const std::vector<std::string>& var_names);
+
+/// Parses a single linear atom (no boolean connectives).
+Result<LinearAtom> ParseAtom(std::string_view text,
+                             const std::vector<std::string>& var_names);
+
+}  // namespace lcdb
+
+#endif  // LCDB_CONSTRAINT_PARSER_H_

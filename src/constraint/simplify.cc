@@ -1,0 +1,17 @@
+#include "constraint/simplify.h"
+
+namespace lcdb {
+
+DnfFormula Difference(const DnfFormula& lhs, const DnfFormula& rhs) {
+  return lhs.And(rhs.Negate());
+}
+
+bool Implies(const DnfFormula& lhs, const DnfFormula& rhs) {
+  return Difference(lhs, rhs).IsEmpty();
+}
+
+bool AreEquivalent(const DnfFormula& lhs, const DnfFormula& rhs) {
+  return Implies(lhs, rhs) && Implies(rhs, lhs);
+}
+
+}  // namespace lcdb

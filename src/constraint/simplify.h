@@ -1,0 +1,23 @@
+#ifndef LCDB_CONSTRAINT_SIMPLIFY_H_
+#define LCDB_CONSTRAINT_SIMPLIFY_H_
+
+#include "constraint/dnf_formula.h"
+
+namespace lcdb {
+
+/// Exact semantic implication: every point of `lhs` satisfies `rhs`.
+/// Decided as emptiness of lhs AND NOT(rhs) via the LP oracle.
+bool Implies(const DnfFormula& lhs, const DnfFormula& rhs);
+
+/// Exact semantic equivalence of two quantifier-free formulas. Queries are
+/// *abstract* (Section 2): different representations of the same relation
+/// must be treated identically, and this predicate is how lcdb (and its
+/// tests) compare representations semantically.
+bool AreEquivalent(const DnfFormula& lhs, const DnfFormula& rhs);
+
+/// The set difference lhs AND NOT(rhs) as a DNF formula.
+DnfFormula Difference(const DnfFormula& lhs, const DnfFormula& rhs);
+
+}  // namespace lcdb
+
+#endif  // LCDB_CONSTRAINT_SIMPLIFY_H_

@@ -1,0 +1,351 @@
+#include "core/ast.h"
+
+#include "util/status.h"
+
+namespace lcdb {
+
+ElementTerm ElementTerm::Variable(std::string name) {
+  ElementTerm t;
+  t.coeffs.emplace(std::move(name), Rational(1));
+  return t;
+}
+
+ElementTerm ElementTerm::Constant(Rational value) {
+  ElementTerm t;
+  t.constant = std::move(value);
+  return t;
+}
+
+ElementTerm ElementTerm::Plus(const ElementTerm& other) const {
+  ElementTerm t = *this;
+  for (const auto& [name, coeff] : other.coeffs) {
+    auto [it, inserted] = t.coeffs.emplace(name, coeff);
+    if (!inserted) it->second += coeff;
+    if (it->second.IsZero()) t.coeffs.erase(it);
+  }
+  t.constant += other.constant;
+  return t;
+}
+
+ElementTerm ElementTerm::Minus(const ElementTerm& other) const {
+  return Plus(other.Scaled(Rational(-1)));
+}
+
+ElementTerm ElementTerm::Scaled(const Rational& factor) const {
+  ElementTerm t;
+  if (factor.IsZero()) return t;
+  for (const auto& [name, coeff] : coeffs) {
+    t.coeffs.emplace(name, coeff * factor);
+  }
+  t.constant = constant * factor;
+  return t;
+}
+
+std::string ElementTerm::ToString() const {
+  std::string out;
+  for (const auto& [name, coeff] : coeffs) {
+    if (!out.empty()) out += " + ";
+    if (coeff == Rational(1)) {
+      out += name;
+    } else if (coeff == Rational(-1)) {
+      out += "-" + name;
+    } else {
+      out += coeff.ToString() + name;
+    }
+  }
+  if (out.empty()) return constant.ToString();
+  if (!constant.IsZero()) out += " + " + constant.ToString();
+  return out;
+}
+
+namespace {
+
+FormulaPtr NewNode(NodeKind kind) {
+  auto node = std::make_unique<FormulaNode>();
+  node->kind = kind;
+  return node;
+}
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += names[i];
+  }
+  return out;
+}
+
+std::string JoinTerms(const std::vector<ElementTerm>& terms) {
+  std::string out;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += terms[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace
+
+FormulaPtr MakeTrue() { return NewNode(NodeKind::kTrue); }
+FormulaPtr MakeFalse() { return NewNode(NodeKind::kFalse); }
+
+FormulaPtr MakeCompare(ElementTerm lhs, RelOp rel, ElementTerm rhs) {
+  auto node = NewNode(NodeKind::kCompare);
+  node->lhs = std::move(lhs);
+  node->rhs = std::move(rhs);
+  node->rel = rel;
+  return node;
+}
+
+FormulaPtr MakeRelationAtom(std::string relation,
+                            std::vector<ElementTerm> terms) {
+  auto node = NewNode(NodeKind::kRelationAtom);
+  node->relation_name = std::move(relation);
+  node->terms = std::move(terms);
+  return node;
+}
+
+FormulaPtr MakeInRegion(std::vector<ElementTerm> terms, std::string region) {
+  auto node = NewNode(NodeKind::kInRegion);
+  node->terms = std::move(terms);
+  node->region_args = {std::move(region)};
+  return node;
+}
+
+FormulaPtr MakeAdjacent(std::string r1, std::string r2) {
+  auto node = NewNode(NodeKind::kAdjacent);
+  node->region_args = {std::move(r1), std::move(r2)};
+  return node;
+}
+
+FormulaPtr MakeRegionEq(std::string r1, std::string r2) {
+  auto node = NewNode(NodeKind::kRegionEq);
+  node->region_args = {std::move(r1), std::move(r2)};
+  return node;
+}
+
+FormulaPtr MakeSubsetS(std::string region) {
+  auto node = NewNode(NodeKind::kSubsetS);
+  node->region_args = {std::move(region)};
+  return node;
+}
+
+FormulaPtr MakeIntersectsS(std::string region) {
+  auto node = NewNode(NodeKind::kIntersectsS);
+  node->region_args = {std::move(region)};
+  return node;
+}
+
+FormulaPtr MakeDimAtom(std::string region, int dim) {
+  auto node = NewNode(NodeKind::kDimAtom);
+  node->region_args = {std::move(region)};
+  node->dim_value = dim;
+  return node;
+}
+
+FormulaPtr MakeBoundedAtom(std::string region) {
+  auto node = NewNode(NodeKind::kBoundedAtom);
+  node->region_args = {std::move(region)};
+  return node;
+}
+
+FormulaPtr MakeSetAtom(std::string set_var, std::vector<std::string> regions) {
+  auto node = NewNode(NodeKind::kSetAtom);
+  node->set_var = std::move(set_var);
+  node->region_args = std::move(regions);
+  return node;
+}
+
+FormulaPtr MakeNot(FormulaPtr child) {
+  auto node = NewNode(NodeKind::kNot);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+namespace {
+FormulaPtr MakeBinary(NodeKind kind, FormulaPtr a, FormulaPtr b) {
+  auto node = NewNode(kind);
+  node->children.push_back(std::move(a));
+  node->children.push_back(std::move(b));
+  return node;
+}
+
+FormulaPtr MakeQuantifier(NodeKind kind, std::string var, FormulaPtr body) {
+  auto node = NewNode(kind);
+  node->bound_vars = {std::move(var)};
+  node->children.push_back(std::move(body));
+  return node;
+}
+}  // namespace
+
+FormulaPtr MakeAnd(FormulaPtr a, FormulaPtr b) {
+  return MakeBinary(NodeKind::kAnd, std::move(a), std::move(b));
+}
+FormulaPtr MakeOr(FormulaPtr a, FormulaPtr b) {
+  return MakeBinary(NodeKind::kOr, std::move(a), std::move(b));
+}
+FormulaPtr MakeImplies(FormulaPtr a, FormulaPtr b) {
+  return MakeBinary(NodeKind::kImplies, std::move(a), std::move(b));
+}
+FormulaPtr MakeIff(FormulaPtr a, FormulaPtr b) {
+  return MakeBinary(NodeKind::kIff, std::move(a), std::move(b));
+}
+
+FormulaPtr MakeExistsElem(std::string var, FormulaPtr body) {
+  return MakeQuantifier(NodeKind::kExistsElem, std::move(var), std::move(body));
+}
+FormulaPtr MakeForallElem(std::string var, FormulaPtr body) {
+  return MakeQuantifier(NodeKind::kForallElem, std::move(var), std::move(body));
+}
+FormulaPtr MakeExistsRegion(std::string var, FormulaPtr body) {
+  return MakeQuantifier(NodeKind::kExistsRegion, std::move(var),
+                        std::move(body));
+}
+FormulaPtr MakeForallRegion(std::string var, FormulaPtr body) {
+  return MakeQuantifier(NodeKind::kForallRegion, std::move(var),
+                        std::move(body));
+}
+
+FormulaPtr MakeFixpoint(NodeKind op, std::string set_var,
+                        std::vector<std::string> bound_regions,
+                        FormulaPtr body, std::vector<std::string> args) {
+  LCDB_CHECK(op == NodeKind::kLfp || op == NodeKind::kIfp ||
+             op == NodeKind::kPfp);
+  auto node = NewNode(op);
+  node->set_var = std::move(set_var);
+  node->bound_vars = std::move(bound_regions);
+  node->region_args = std::move(args);
+  node->children.push_back(std::move(body));
+  return node;
+}
+
+FormulaPtr MakeTransitiveClosure(NodeKind op,
+                                 std::vector<std::string> bound_regions,
+                                 FormulaPtr body,
+                                 std::vector<std::string> args,
+                                 std::vector<std::string> args2) {
+  LCDB_CHECK(op == NodeKind::kTc || op == NodeKind::kDtc);
+  auto node = NewNode(op);
+  node->bound_vars = std::move(bound_regions);
+  node->region_args = std::move(args);
+  node->region_args2 = std::move(args2);
+  node->children.push_back(std::move(body));
+  return node;
+}
+
+FormulaPtr MakeRbit(std::string elem_var, FormulaPtr body, std::string r_num,
+                    std::string r_den) {
+  auto node = NewNode(NodeKind::kRbit);
+  node->bound_vars = {std::move(elem_var)};
+  node->region_args = {std::move(r_num), std::move(r_den)};
+  node->children.push_back(std::move(body));
+  return node;
+}
+
+FormulaPtr MakeHull(std::vector<std::string> elem_vars, FormulaPtr body,
+                    std::vector<ElementTerm> terms) {
+  auto node = NewNode(NodeKind::kHull);
+  node->bound_vars = std::move(elem_vars);
+  node->terms = std::move(terms);
+  node->children.push_back(std::move(body));
+  return node;
+}
+
+FormulaPtr CloneFormula(const FormulaNode& node) {
+  auto copy = std::make_unique<FormulaNode>();
+  copy->kind = node.kind;
+  copy->lhs = node.lhs;
+  copy->rhs = node.rhs;
+  copy->rel = node.rel;
+  copy->terms = node.terms;
+  copy->relation_name = node.relation_name;
+  copy->region_args = node.region_args;
+  copy->region_args2 = node.region_args2;
+  copy->dim_value = node.dim_value;
+  copy->set_var = node.set_var;
+  copy->bound_vars = node.bound_vars;
+  for (const auto& child : node.children) {
+    copy->children.push_back(CloneFormula(*child));
+  }
+  return copy;
+}
+
+std::string FormulaNode::ToString() const {
+  switch (kind) {
+    case NodeKind::kTrue:
+      return "true";
+    case NodeKind::kFalse:
+      return "false";
+    case NodeKind::kCompare:
+      return lhs.ToString() + " " + RelOpToString(rel) + " " + rhs.ToString();
+    case NodeKind::kRelationAtom:
+      return relation_name + "(" + JoinTerms(terms) + ")";
+    case NodeKind::kInRegion:
+      return "in(" + JoinTerms(terms) + "; " + region_args[0] + ")";
+    case NodeKind::kAdjacent:
+      return "adj(" + region_args[0] + ", " + region_args[1] + ")";
+    case NodeKind::kRegionEq:
+      return region_args[0] + " = " + region_args[1];
+    case NodeKind::kSubsetS:
+      return "subset(" + region_args[0] + ")";
+    case NodeKind::kIntersectsS:
+      return "meets(" + region_args[0] + ")";
+    case NodeKind::kDimAtom:
+      return "dim(" + region_args[0] + ") = " + std::to_string(dim_value);
+    case NodeKind::kBoundedAtom:
+      return "bounded(" + region_args[0] + ")";
+    case NodeKind::kSetAtom:
+      return set_var + "(" + JoinNames(region_args) + ")";
+    case NodeKind::kNot:
+      return "!(" + children[0]->ToString() + ")";
+    case NodeKind::kAnd:
+      return "(" + children[0]->ToString() + " & " + children[1]->ToString() +
+             ")";
+    case NodeKind::kOr:
+      return "(" + children[0]->ToString() + " | " + children[1]->ToString() +
+             ")";
+    case NodeKind::kImplies:
+      return "(" + children[0]->ToString() + " -> " +
+             children[1]->ToString() + ")";
+    case NodeKind::kIff:
+      return "(" + children[0]->ToString() + " <-> " +
+             children[1]->ToString() + ")";
+    case NodeKind::kExistsElem:
+    case NodeKind::kExistsRegion:
+      return "exists " + bound_vars[0] + " (" + children[0]->ToString() + ")";
+    case NodeKind::kForallElem:
+    case NodeKind::kForallRegion:
+      return "forall " + bound_vars[0] + " (" + children[0]->ToString() + ")";
+    case NodeKind::kLfp:
+    case NodeKind::kIfp:
+    case NodeKind::kPfp: {
+      const char* op = kind == NodeKind::kLfp
+                           ? "lfp"
+                           : (kind == NodeKind::kIfp ? "ifp" : "pfp");
+      return std::string("[") + op + " " + set_var + " " +
+             JoinNames(bound_vars) + " : " + children[0]->ToString() + "](" +
+             JoinNames(region_args) + ")";
+    }
+    case NodeKind::kTc:
+    case NodeKind::kDtc: {
+      const char* op = kind == NodeKind::kTc ? "tc" : "dtc";
+      const size_t m = bound_vars.size() / 2;
+      std::vector<std::string> first(bound_vars.begin(),
+                                     bound_vars.begin() + m);
+      std::vector<std::string> second(bound_vars.begin() + m,
+                                      bound_vars.end());
+      return std::string("[") + op + " " + JoinNames(first) + "; " +
+             JoinNames(second) + " : " + children[0]->ToString() + "](" +
+             JoinNames(region_args) + "; " + JoinNames(region_args2) + ")";
+    }
+    case NodeKind::kRbit:
+      return "[rbit " + bound_vars[0] + " : " + children[0]->ToString() +
+             "](" + region_args[0] + ", " + region_args[1] + ")";
+    case NodeKind::kHull:
+      return "[hull " + JoinNames(bound_vars) + " : " +
+             children[0]->ToString() + "](" + JoinTerms(terms) + ")";
+  }
+  return "?";
+}
+
+}  // namespace lcdb

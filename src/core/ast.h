@@ -1,0 +1,160 @@
+#ifndef LCDB_CORE_AST_H_
+#define LCDB_CORE_AST_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arith/rational.h"
+#include "util/relop.h"
+
+namespace lcdb {
+
+/// An element-sort term: an affine expression over element variables,
+/// sum coeff_v * v + constant. Terms of FO(R, <, +) are exactly these
+/// (addition and rational scalar multiples; no multiplication of variables —
+/// Section 4's Figure 5 shows why more would be unsafe).
+struct ElementTerm {
+  std::map<std::string, Rational> coeffs;
+  Rational constant;
+
+  static ElementTerm Variable(std::string name);
+  static ElementTerm Constant(Rational value);
+
+  ElementTerm Plus(const ElementTerm& other) const;
+  ElementTerm Minus(const ElementTerm& other) const;
+  ElementTerm Scaled(const Rational& factor) const;
+
+  std::string ToString() const;
+};
+
+/// Node kinds of the two-sorted query languages RegFO, RegLFP, RegIFP,
+/// RegPFP, RegTC, RegDTC (Definitions 4.2, 5.1, 7.2).
+enum class NodeKind {
+  // Atoms.
+  kTrue,
+  kFalse,
+  kCompare,       ///< term REL term                    (element sort)
+  kRelationAtom,  ///< S(t1, ..., td)
+  kInRegion,      ///< in(t1, ..., td; R)   — the ∈ relation of Def. 4.1
+  kAdjacent,      ///< adj(R1, R2)
+  kRegionEq,      ///< R1 = R2
+  kSubsetS,       ///< subset(R): R ⊆ S (derived, RegFO-definable)
+  kIntersectsS,   ///< meets(R): R ∩ S ≠ ∅ (derived, RegFO-definable)
+  kDimAtom,       ///< dim(R) = k (first-order definable by [21; 22; 2])
+  kBoundedAtom,   ///< bounded(R) (first-order definable, proof of Thm 6.4)
+  kSetAtom,       ///< M(R1, ..., Rk)       (Definition 5.1, first rule)
+  // Connectives.
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kIff,
+  // Quantifiers (two sorts, Definition 4.2).
+  kExistsElem,
+  kForallElem,
+  kExistsRegion,
+  kForallRegion,
+  // Fixed-point operators over the region sort (Definition 5.1).
+  kLfp,
+  kIfp,
+  kPfp,
+  // Transitive closure operators (Definition 7.2).
+  kTc,
+  kDtc,
+  // The rBIT operator (Definition 5.1).
+  kRbit,
+  // The convex-closure operator (the paper's Section 8 extension): the
+  // applied term tuple lies in the closed convex hull of the set the body
+  // defines over the bound element variables.
+  kHull,
+};
+
+/// One AST node. A single struct with kind-dependent fields keeps the tree
+/// uniform for the evaluator and the type checker; factory functions below
+/// construct each kind with exactly its fields set.
+struct FormulaNode {
+  NodeKind kind = NodeKind::kTrue;
+
+  // kCompare.
+  ElementTerm lhs, rhs;
+  RelOp rel = RelOp::kEq;
+
+  // kRelationAtom / kInRegion: argument terms.
+  std::vector<ElementTerm> terms;
+  std::string relation_name;  // kRelationAtom
+
+  // Region variables: the single region of kInRegion/kSubsetS/kIntersectsS/
+  // kDimAtom/kBoundedAtom, or the pair of kAdjacent/kRegionEq, or the
+  // applied arguments of kSetAtom/kLfp/kIfp/kPfp, or the first applied
+  // tuple of kTc/kDtc.
+  std::vector<std::string> region_args;
+  // Second applied tuple of kTc/kDtc.
+  std::vector<std::string> region_args2;
+
+  // kDimAtom.
+  int dim_value = 0;
+
+  // kSetAtom / fixed points: the set variable M.
+  std::string set_var;
+
+  // Bound variables: the single variable of element/region quantifiers and
+  // kRbit; the tuple X1..Xk of fixed points; the 2m tuple (X̄ then X̄') of
+  // kTc/kDtc.
+  std::vector<std::string> bound_vars;
+
+  // Subformulas (1 for unary nodes/quantifiers/fixed points, 2 for binary).
+  std::vector<std::unique_ptr<FormulaNode>> children;
+
+  std::string ToString() const;
+};
+
+using FormulaPtr = std::unique_ptr<FormulaNode>;
+
+// ---- Factory functions (the public construction API). ----
+
+FormulaPtr MakeTrue();
+FormulaPtr MakeFalse();
+FormulaPtr MakeCompare(ElementTerm lhs, RelOp rel, ElementTerm rhs);
+FormulaPtr MakeRelationAtom(std::string relation, std::vector<ElementTerm> terms);
+FormulaPtr MakeInRegion(std::vector<ElementTerm> terms, std::string region);
+FormulaPtr MakeAdjacent(std::string r1, std::string r2);
+FormulaPtr MakeRegionEq(std::string r1, std::string r2);
+FormulaPtr MakeSubsetS(std::string region);
+FormulaPtr MakeIntersectsS(std::string region);
+FormulaPtr MakeDimAtom(std::string region, int dim);
+FormulaPtr MakeBoundedAtom(std::string region);
+FormulaPtr MakeSetAtom(std::string set_var, std::vector<std::string> regions);
+FormulaPtr MakeNot(FormulaPtr child);
+FormulaPtr MakeAnd(FormulaPtr a, FormulaPtr b);
+FormulaPtr MakeOr(FormulaPtr a, FormulaPtr b);
+FormulaPtr MakeImplies(FormulaPtr a, FormulaPtr b);
+FormulaPtr MakeIff(FormulaPtr a, FormulaPtr b);
+FormulaPtr MakeExistsElem(std::string var, FormulaPtr body);
+FormulaPtr MakeForallElem(std::string var, FormulaPtr body);
+FormulaPtr MakeExistsRegion(std::string var, FormulaPtr body);
+FormulaPtr MakeForallRegion(std::string var, FormulaPtr body);
+/// [OP_{M, X1..Xk} body](args) for OP in {LFP, IFP, PFP}.
+FormulaPtr MakeFixpoint(NodeKind op, std::string set_var,
+                        std::vector<std::string> bound_regions,
+                        FormulaPtr body, std::vector<std::string> args);
+/// [TC_{X̄, X̄'} body](args, args2); bound = X̄ followed by X̄'.
+FormulaPtr MakeTransitiveClosure(NodeKind op,
+                                 std::vector<std::string> bound_regions,
+                                 FormulaPtr body,
+                                 std::vector<std::string> args,
+                                 std::vector<std::string> args2);
+/// [rBIT_x body](r_numerator, r_denominator).
+FormulaPtr MakeRbit(std::string elem_var, FormulaPtr body,
+                    std::string r_num, std::string r_den);
+/// [hull x1..xk : body](t1, ..., tk) — Section 8 extension.
+FormulaPtr MakeHull(std::vector<std::string> elem_vars, FormulaPtr body,
+                    std::vector<ElementTerm> terms);
+
+/// Deep copy.
+FormulaPtr CloneFormula(const FormulaNode& node);
+
+}  // namespace lcdb
+
+#endif  // LCDB_CORE_AST_H_

@@ -1,0 +1,94 @@
+#include "core/definability.h"
+
+namespace lcdb {
+
+namespace {
+
+/// "x1, x2, ..., xd" with a prefix.
+std::string Tuple(const std::string& prefix, size_t arity) {
+  std::string out;
+  for (size_t i = 1; i <= arity; ++i) {
+    if (i > 1) out += ", ";
+    out += prefix + std::to_string(i);
+  }
+  return out;
+}
+
+/// "x1 y1 x2 y2 ..." for quantifier variable lists.
+std::string QuantList(const std::string& prefix, size_t arity) {
+  std::string out;
+  for (size_t i = 1; i <= arity; ++i) {
+    if (i > 1) out += " ";
+    out += prefix + std::to_string(i);
+  }
+  return out;
+}
+
+/// One direction of Definition 4.1: some point of `from` has every
+/// epsilon-neighbourhood meeting `to`.
+std::string OneSidedAdj(size_t d, const std::string& from,
+                        const std::string& to) {
+  std::string f = "exists " + QuantList("x", d) + " . (in(" + Tuple("x", d) +
+                  "; " + from + ") & forall e . (e > 0 -> exists " +
+                  QuantList("y", d) + " . (in(" + Tuple("y", d) + "; " + to +
+                  ")";
+  for (size_t i = 1; i <= d; ++i) {
+    const std::string x = "x" + std::to_string(i);
+    const std::string y = "y" + std::to_string(i);
+    f += " & " + y + " - " + x + " < e & " + x + " - " + y + " < e";
+  }
+  f += ")))";
+  return f;
+}
+
+}  // namespace
+
+std::string AdjDefinitionText(size_t arity) {
+  return "(" + OneSidedAdj(arity, "R", "R'") + ") | (" +
+         OneSidedAdj(arity, "R'", "R") + ")";
+}
+
+std::string BoundedDefinitionText(size_t arity) {
+  std::string f = "exists b . forall " + QuantList("x", arity) +
+                  " . (in(" + Tuple("x", arity) + "; R) -> (true";
+  for (size_t i = 1; i <= arity; ++i) {
+    const std::string x = "x" + std::to_string(i);
+    f += " & " + x + " < b & -b < " + x;
+  }
+  f += "))";
+  return f;
+}
+
+std::string ZeroDimDefinitionText(size_t arity) {
+  // All pairs of points of R coincide (regions are nonempty by
+  // construction, so this says "exactly one point").
+  std::string f = "forall " + QuantList("x", arity) + " " +
+                  QuantList("y", arity) + " . (in(" + Tuple("x", arity) +
+                  "; R) & in(" + Tuple("y", arity) + "; R) -> (true";
+  for (size_t i = 1; i <= arity; ++i) {
+    f += " & x" + std::to_string(i) + " = y" + std::to_string(i);
+  }
+  f += "))";
+  return f;
+}
+
+std::string ZeroDimLexLessText(size_t arity) {
+  // exists points x̄ in R, ȳ in R' with x̄ <_lex ȳ; for 0-dimensional
+  // regions the points are unique, so this is exactly the order used by
+  // the Theorem 6.4 encoding.
+  std::string f = "exists " + QuantList("x", arity) + " " +
+                  QuantList("y", arity) + " . (in(" + Tuple("x", arity) +
+                  "; R) & in(" + Tuple("y", arity) + "; R') & (";
+  for (size_t i = 1; i <= arity; ++i) {
+    if (i > 1) f += " | ";
+    f += "(";
+    for (size_t j = 1; j < i; ++j) {
+      f += "x" + std::to_string(j) + " = y" + std::to_string(j) + " & ";
+    }
+    f += "x" + std::to_string(i) + " < y" + std::to_string(i) + ")";
+  }
+  f += "))";
+  return f;
+}
+
+}  // namespace lcdb

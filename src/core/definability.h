@@ -1,0 +1,41 @@
+#ifndef LCDB_CORE_DEFINABILITY_H_
+#define LCDB_CORE_DEFINABILITY_H_
+
+#include <cstddef>
+#include <string>
+
+namespace lcdb {
+
+/// The paper asserts several region predicates to be RegFO-definable and
+/// therefore adds them to the signature "as a mere convenience"
+/// (Definition 4.1 for adj; the proof of Theorem 6.4 for boundedness and
+/// the region order; [21; 22; 2] for dimension). This module spells the
+/// defining formulas out in the query language, so the assertions can be
+/// *checked* against the built-in predicates (definability_test.cc does,
+/// for every region pair of assorted databases).
+///
+/// All formulas are over free region variables R (and R'), so they are
+/// evaluated with the low-level Evaluator machinery in tests; the text
+/// returned here parametrizes the arity d of the database.
+
+/// Definition 4.1's adjacency, literally: there is a point of R whose every
+/// epsilon-neighbourhood intersects R' — or symmetrically with R and R'
+/// swapped (the built-in relation is symmetric; the paper's "one of them").
+std::string AdjDefinitionText(size_t arity);
+
+/// Boundedness: the region fits in a hypercube, i.e. some bound b dominates
+/// the absolute value of every coordinate of every point of R (proof of
+/// Theorem 6.4).
+std::string BoundedDefinitionText(size_t arity);
+
+/// dim(R) = 0: the region contains exactly one point (all points equal).
+std::string ZeroDimDefinitionText(size_t arity);
+
+/// Lexicographic order on 0-dimensional regions (the order the rBIT
+/// operator and the Theorem 6.4 encoding use): the unique point of R is
+/// lex-smaller than the unique point of R'.
+std::string ZeroDimLexLessText(size_t arity);
+
+}  // namespace lcdb
+
+#endif  // LCDB_CORE_DEFINABILITY_H_

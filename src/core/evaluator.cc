@@ -1,0 +1,449 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+
+#include "core/parser.h"
+#include "geometry/convex_closure.h"
+#include "util/status.h"
+
+namespace lcdb {
+
+Evaluator::Evaluator(const RegionExtension& extension)
+    : Evaluator(extension, Options()) {}
+
+Evaluator::Evaluator(const RegionExtension& extension, Options options)
+    : ext_(extension), options_(options) {}
+
+namespace {
+
+/// Pre-checks that every fixed-point and TC operator's region-tuple space
+/// n^k stays within the configured cap, so evaluation cannot run away on
+/// adversarial arities (returned as a Status instead of aborting later).
+Status CheckTupleSpaces(const FormulaNode& node, size_t num_regions,
+                        size_t max_tuple_space) {
+  size_t k = 0;
+  switch (node.kind) {
+    case NodeKind::kLfp:
+    case NodeKind::kIfp:
+    case NodeKind::kPfp:
+      k = node.bound_vars.size();
+      break;
+    case NodeKind::kTc:
+    case NodeKind::kDtc:
+      // The closure matrix is quadratic in the m-tuple space.
+      k = node.bound_vars.size();
+      break;
+    default:
+      break;
+  }
+  if (k > 0 && num_regions > 1) {
+    size_t space = 1;
+    for (size_t i = 0; i < k; ++i) {
+      if (space > max_tuple_space / num_regions) {
+        return Status::Unsupported(
+            "operator tuple space exceeds Options::max_tuple_space in: " +
+            node.ToString().substr(0, 120));
+      }
+      space *= num_regions;
+    }
+  }
+  for (const auto& child : node.children) {
+    LCDB_RETURN_IF_ERROR(
+        CheckTupleSpaces(*child, num_regions, max_tuple_space));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<QueryAnswer> Evaluator::Evaluate(const FormulaNode& query) {
+  LCDB_ASSIGN_OR_RETURN(TypeInfo info, TypeCheck(query, ext_.database()));
+  LCDB_RETURN_IF_ERROR(CheckTupleSpaces(query, ext_.num_regions(),
+                                        options_.max_tuple_space));
+  info_ = &info;
+  num_columns_ = info.all_element_vars.size();
+  // Per-query caches depend on node identity; clear between queries.
+  memo_.clear();
+  bool_memo_.clear();
+  fixpoint_cache_.clear();
+  closure_cache_.clear();
+
+  RegionEnv renv;
+  SetEnv senv;
+  DnfFormula result = Eval(query, renv, senv);
+  info_ = nullptr;
+
+  // Keep only the free-variable columns (bound ones were eliminated; the
+  // remaining order matches free_element_order by construction).
+  std::set<std::string> free(info.free_element_order.begin(),
+                             info.free_element_order.end());
+  for (size_t col = info.all_element_vars.size(); col-- > 0;) {
+    if (free.count(info.all_element_vars[col])) continue;
+    if (VariableOccurs(result, col)) {
+      return Status::Internal("bound variable '" +
+                              info.all_element_vars[col] +
+                              "' survived elimination");
+    }
+    result = DropVariable(result, col);
+  }
+  QueryAnswer answer{std::move(result), info.free_element_order};
+  return answer;
+}
+
+Result<bool> Evaluator::EvaluateSentence(const FormulaNode& query) {
+  LCDB_ASSIGN_OR_RETURN(QueryAnswer answer, Evaluate(query));
+  if (!answer.free_vars.empty()) {
+    return Status::InvalidArgument("sentence has free element variables");
+  }
+  return !answer.formula.IsEmpty();
+}
+
+size_t Evaluator::Column(const std::string& name) const {
+  for (size_t i = 0; i < info_->all_element_vars.size(); ++i) {
+    if (info_->all_element_vars[i] == name) return i;
+  }
+  LCDB_CHECK_MSG(false, "unknown element variable");
+  return 0;
+}
+
+std::vector<AffineExpr> Evaluator::TermSubstitution(
+    const std::vector<ElementTerm>& terms) const {
+  std::vector<AffineExpr> map;
+  map.reserve(terms.size());
+  for (const ElementTerm& t : terms) {
+    AffineExpr e;
+    e.coeffs.assign(num_columns_, Rational(0));
+    for (const auto& [name, coeff] : t.coeffs) {
+      e.coeffs[Column(name)] = coeff;
+    }
+    e.constant = t.constant;
+    map.push_back(std::move(e));
+  }
+  return map;
+}
+
+bool Evaluator::MemoKey(const FormulaNode& node, const RegionEnv& renv,
+                        const SetEnv& senv, Tuple* key) const {
+  const FreeVars& fv = info_->of(node);
+  // Set-dependent results are only reusable within one fixpoint stage; with
+  // several free region variables the key space matches the tuple space and
+  // every entry would be written once and never read. Cache only narrow
+  // keys there (e.g. the hoisted "Z was visited" test of the river query).
+  if (!fv.set_vars.empty() && fv.region.size() > 1) return false;
+  key->clear();
+  for (const std::string& r : fv.region) {  // std::set: name-sorted
+    auto it = renv.find(r);
+    LCDB_CHECK(it != renv.end());
+    key->push_back(it->second);
+  }
+  // Set-dependent results are cached per fixpoint *stage* via the binding's
+  // version stamp.
+  for (const std::string& m : fv.set_vars) {
+    key->push_back(senv.at(m).version);
+  }
+  return true;
+}
+
+bool Evaluator::EvalRegionAtom(const FormulaNode& node, RegionEnv& renv,
+                               SetEnv& senv) {
+  auto region = [&](size_t i) { return renv.at(node.region_args[i]); };
+  switch (node.kind) {
+    case NodeKind::kAdjacent:
+      return ext_.Adjacent(region(0), region(1));
+    case NodeKind::kRegionEq:
+      return region(0) == region(1);
+    case NodeKind::kSubsetS:
+      return ext_.RegionSubsetOfS(region(0));
+    case NodeKind::kIntersectsS:
+      return ext_.RegionIntersectsS(region(0));
+    case NodeKind::kDimAtom:
+      return ext_.RegionDim(region(0)) == node.dim_value;
+    case NodeKind::kBoundedAtom:
+      return ext_.RegionBounded(region(0));
+    case NodeKind::kSetAtom: {
+      const TupleSet* set = senv.at(node.set_var).tuples;
+      Tuple tuple;
+      tuple.reserve(node.region_args.size());
+      for (const std::string& r : node.region_args) tuple.push_back(renv.at(r));
+      return set->count(tuple) > 0;
+    }
+    case NodeKind::kLfp:
+    case NodeKind::kIfp:
+    case NodeKind::kPfp: {
+      const TupleSet& fp = FixpointSet(node);
+      Tuple tuple;
+      tuple.reserve(node.region_args.size());
+      for (const std::string& r : node.region_args) tuple.push_back(renv.at(r));
+      return fp.count(tuple) > 0;
+    }
+    case NodeKind::kTc:
+    case NodeKind::kDtc: {
+      const auto& closure = ClosureMatrix(node);
+      Tuple from, to;
+      for (const std::string& r : node.region_args) from.push_back(renv.at(r));
+      for (const std::string& r : node.region_args2) to.push_back(renv.at(r));
+      return closure[TupleIndex(from)][TupleIndex(to)];
+    }
+    case NodeKind::kRbit:
+      return EvalRbit(node, renv, senv);
+    default:
+      LCDB_CHECK_MSG(false, "not a region atom");
+      return false;
+  }
+}
+
+DnfFormula Evaluator::Eval(const FormulaNode& node, RegionEnv& renv,
+                           SetEnv& senv) {
+  ++stats_.node_evaluations;
+  Tuple key;
+  const bool cacheable = options_.memoize && info_->WorthCaching(node) &&
+                         MemoKey(node, renv, senv, &key);
+  if (cacheable) {
+    auto& per_node = memo_[&node];
+    auto it = per_node.find(key);
+    if (it != per_node.end()) {
+      ++stats_.memo_hits;
+      return it->second;
+    }
+  }
+  DnfFormula result = EvalUncached(node, renv, senv);
+  if (cacheable) memo_[&node].emplace(std::move(key), result);
+  return result;
+}
+
+DnfFormula Evaluator::EvalUncached(const FormulaNode& node, RegionEnv& renv,
+                                   SetEnv& senv) {
+  const size_t m = num_columns_;
+  switch (node.kind) {
+    case NodeKind::kTrue:
+      return DnfFormula::True(m);
+    case NodeKind::kFalse:
+      return DnfFormula::False(m);
+    case NodeKind::kCompare: {
+      ElementTerm diff = node.lhs.Minus(node.rhs);
+      Vec coeffs(m);
+      for (const auto& [name, coeff] : diff.coeffs) {
+        coeffs[Column(name)] = coeff;
+      }
+      return DnfFormula::FromAtom(LinearAtom(coeffs, node.rel, -diff.constant));
+    }
+    case NodeKind::kRelationAtom:
+      return ext_.database().representation().Substitute(
+          TermSubstitution(node.terms), m);
+    case NodeKind::kInRegion: {
+      const Conjunction& region =
+          ext_.RegionFormula(renv.at(node.region_args[0]));
+      DnfFormula region_formula(region.num_vars(), {region});
+      return region_formula.Substitute(TermSubstitution(node.terms), m);
+    }
+    case NodeKind::kAdjacent:
+    case NodeKind::kRegionEq:
+    case NodeKind::kSubsetS:
+    case NodeKind::kIntersectsS:
+    case NodeKind::kDimAtom:
+    case NodeKind::kBoundedAtom:
+    case NodeKind::kSetAtom:
+    case NodeKind::kLfp:
+    case NodeKind::kIfp:
+    case NodeKind::kPfp:
+    case NodeKind::kTc:
+    case NodeKind::kDtc:
+    case NodeKind::kRbit:
+      return EvalRegionAtom(node, renv, senv) ? DnfFormula::True(m)
+                                              : DnfFormula::False(m);
+    case NodeKind::kNot:
+      return Eval(*node.children[0], renv, senv).Negate();
+    case NodeKind::kAnd: {
+      DnfFormula a = Eval(*node.children[0], renv, senv);
+      if (a.IsSyntacticallyFalse()) return a;
+      return a.And(Eval(*node.children[1], renv, senv));
+    }
+    case NodeKind::kOr: {
+      DnfFormula a = Eval(*node.children[0], renv, senv);
+      if (a.IsSyntacticallyTrue()) return a;
+      return a.Or(Eval(*node.children[1], renv, senv));
+    }
+    case NodeKind::kImplies: {
+      DnfFormula a = Eval(*node.children[0], renv, senv);
+      if (a.IsSyntacticallyFalse()) return DnfFormula::True(m);
+      return a.Negate().Or(Eval(*node.children[1], renv, senv));
+    }
+    case NodeKind::kIff: {
+      DnfFormula a = Eval(*node.children[0], renv, senv);
+      DnfFormula b = Eval(*node.children[1], renv, senv);
+      return a.And(b).Or(a.Negate().And(b.Negate()));
+    }
+    case NodeKind::kHull: {
+      // Section 8 extension: evaluate the body, project onto the bound
+      // variables, take the closed convex hull, and substitute the applied
+      // terms (geometry/convex_closure.h).
+      DnfFormula body = Eval(*node.children[0], renv, senv);
+      const size_t k = node.bound_vars.size();
+      std::vector<AffineExpr> project;
+      project.reserve(num_columns_);
+      std::vector<size_t> bound_columns;
+      for (const std::string& v : node.bound_vars) {
+        bound_columns.push_back(Column(v));
+      }
+      for (size_t col = 0; col < num_columns_; ++col) {
+        size_t hull_index = k;
+        for (size_t i = 0; i < k; ++i) {
+          if (bound_columns[i] == col) {
+            hull_index = i;
+            break;
+          }
+        }
+        project.push_back(hull_index < k
+                              ? AffineExpr::Variable(k, hull_index)
+                              : AffineExpr::Constant(k, Rational(0)));
+      }
+      DnfFormula projected = body.Substitute(project, k);
+      Result<DnfFormula> hull = ConvexClosure(projected);
+      LCDB_CHECK_MSG(hull.ok(), "convex closure failed");
+      return hull->Substitute(TermSubstitution(node.terms), m);
+    }
+    case NodeKind::kExistsElem: {
+      ++stats_.qe_eliminations;
+      return ExistsVariable(Eval(*node.children[0], renv, senv),
+                            Column(node.bound_vars[0]));
+    }
+    case NodeKind::kForallElem: {
+      ++stats_.qe_eliminations;
+      return ForallVariable(Eval(*node.children[0], renv, senv),
+                            Column(node.bound_vars[0]));
+    }
+    case NodeKind::kExistsRegion: {
+      ++stats_.region_expansions;
+      DnfFormula acc = DnfFormula::False(m);
+      for (size_t r = 0; r < ext_.num_regions(); ++r) {
+        renv[node.bound_vars[0]] = r;
+        acc = acc.Or(Eval(*node.children[0], renv, senv));
+        if (acc.IsSyntacticallyTrue()) break;
+      }
+      renv.erase(node.bound_vars[0]);
+      return acc;
+    }
+    case NodeKind::kForallRegion: {
+      ++stats_.region_expansions;
+      DnfFormula acc = DnfFormula::True(m);
+      for (size_t r = 0; r < ext_.num_regions(); ++r) {
+        renv[node.bound_vars[0]] = r;
+        acc = acc.And(Eval(*node.children[0], renv, senv));
+        if (acc.IsSyntacticallyFalse()) break;
+      }
+      renv.erase(node.bound_vars[0]);
+      return acc;
+    }
+  }
+  LCDB_CHECK(false);
+  return DnfFormula::False(m);
+}
+
+bool Evaluator::EvalBool(const FormulaNode& node, RegionEnv& renv,
+                         SetEnv& senv) {
+  ++stats_.bool_evaluations;
+  Tuple key;
+  const bool cacheable = options_.memoize && info_->WorthCaching(node) &&
+                         MemoKey(node, renv, senv, &key);
+  if (cacheable) {
+    auto& per_node = bool_memo_[&node];
+    auto it = per_node.find(key);
+    if (it != per_node.end()) {
+      ++stats_.memo_hits;
+      return it->second;
+    }
+  }
+  const bool result = EvalBoolUncached(node, renv, senv);
+  if (cacheable) bool_memo_[&node].emplace(std::move(key), result);
+  return result;
+}
+
+bool Evaluator::EvalBoolUncached(const FormulaNode& node, RegionEnv& renv,
+                                 SetEnv& senv) {
+  switch (node.kind) {
+    case NodeKind::kTrue:
+      return true;
+    case NodeKind::kFalse:
+      return false;
+    case NodeKind::kNot:
+      return !EvalBool(*node.children[0], renv, senv);
+    case NodeKind::kAnd:
+      return EvalBool(*node.children[0], renv, senv) &&
+             EvalBool(*node.children[1], renv, senv);
+    case NodeKind::kOr:
+      return EvalBool(*node.children[0], renv, senv) ||
+             EvalBool(*node.children[1], renv, senv);
+    case NodeKind::kImplies:
+      return !EvalBool(*node.children[0], renv, senv) ||
+             EvalBool(*node.children[1], renv, senv);
+    case NodeKind::kIff:
+      return EvalBool(*node.children[0], renv, senv) ==
+             EvalBool(*node.children[1], renv, senv);
+    case NodeKind::kExistsRegion: {
+      bool found = false;
+      for (size_t r = 0; r < ext_.num_regions() && !found; ++r) {
+        renv[node.bound_vars[0]] = r;
+        found = EvalBool(*node.children[0], renv, senv);
+      }
+      renv.erase(node.bound_vars[0]);
+      return found;
+    }
+    case NodeKind::kForallRegion: {
+      bool holds = true;
+      for (size_t r = 0; r < ext_.num_regions() && holds; ++r) {
+        renv[node.bound_vars[0]] = r;
+        holds = EvalBool(*node.children[0], renv, senv);
+      }
+      renv.erase(node.bound_vars[0]);
+      return holds;
+    }
+    case NodeKind::kAdjacent:
+    case NodeKind::kRegionEq:
+    case NodeKind::kSubsetS:
+    case NodeKind::kIntersectsS:
+    case NodeKind::kDimAtom:
+    case NodeKind::kBoundedAtom:
+    case NodeKind::kSetAtom:
+    case NodeKind::kLfp:
+    case NodeKind::kIfp:
+    case NodeKind::kPfp:
+    case NodeKind::kTc:
+    case NodeKind::kDtc:
+    case NodeKind::kRbit:
+      return EvalRegionAtom(node, renv, senv);
+    case NodeKind::kCompare:
+    case NodeKind::kRelationAtom:
+    case NodeKind::kInRegion:
+    case NodeKind::kHull:
+    case NodeKind::kExistsElem:
+    case NodeKind::kForallElem:
+      // Element-sort subtree: evaluate symbolically and test emptiness.
+      // In a boolean context all element variables inside are bound, so the
+      // result is a variable-free (constant) formula.
+      return !Eval(node, renv, senv).IsEmpty();
+  }
+  LCDB_CHECK(false);
+  return false;
+}
+
+Result<QueryAnswer> EvaluateQueryText(const RegionExtension& extension,
+                                      std::string_view query_text,
+                                      Evaluator::Options options) {
+  LCDB_ASSIGN_OR_RETURN(
+      FormulaPtr query,
+      ParseQuery(query_text, extension.database().relation_name()));
+  Evaluator evaluator(extension, options);
+  return evaluator.Evaluate(*query);
+}
+
+Result<bool> EvaluateSentenceText(const RegionExtension& extension,
+                                  std::string_view query_text,
+                                  Evaluator::Options options) {
+  LCDB_ASSIGN_OR_RETURN(
+      FormulaPtr query,
+      ParseQuery(query_text, extension.database().relation_name()));
+  Evaluator evaluator(extension, options);
+  return evaluator.EvaluateSentence(*query);
+}
+
+}  // namespace lcdb

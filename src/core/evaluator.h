@@ -1,0 +1,154 @@
+#ifndef LCDB_CORE_EVALUATOR_H_
+#define LCDB_CORE_EVALUATOR_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/ast.h"
+#include "core/typecheck.h"
+#include "db/region_extension.h"
+#include "qe/fourier_motzkin.h"
+
+namespace lcdb {
+
+/// Answer of a (possibly non-boolean) query: a quantifier-free DNF formula
+/// over the query's free element variables — the closure property of
+/// Section 2, made concrete. `free_vars[i]` names column i.
+struct QueryAnswer {
+  DnfFormula formula = DnfFormula::False(0);
+  std::vector<std::string> free_vars;
+
+  std::string ToString() const { return formula.ToString(free_vars); }
+};
+
+/// Evaluator for RegFO / RegLFP / RegIFP / RegPFP / RegTC / RegDTC queries
+/// over a region extension. This is the proof of Theorem 4.3 (and the
+/// fixed-point cases of Theorem 6.1) turned into an algorithm:
+///
+///  * element-sort subformulas are evaluated *symbolically*: each node
+///    yields a quantifier-free DNF formula over the query's element
+///    variables, and element quantifiers are discharged by Fourier-Motzkin
+///    elimination;
+///  * region quantifiers expand over the finite region sort;
+///  * fixed points iterate over sets of region tuples (Kleene iteration;
+///    PFP with cycle detection and the empty-result convention);
+///  * TC/DTC build the edge relation over region tuples once per operator
+///    and take (deterministic) reflexive-transitive closures;
+///  * rBIT evaluates its body to a univariate formula, tests for a
+///    singleton rational and reads bits of its numerator/denominator.
+///
+/// Memoization: subformulas that do not depend on any set variable are
+/// cached per assignment of their free region variables — across fixed-point
+/// iterations this is the difference between O(iterations * |Reg|^k) and
+/// O(|Reg|^k) evaluations of the M-independent parts. It can be disabled
+/// (Options::memoize) for the ablation benchmark.
+class Evaluator {
+ public:
+  struct Options {
+    /// Cache set-variable-independent subformula results.
+    bool memoize = true;
+    /// Safety bound on PFP iterations before declaring divergence.
+    size_t max_pfp_iterations = 1u << 16;
+    /// Cap on n^m tuple-space size for fixed points and TC.
+    size_t max_tuple_space = 1u << 22;
+  };
+
+  struct Stats {
+    size_t node_evaluations = 0;
+    size_t bool_evaluations = 0;
+    size_t memo_hits = 0;
+    size_t fixpoint_iterations = 0;
+    size_t fixpoints_computed = 0;
+    size_t closures_computed = 0;
+    size_t qe_eliminations = 0;
+    size_t region_expansions = 0;
+  };
+
+  explicit Evaluator(const RegionExtension& extension);
+  Evaluator(const RegionExtension& extension, Options options);
+
+  /// Evaluates a well-formed query (no free region or set variables);
+  /// type-checks first. The answer formula ranges over the free element
+  /// variables in first-appearance order.
+  Result<QueryAnswer> Evaluate(const FormulaNode& query);
+
+  /// Evaluates a sentence (no free variables at all) to its truth value.
+  Result<bool> EvaluateSentence(const FormulaNode& query);
+
+  const Stats& stats() const { return stats_; }
+  const RegionExtension& extension() const { return ext_; }
+
+ private:
+  using RegionEnv = std::map<std::string, size_t>;
+  using Tuple = std::vector<size_t>;
+  using TupleSet = std::set<Tuple>;
+  /// A set-variable binding: the current stage's tuple set plus a version
+  /// stamp that changes whenever the stage changes, so memoized results of
+  /// set-dependent subformulas are keyed by stage (Options::memoize).
+  struct SetBinding {
+    const TupleSet* tuples = nullptr;
+    size_t version = 0;
+  };
+  using SetEnv = std::map<std::string, SetBinding>;
+
+  // Core symbolic recursion (evaluator.cc).
+  DnfFormula Eval(const FormulaNode& node, RegionEnv& renv, SetEnv& senv);
+  DnfFormula EvalUncached(const FormulaNode& node, RegionEnv& renv,
+                          SetEnv& senv);
+  /// Fast path for subformulas without free element variables.
+  bool EvalBool(const FormulaNode& node, RegionEnv& renv, SetEnv& senv);
+  bool EvalBoolUncached(const FormulaNode& node, RegionEnv& renv,
+                        SetEnv& senv);
+
+  /// Ground truth of atoms given a region environment.
+  bool EvalRegionAtom(const FormulaNode& node, RegionEnv& renv,
+                      SetEnv& senv);
+
+  /// Column index of an element variable.
+  size_t Column(const std::string& name) const;
+  /// The affine substitution map turning a d-tuple of terms into columns.
+  std::vector<AffineExpr> TermSubstitution(
+      const std::vector<ElementTerm>& terms) const;
+  /// Memo key: values of the node's free region variables, name-sorted.
+  bool MemoKey(const FormulaNode& node, const RegionEnv& renv,
+               const SetEnv& senv, Tuple* key) const;
+
+  // Fixed points (fixpoint.cc).
+  const TupleSet& FixpointSet(const FormulaNode& node);
+
+  // Transitive closures (transitive_closure.cc).
+  /// Reachability bitmap of the (deterministic) reflexive-transitive
+  /// closure for a TC/DTC node; indexed [from][to] over tuple indices.
+  const std::vector<std::vector<bool>>& ClosureMatrix(const FormulaNode& node);
+  size_t TupleIndex(const Tuple& tuple) const;
+
+  // rBIT (rbit.cc).
+  bool EvalRbit(const FormulaNode& node, RegionEnv& renv, SetEnv& senv);
+
+  const RegionExtension& ext_;
+  Options options_;
+  Stats stats_;
+  const TypeInfo* info_ = nullptr;  // valid during Evaluate
+  size_t num_columns_ = 0;
+
+  std::map<const FormulaNode*, std::map<Tuple, DnfFormula>> memo_;
+  std::map<const FormulaNode*, std::map<Tuple, bool>> bool_memo_;
+  std::map<const FormulaNode*, TupleSet> fixpoint_cache_;
+  size_t set_version_counter_ = 0;
+  std::map<const FormulaNode*, std::vector<std::vector<bool>>> closure_cache_;
+};
+
+/// Convenience: parse + evaluate in one step (used by examples and tests).
+Result<QueryAnswer> EvaluateQueryText(const RegionExtension& extension,
+                                      std::string_view query_text,
+                                      Evaluator::Options options = {});
+Result<bool> EvaluateSentenceText(const RegionExtension& extension,
+                                  std::string_view query_text,
+                                  Evaluator::Options options = {});
+
+}  // namespace lcdb
+
+#endif  // LCDB_CORE_EVALUATOR_H_

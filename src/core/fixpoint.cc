@@ -1,0 +1,103 @@
+#include <string>
+#include <unordered_set>
+
+#include "core/evaluator.h"
+#include "util/status.h"
+
+namespace lcdb {
+
+namespace {
+
+/// Serializes a tuple set for PFP cycle detection.
+std::string SerializeState(const std::set<std::vector<size_t>>& state) {
+  std::string out;
+  for (const auto& tuple : state) {
+    for (size_t v : tuple) {
+      out += std::to_string(v);
+      out += ',';
+    }
+    out += ';';
+  }
+  return out;
+}
+
+}  // namespace
+
+/// Computes the semantics of [LFP/IFP/PFP_{M, X̄} body] as a set of region
+/// tuples (Definition 5.1). The set is independent of the outer environment
+/// because Definition 5.1 forces free(body) = {M, X̄}, so it is computed at
+/// most once per operator node and cached.
+///
+///  * LFP: body is positive in M, so f_body is monotone and the Kleene
+///    stages increase; tuples already derived are kept without re-proof.
+///  * IFP: stages are inflationary by definition (M ∪ f(M)).
+///  * PFP: stages iterate f exactly; if a fixed point is reached it is the
+///    result, and if the sequence cycles without reaching one the result is
+///    the empty set (standard PFP semantics on finite structures).
+const Evaluator::TupleSet& Evaluator::FixpointSet(const FormulaNode& node) {
+  auto cached = fixpoint_cache_.find(&node);
+  if (cached != fixpoint_cache_.end()) return cached->second;
+
+  ++stats_.fixpoints_computed;
+  const size_t k = node.bound_vars.size();
+  const size_t n = ext_.num_regions();
+  // Tuple-space size guard (n^k).
+  size_t space = 1;
+  for (size_t i = 0; i < k; ++i) {
+    LCDB_CHECK_MSG(space <= options_.max_tuple_space / std::max<size_t>(n, 1),
+                   "fixed-point tuple space exceeds Options::max_tuple_space");
+    space *= n;
+  }
+
+  const FormulaNode& body = *node.children[0];
+  TupleSet current;
+  std::unordered_set<std::string> seen_states;  // PFP cycle detection
+  const bool is_pfp = node.kind == NodeKind::kPfp;
+  const bool is_lfp = node.kind == NodeKind::kLfp;
+
+  for (size_t iteration = 0;; ++iteration) {
+    if (is_pfp) {
+      LCDB_CHECK_MSG(iteration <= options_.max_pfp_iterations,
+                     "PFP exceeded Options::max_pfp_iterations");
+      if (!seen_states.insert(SerializeState(current)).second) {
+        // Revisited a state without reaching a fixed point: diverges.
+        return fixpoint_cache_.emplace(&node, TupleSet{}).first->second;
+      }
+    }
+    ++stats_.fixpoint_iterations;
+
+    TupleSet next;
+    if (!is_pfp) next = current;  // LFP (monotone) / IFP keep prior stage
+    RegionEnv body_env;
+    SetEnv body_senv;
+    body_senv.emplace(node.set_var,
+                      SetBinding{&current, ++set_version_counter_});
+    Tuple tuple(k, 0);
+    bool done_tuples = (n == 0);
+    while (!done_tuples) {
+      // Monotone/inflationary stages never lose tuples, so skip re-proofs.
+      if (is_pfp || !next.count(tuple)) {
+        for (size_t i = 0; i < k; ++i) {
+          body_env[node.bound_vars[i]] = tuple[i];
+        }
+        if (EvalBool(body, body_env, body_senv)) next.insert(tuple);
+      }
+      // Advance the k-digit counter.
+      size_t pos = k;
+      while (pos > 0) {
+        --pos;
+        if (++tuple[pos] < n) break;
+        tuple[pos] = 0;
+        if (pos == 0) done_tuples = true;
+      }
+      if (k == 0) done_tuples = true;
+    }
+
+    if (next == current) break;
+    current = std::move(next);
+  }
+  (void)is_lfp;
+  return fixpoint_cache_.emplace(&node, std::move(current)).first->second;
+}
+
+}  // namespace lcdb

@@ -1,0 +1,62 @@
+#include "core/queries.h"
+
+namespace lcdb {
+
+namespace {
+
+/// "x1, x2, ..., xd" with the given prefix.
+std::string VarTuple(const std::string& prefix, size_t arity) {
+  std::string out;
+  for (size_t i = 1; i <= arity; ++i) {
+    if (i > 1) out += ", ";
+    out += prefix + std::to_string(i);
+  }
+  return out;
+}
+
+constexpr char kReachLfp[] =
+    "[lfp M R R' : (R = R' & subset(R)) "
+    "| (exists Z . (M(R, Z) & adj(Z, R') & subset(R')))]";
+
+}  // namespace
+
+std::string ConnQueryText(size_t arity) {
+  const std::string xs = VarTuple("x", arity);
+  const std::string ys = VarTuple("y", arity);
+  std::string out = "forall ";
+  for (size_t i = 1; i <= arity; ++i) out += "x" + std::to_string(i) + " ";
+  for (size_t i = 1; i <= arity; ++i) out += "y" + std::to_string(i) + " ";
+  out += ". (S(" + xs + ") & S(" + ys + ") -> exists Rx Ry . (in(" + xs +
+         "; Rx) & in(" + ys + "; Ry) & " + kReachLfp + "(Rx, Ry)))";
+  return out;
+}
+
+std::string RegionConnQueryText() {
+  return std::string("forall Rx Ry . (subset(Rx) & subset(Ry) -> ") +
+         kReachLfp + "(Rx, Ry))";
+}
+
+std::string RegionConnTcQueryText(bool deterministic) {
+  const char* op = deterministic ? "dtc" : "tc";
+  return std::string("forall Rx Ry . (subset(Rx) & subset(Ry) -> [") + op +
+         " R ; R' : subset(R) & subset(R') & adj(R, R')](Rx ; Ry))";
+}
+
+std::string RiverPollutionQueryText() {
+  // The Section 5 query, with the paper's "∃Z ∃Z' M(Z,Z') ∧ ..." regrouped
+  // as "∃Z ((∃Z' M(Z,Z')) ∧ ...)" — logically identical, but the inner
+  // "Z was visited" test memoizes per fixpoint stage instead of being
+  // re-scanned for every (R, R') candidate.
+  return "exists R1 R2 . (!(R1 = R2) & "
+         "[lfp M R R' : "
+         "   (R = R' & subset(R) & exists x exists l . (in(x, l; R) & l = 1 "
+         "& x < 1))"
+         " | (exists Z . ((exists Z' . M(Z, Z')) & adj(Z, R) & R = R' & "
+         "subset(R) & exists x exists l . (in(x, l; R) & l = 1)))"
+         " | (exists Z . ((exists Z' . M(Z, Z')) & R' = Z & "
+         "exists x exists l . (in(x, l; Z) & l = 1 & S(x, 4)) & "
+         "exists x2 exists l2 . (in(x2, l2; R) & l2 = 1 & S(x2, 5))))"
+         "](R1, R2))";
+}
+
+}  // namespace lcdb

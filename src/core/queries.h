@@ -1,0 +1,36 @@
+#ifndef LCDB_CORE_QUERIES_H_
+#define LCDB_CORE_QUERIES_H_
+
+#include <cstddef>
+#include <string>
+
+namespace lcdb {
+
+/// Canned queries from the paper, as query-language text.
+
+/// The Section 5 connectivity query Conn for a d-ary relation S:
+///   forall x̄ ȳ (S(x̄) & S(ȳ) -> exists Rx Ry (x̄ in Rx & ȳ in Ry &
+///     [LFP_{M,R,R'} (R = R' & R ⊆ S) | (exists Z M(R,Z) & adj(Z,R') &
+///      R' ⊆ S)](Rx, Ry)))
+/// Quantifies over points, then walks regions — the paper's literal form.
+std::string ConnQueryText(size_t arity);
+
+/// Region-level connectivity: every pair of regions contained in S is
+/// linked by the same LFP. Equivalent to Conn on arrangement extensions
+/// (faces partition R^d and every point of S lies in a region ⊆ S) and
+/// much cheaper to evaluate (no element quantifiers); used by benchmarks.
+std::string RegionConnQueryText();
+
+/// Same reachability core expressed with the Section 7 TC operator.
+std::string RegionConnTcQueryText(bool deterministic = false);
+
+/// The Section 5 river-pollution query (Figure 6 scenario) over the
+/// MakeRiverScenario encoding: spring = river part with x < 1; river parts
+/// live on layer 1; chem1/chem2 markers on layers 4/5 above the same x
+/// range. Evaluates to true iff the fixpoint contains a pair of distinct
+/// regions, i.e. the chem1-then-chem2 marking fired.
+std::string RiverPollutionQueryText();
+
+}  // namespace lcdb
+
+#endif  // LCDB_CORE_QUERIES_H_

@@ -1,0 +1,51 @@
+#include "constraint/simplify.h"
+#include "core/evaluator.h"
+#include "util/status.h"
+
+namespace lcdb {
+
+/// Evaluates the rBIT operator (Definition 5.1). Given the environment's
+/// interpretation of the body's free region parameters P̄, the body is a
+/// formula with one free element variable x; if it defines exactly one
+/// rational a, then [rBIT body](R_n, R_d) holds iff
+///  (1) both regions are 0-dimensional and bit rank(R_n) of |numerator(a)|
+///      and bit rank(R_d) of denominator(a) are 1 (ranks in the
+///      lexicographic order of 0-dimensional regions, 0-indexed — the
+///      paper leaves the indexing base open, see DESIGN.md), or
+///  (2) a = 0, R_n = R_d and both have dimension > 0.
+/// If the body does not define a unique rational, rBIT defines the empty
+/// relation.
+bool Evaluator::EvalRbit(const FormulaNode& node, RegionEnv& renv,
+                         SetEnv& senv) {
+  // Evaluate the body symbolically; only the bound variable's column may
+  // occur in the result.
+  DnfFormula body = Eval(*node.children[0], renv, senv);
+  const size_t col = Column(node.bound_vars[0]);
+  for (size_t c = 0; c < num_columns_; ++c) {
+    if (c != col && VariableOccurs(body, c)) {
+      // Cannot happen for type-checked queries.
+      LCDB_CHECK_MSG(false, "rBIT body depends on another element variable");
+    }
+  }
+  // Singleton test: nonempty, and implied to equal its witness value.
+  Vec witness = body.FindWitness();
+  if (witness.empty()) return false;  // empty set: no unique rational
+  const Rational a = witness[col];
+  Vec point_coeffs(num_columns_);
+  point_coeffs[col] = Rational(1);
+  DnfFormula exactly_a =
+      DnfFormula::FromAtom(LinearAtom(point_coeffs, RelOp::kEq, a));
+  if (!Implies(body, exactly_a)) return false;  // more than one value
+
+  const size_t rn = renv.at(node.region_args[0]);
+  const size_t rd = renv.at(node.region_args[1]);
+  if (a.IsZero()) {
+    return rn == rd && ext_.RegionDim(rn) > 0;
+  }
+  if (ext_.RegionDim(rn) != 0 || ext_.RegionDim(rd) != 0) return false;
+  const size_t i = ext_.ZeroDimRank(rn);
+  const size_t j = ext_.ZeroDimRank(rd);
+  return a.num().Bit(i) && a.den().Bit(j);
+}
+
+}  // namespace lcdb

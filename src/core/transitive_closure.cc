@@ -1,0 +1,114 @@
+#include <deque>
+
+#include "core/evaluator.h"
+#include "util/status.h"
+
+namespace lcdb {
+
+size_t Evaluator::TupleIndex(const Tuple& tuple) const {
+  const size_t n = ext_.num_regions();
+  size_t index = 0;
+  for (size_t v : tuple) {
+    LCDB_CHECK(v < n);
+    index = index * n + v;
+  }
+  return index;
+}
+
+/// Builds the reachability bitmap of a TC/DTC operator (Definition 7.2):
+/// the edge relation E = { (ū, v̄) : body(ū, v̄) } over m-tuples of regions,
+/// closed reflexively and transitively. The paper's semantics admits the
+/// length-one sequence Z_1 = X̄ = Ȳ, so the closure is reflexive.
+///
+/// For DTC the deterministic edge relation is used instead: ū -> v̄ only if
+/// v̄ is the *unique* successor of ū.
+///
+/// The body has no free element variables and no region variables beyond
+/// the bound 2m-tuple (type checker), so the matrix depends only on the
+/// node and is cached.
+const std::vector<std::vector<bool>>& Evaluator::ClosureMatrix(
+    const FormulaNode& node) {
+  auto cached = closure_cache_.find(&node);
+  if (cached != closure_cache_.end()) return cached->second;
+
+  ++stats_.closures_computed;
+  const size_t m = node.bound_vars.size() / 2;
+  const size_t n = ext_.num_regions();
+  size_t space = 1;
+  for (size_t i = 0; i < m; ++i) {
+    LCDB_CHECK_MSG(space <= options_.max_tuple_space / std::max<size_t>(n, 1),
+                   "TC tuple space exceeds Options::max_tuple_space");
+    space *= n;
+  }
+
+  // Enumerate all m-tuples once.
+  std::vector<Tuple> tuples;
+  tuples.reserve(space);
+  Tuple tuple(m, 0);
+  if (n > 0) {
+    while (true) {
+      tuples.push_back(tuple);
+      size_t pos = m;
+      bool advanced = false;
+      while (pos > 0) {
+        --pos;
+        if (++tuple[pos] < n) {
+          advanced = true;
+          break;
+        }
+        tuple[pos] = 0;
+      }
+      if (!advanced) break;
+    }
+  }
+  const size_t total = tuples.size();
+
+  // Edge relation from the body.
+  const FormulaNode& body = *node.children[0];
+  RegionEnv env;
+  SetEnv senv;
+  std::vector<std::vector<bool>> edges(total, std::vector<bool>(total, false));
+  for (size_t u = 0; u < total; ++u) {
+    for (size_t v = 0; v < total; ++v) {
+      for (size_t i = 0; i < m; ++i) {
+        env[node.bound_vars[i]] = tuples[u][i];
+        env[node.bound_vars[m + i]] = tuples[v][i];
+      }
+      edges[u][v] = EvalBool(body, env, senv);
+    }
+  }
+
+  if (node.kind == NodeKind::kDtc) {
+    // Keep only unique successors.
+    for (size_t u = 0; u < total; ++u) {
+      size_t successors = 0;
+      for (size_t v = 0; v < total; ++v) {
+        if (edges[u][v]) ++successors;
+      }
+      if (successors != 1) {
+        std::fill(edges[u].begin(), edges[u].end(), false);
+      }
+    }
+  }
+
+  // Reflexive-transitive closure by BFS from every source.
+  std::vector<std::vector<bool>> closure(total,
+                                         std::vector<bool>(total, false));
+  for (size_t source = 0; source < total; ++source) {
+    std::deque<size_t> queue = {source};
+    closure[source][source] = true;  // length-one sequence
+    while (!queue.empty()) {
+      size_t u = queue.front();
+      queue.pop_front();
+      for (size_t v = 0; v < total; ++v) {
+        if (edges[u][v] && !closure[source][v]) {
+          closure[source][v] = true;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return closure_cache_.emplace(&node, std::move(closure)).first->second;
+}
+
+}  // namespace lcdb

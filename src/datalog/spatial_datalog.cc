@@ -1,0 +1,210 @@
+#include "datalog/spatial_datalog.h"
+
+#include <algorithm>
+
+#include "constraint/parser.h"
+#include "constraint/simplify.h"
+#include "qe/fourier_motzkin.h"
+
+namespace lcdb {
+
+namespace {
+
+/// Variables of a rule in first-occurrence order (head first).
+Result<std::vector<std::string>> RuleVariables(const DatalogRule& rule) {
+  std::vector<std::string> vars;
+  auto note = [&vars](const std::string& v) {
+    if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+      vars.push_back(v);
+    }
+  };
+  for (const std::string& v : rule.head_args) note(v);
+  for (const DatalogLiteral& lit : rule.body) {
+    for (const std::string& v : lit.args) note(v);
+  }
+  if (vars.empty()) {
+    return Status::InvalidArgument("rule for '" + rule.head +
+                                   "' has no variables");
+  }
+  return vars;
+}
+
+/// Substitution mapping predicate argument columns to rule-variable columns.
+std::vector<AffineExpr> ArgsToRuleColumns(
+    const std::vector<std::string>& args,
+    const std::vector<std::string>& rule_vars) {
+  std::vector<AffineExpr> map;
+  map.reserve(args.size());
+  for (const std::string& a : args) {
+    size_t col = 0;
+    while (rule_vars[col] != a) ++col;
+    map.push_back(AffineExpr::Variable(rule_vars.size(), col));
+  }
+  return map;
+}
+
+/// Evaluates one rule body against the current IDB stage; returns the head
+/// relation contribution (over head-arg columns).
+Result<DnfFormula> EvaluateRule(const DatalogRule& rule,
+                                const ConstraintDatabase& db,
+                                const std::map<std::string, DnfFormula>& idb) {
+  LCDB_ASSIGN_OR_RETURN(std::vector<std::string> vars, RuleVariables(rule));
+  const size_t n = vars.size();
+  DnfFormula body = DnfFormula::True(n);
+  for (const DatalogLiteral& lit : rule.body) {
+    switch (lit.kind) {
+      case DatalogLiteral::Kind::kEdb: {
+        if (lit.args.size() != db.arity()) {
+          return Status::InvalidArgument("EDB arity mismatch in rule for '" +
+                                         rule.head + "'");
+        }
+        body = body.And(db.representation().Substitute(
+            ArgsToRuleColumns(lit.args, vars), n));
+        break;
+      }
+      case DatalogLiteral::Kind::kIdb: {
+        auto it = idb.find(lit.predicate);
+        if (it == idb.end()) {
+          return Status::InvalidArgument("unknown IDB predicate '" +
+                                         lit.predicate + "'");
+        }
+        if (lit.args.size() != it->second.num_vars()) {
+          return Status::InvalidArgument("IDB arity mismatch for '" +
+                                         lit.predicate + "'");
+        }
+        body = body.And(
+            it->second.Substitute(ArgsToRuleColumns(lit.args, vars), n));
+        break;
+      }
+      case DatalogLiteral::Kind::kConstraint: {
+        LCDB_ASSIGN_OR_RETURN(DnfFormula c,
+                              ParseDnf(lit.constraint_text, vars));
+        body = body.And(c);
+        break;
+      }
+    }
+    if (body.IsSyntacticallyFalse()) break;
+  }
+  // Project out non-head variables, then rearrange columns to head order.
+  std::vector<size_t> eliminate;
+  for (size_t col = 0; col < n; ++col) {
+    if (std::find(rule.head_args.begin(), rule.head_args.end(), vars[col]) ==
+        rule.head_args.end()) {
+      eliminate.push_back(col);
+    }
+  }
+  DnfFormula projected = ExistsVariables(body, std::move(eliminate));
+  // Map rule columns to head columns.
+  const size_t k = rule.head_args.size();
+  std::vector<AffineExpr> to_head;
+  to_head.reserve(n);
+  for (size_t col = 0; col < n; ++col) {
+    size_t head_index = k;
+    for (size_t i = 0; i < k; ++i) {
+      if (rule.head_args[i] == vars[col]) {
+        head_index = i;
+        break;
+      }
+    }
+    to_head.push_back(head_index < k
+                          ? AffineExpr::Variable(k, head_index)
+                          : AffineExpr::Constant(k, Rational(0)));
+  }
+  return projected.Substitute(to_head, k);
+}
+
+}  // namespace
+
+Result<DatalogResult> EvaluateDatalog(const DatalogProgram& program,
+                                      const ConstraintDatabase& db,
+                                      size_t max_iterations,
+                                      const std::string& tracked) {
+  // Validate heads and initialize every IDB predicate to the empty relation.
+  std::map<std::string, DnfFormula> current;
+  for (const auto& [name, arity] : program.idb_arities) {
+    current.emplace(name, DnfFormula::False(arity));
+  }
+  for (const DatalogRule& rule : program.rules) {
+    auto it = program.idb_arities.find(rule.head);
+    if (it == program.idb_arities.end()) {
+      return Status::InvalidArgument("undeclared head predicate '" +
+                                     rule.head + "'");
+    }
+    if (it->second != rule.head_args.size()) {
+      return Status::InvalidArgument("head arity mismatch for '" + rule.head +
+                                     "'");
+    }
+  }
+
+  DatalogResult result;
+  for (size_t iteration = 0; iteration < max_iterations; ++iteration) {
+    ++result.iterations;
+    std::map<std::string, DnfFormula> next = current;
+    for (const DatalogRule& rule : program.rules) {
+      LCDB_ASSIGN_OR_RETURN(DnfFormula contribution,
+                            EvaluateRule(rule, db, current));
+      auto it = next.find(rule.head);
+      it->second = it->second.Or(contribution);
+    }
+    if (!tracked.empty()) {
+      auto it = next.find(tracked);
+      if (it != next.end()) result.stage_sizes.push_back(it->second.SizeMeasure());
+    }
+    bool stable = true;
+    for (const auto& [name, relation] : next) {
+      if (!AreEquivalent(relation, current.at(name))) {
+        stable = false;
+        break;
+      }
+    }
+    current = std::move(next);
+    if (stable) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.relations = std::move(current);
+  return result;
+}
+
+DatalogProgram NaturalNumbersProgram() {
+  DatalogProgram p;
+  p.idb_arities["N"] = 1;
+  p.rules.push_back({"N", {"x"}, {{DatalogLiteral::Kind::kConstraint,
+                                   "", {}, "x = 0"}}});
+  p.rules.push_back(
+      {"N",
+       {"x"},
+       {{DatalogLiteral::Kind::kIdb, "N", {"y"}, ""},
+        {DatalogLiteral::Kind::kConstraint, "", {}, "x = y + 1"}}});
+  return p;
+}
+
+DatalogProgram DownwardClosureProgram() {
+  DatalogProgram p;
+  p.idb_arities["D"] = 1;
+  p.rules.push_back({"D", {"x"}, {{DatalogLiteral::Kind::kEdb, "S", {"x"},
+                                   ""}}});
+  p.rules.push_back(
+      {"D",
+       {"x"},
+       {{DatalogLiteral::Kind::kIdb, "D", {"y"}, ""},
+        {DatalogLiteral::Kind::kConstraint, "", {}, "x <= y"}}});
+  return p;
+}
+
+DatalogProgram BoundedCounterProgram(int64_t k) {
+  DatalogProgram p;
+  p.idb_arities["C"] = 1;
+  p.rules.push_back({"C", {"x"}, {{DatalogLiteral::Kind::kConstraint,
+                                   "", {}, "x = 0"}}});
+  p.rules.push_back(
+      {"C",
+       {"x"},
+       {{DatalogLiteral::Kind::kIdb, "C", {"y"}, ""},
+        {DatalogLiteral::Kind::kConstraint, "", {},
+         "x = y + 1 & x <= " + std::to_string(k)}}});
+  return p;
+}
+
+}  // namespace lcdb

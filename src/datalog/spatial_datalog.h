@@ -1,0 +1,91 @@
+#ifndef LCDB_DATALOG_SPATIAL_DATALOG_H_
+#define LCDB_DATALOG_SPATIAL_DATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "constraint/dnf_formula.h"
+#include "db/database.h"
+#include "util/status.h"
+
+namespace lcdb {
+
+/// Spatial datalog over linear constraint databases — the *unrestricted*
+/// recursion the paper's introduction warns about. IDB predicates denote
+/// finitely representable (possibly infinite) relations; rules combine EDB
+/// atoms, IDB atoms and linear constraints; evaluation is naive bottom-up
+/// with each stage computed symbolically (conjunction + Fourier–Motzkin
+/// projection) and convergence decided by exact semantic equivalence.
+///
+/// The point of this module is the paper's motivation (Section 1): "a naive
+/// definition of least fixed-point logic leads to a non-terminating and
+/// undecidable language, as it is possible to define the natural numbers"
+/// over (R, <, +). Programs here genuinely diverge (the stage formulas grow
+/// forever) unless their fixpoint happens to be semilinear and reached in
+/// finitely many steps — which is exactly why the paper restricts fixed
+/// points to the finite region sort. See also Geerts–Kuijpers [5] on
+/// termination of spatial datalog, discussed in the same paragraph.
+
+/// One body literal of a rule.
+struct DatalogLiteral {
+  enum class Kind {
+    kEdb,        ///< the database relation S(args...)
+    kIdb,        ///< an IDB predicate P(args...)
+    kConstraint  ///< a quantifier-free linear constraint over the rule vars
+  };
+  Kind kind = Kind::kConstraint;
+  std::string predicate;              ///< kEdb/kIdb: predicate name
+  std::vector<std::string> args;      ///< kEdb/kIdb: variable names
+  std::string constraint_text;        ///< kConstraint: formula text
+};
+
+/// A rule  head(head_args) :- body.  All rule variables are universally
+/// quantified; body variables not in the head are projected out (exists).
+struct DatalogRule {
+  std::string head;
+  std::vector<std::string> head_args;
+  std::vector<DatalogLiteral> body;
+};
+
+struct DatalogProgram {
+  /// Predicate name -> arity. Every head must be declared here.
+  std::map<std::string, size_t> idb_arities;
+  std::vector<DatalogRule> rules;
+};
+
+/// Result of running a program to (attempted) fixpoint.
+struct DatalogResult {
+  /// True iff a fixpoint was reached within the iteration cap.
+  bool converged = false;
+  size_t iterations = 0;
+  /// Final (or last-stage) IDB relations.
+  std::map<std::string, DnfFormula> relations;
+  /// Stage-by-stage representation sizes of one tracked predicate — the
+  /// divergence signal (monotone growth without convergence).
+  std::vector<size_t> stage_sizes;
+};
+
+/// Naive bottom-up evaluation with at most `max_iterations` stages.
+/// `tracked` (optional) selects the predicate whose size series is logged.
+Result<DatalogResult> EvaluateDatalog(const DatalogProgram& program,
+                                      const ConstraintDatabase& db,
+                                      size_t max_iterations,
+                                      const std::string& tracked = "");
+
+/// The paper's divergence witness: N(x) :- x = 0 ; N(x) :- N(y), x = y + 1
+/// defines the natural numbers — never a fixpoint over (R, <, +).
+DatalogProgram NaturalNumbersProgram();
+
+/// A terminating contrast: the downward closure D(x) :- S(x) ;
+/// D(x) :- D(y), x <= y converges in two stages (its fixpoint is
+/// semilinear).
+DatalogProgram DownwardClosureProgram();
+
+/// A bounded counter: C(x) :- x = 0 ; C(x) :- C(y), x = y + 1, x <= k —
+/// terminates after k+1 stages (the fixpoint is the finite set {0..k}).
+DatalogProgram BoundedCounterProgram(int64_t k);
+
+}  // namespace lcdb
+
+#endif  // LCDB_DATALOG_SPATIAL_DATALOG_H_

@@ -1,0 +1,91 @@
+#include <algorithm>
+#include <memory>
+
+#include "arrangement/arrangement.h"
+#include "db/region_extension.h"
+#include "util/status.h"
+
+namespace lcdb {
+namespace {
+
+/// Region extension whose second sort is the set of faces of A(S)
+/// (Definition 4.1). Every face is either contained in or disjoint from S
+/// (Section 3), so S-membership is decided once per face via its witness.
+class ArrangementExtension : public RegionExtension {
+ public:
+  explicit ArrangementExtension(const ConstraintDatabase& db)
+      : db_(db),
+        arrangement_(Arrangement::FromFormula(db.representation())) {
+    const size_t n = arrangement_.num_faces();
+    in_s_.resize(n);
+    formulas_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      in_s_[i] = db_.Contains(arrangement_.face(i).witness);
+      formulas_.push_back(arrangement_.FaceFormula(i));
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (arrangement_.face(i).dim == 0) zero_dim_.push_back(i);
+    }
+    std::sort(zero_dim_.begin(), zero_dim_.end(), [&](size_t a, size_t b) {
+      return VecLexCompare(arrangement_.face(a).witness,
+                           arrangement_.face(b).witness) < 0;
+    });
+  }
+
+  const ConstraintDatabase& database() const override { return db_; }
+  std::string kind() const override { return "arrangement"; }
+  size_t num_regions() const override { return arrangement_.num_faces(); }
+
+  int RegionDim(size_t r) const override { return arrangement_.face(r).dim; }
+
+  bool RegionBounded(size_t r) const override {
+    return arrangement_.face(r).bounded;
+  }
+
+  bool Adjacent(size_t r1, size_t r2) const override {
+    return arrangement_.Adjacent(r1, r2);
+  }
+
+  bool RegionSubsetOfS(size_t r) const override { return in_s_[r]; }
+  bool RegionIntersectsS(size_t r) const override { return in_s_[r]; }
+
+  bool ContainsPoint(size_t r, const Vec& point) const override {
+    return arrangement_.LocateFace(point) == r;
+  }
+
+  const Conjunction& RegionFormula(size_t r) const override {
+    return formulas_[r];
+  }
+
+  Vec RegionWitness(size_t r) const override {
+    return arrangement_.face(r).witness;
+  }
+
+  const std::vector<size_t>& ZeroDimRegions() const override {
+    return zero_dim_;
+  }
+
+  Vec ZeroDimPoint(size_t r) const override {
+    LCDB_CHECK(arrangement_.face(r).dim == 0);
+    return arrangement_.face(r).witness;
+  }
+
+  /// Accessor for callers that need the raw arrangement (benchmarks).
+  const Arrangement& arrangement() const { return arrangement_; }
+
+ private:
+  ConstraintDatabase db_;
+  Arrangement arrangement_;
+  std::vector<bool> in_s_;
+  std::vector<Conjunction> formulas_;
+  std::vector<size_t> zero_dim_;
+};
+
+}  // namespace
+
+std::unique_ptr<RegionExtension> MakeArrangementExtension(
+    const ConstraintDatabase& db) {
+  return std::make_unique<ArrangementExtension>(db);
+}
+
+}  // namespace lcdb

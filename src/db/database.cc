@@ -1,0 +1,31 @@
+#include "db/database.h"
+
+#include "util/status.h"
+
+namespace lcdb {
+
+ConstraintDatabase::ConstraintDatabase(std::string relation_name,
+                                       DnfFormula representation,
+                                       std::vector<std::string> var_names)
+    : relation_name_(std::move(relation_name)),
+      representation_(std::move(representation)),
+      var_names_(std::move(var_names)) {
+  if (var_names_.empty()) {
+    for (size_t i = 0; i < representation_.num_vars(); ++i) {
+      var_names_.push_back("x" + std::to_string(i));
+    }
+  }
+  LCDB_CHECK(var_names_.size() == representation_.num_vars());
+}
+
+std::string ConstraintDatabase::ToString() const {
+  std::string out = relation_name_ + "(";
+  for (size_t i = 0; i < var_names_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += var_names_[i];
+  }
+  out += ") := " + representation_.ToString(var_names_);
+  return out;
+}
+
+}  // namespace lcdb

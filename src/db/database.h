@@ -1,0 +1,49 @@
+#ifndef LCDB_DB_DATABASE_H_
+#define LCDB_DB_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "constraint/dnf_formula.h"
+
+namespace lcdb {
+
+/// A linear constraint database B = ((R, <, +), S) with a single d-ary
+/// spatial relation S finitely represented by a DNF formula with integer
+/// coefficients (Section 2; the one-relation restriction follows the paper).
+///
+/// The database carries a *representation*, not just an abstract relation:
+/// size and complexity statements are all relative to the representation,
+/// and two different representations of the same relation are semantically
+/// interchangeable (queries are abstract).
+class ConstraintDatabase {
+ public:
+  ConstraintDatabase(std::string relation_name, DnfFormula representation,
+                     std::vector<std::string> var_names = {});
+
+  const std::string& relation_name() const { return relation_name_; }
+  /// Arity d of the spatial relation.
+  size_t arity() const { return representation_.num_vars(); }
+  const DnfFormula& representation() const { return representation_; }
+  const std::vector<std::string>& var_names() const { return var_names_; }
+
+  /// The size |B| of the database: the size of its representation
+  /// (Section 2).
+  size_t Size() const { return representation_.SizeMeasure(); }
+
+  /// Membership of a point in S.
+  bool Contains(const Vec& point) const {
+    return representation_.Satisfies(point);
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::string relation_name_;
+  DnfFormula representation_;
+  std::vector<std::string> var_names_;
+};
+
+}  // namespace lcdb
+
+#endif  // LCDB_DB_DATABASE_H_

@@ -1,0 +1,123 @@
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "constraint/simplify.h"
+#include "db/region_extension.h"
+#include "decomp/decomposition.h"
+#include "util/status.h"
+
+namespace lcdb {
+namespace {
+
+/// Region extension over the Section 7 / Appendix A decomposition. Regions
+/// are generator regions; geometric predicates (adjacency, S-containment)
+/// reduce to LP feasibility and are cached lazily because the logics only
+/// touch the pairs their queries mention.
+class DecompositionExtension : public RegionExtension {
+ public:
+  explicit DecompositionExtension(const ConstraintDatabase& db)
+      : db_(db), regions_(DecomposeFormula(db.representation())) {
+    formulas_.resize(regions_.size());
+    subset_s_.resize(regions_.size());
+    intersects_s_.resize(regions_.size());
+    for (size_t i = 0; i < regions_.size(); ++i) {
+      if (regions_[i].region.Dimension() == 0) zero_dim_.push_back(i);
+    }
+    std::sort(zero_dim_.begin(), zero_dim_.end(), [&](size_t a, size_t b) {
+      int cmp = VecLexCompare(regions_[a].region.points()[0],
+                              regions_[b].region.points()[0]);
+      return cmp != 0 ? cmp < 0 : a < b;
+    });
+  }
+
+  const ConstraintDatabase& database() const override { return db_; }
+  std::string kind() const override { return "decomposition"; }
+  size_t num_regions() const override { return regions_.size(); }
+
+  int RegionDim(size_t r) const override {
+    return regions_[r].region.Dimension();
+  }
+
+  bool RegionBounded(size_t r) const override {
+    return regions_[r].region.rays().empty();
+  }
+
+  bool Adjacent(size_t r1, size_t r2) const override {
+    if (r1 == r2) return false;
+    const uint64_t key = (static_cast<uint64_t>(std::min(r1, r2)) << 32) |
+                         static_cast<uint64_t>(std::max(r1, r2));
+    auto it = adjacent_cache_.find(key);
+    if (it != adjacent_cache_.end()) return it->second;
+    const bool adj = regions_[r1].region.AdjacentTo(regions_[r2].region);
+    adjacent_cache_.emplace(key, adj);
+    return adj;
+  }
+
+  bool RegionSubsetOfS(size_t r) const override {
+    if (!subset_s_[r].has_value()) {
+      DnfFormula region_formula(db_.arity(), {RegionFormula(r)});
+      subset_s_[r] = Implies(region_formula, db_.representation());
+    }
+    return *subset_s_[r];
+  }
+
+  bool RegionIntersectsS(size_t r) const override {
+    if (!intersects_s_[r].has_value()) {
+      bool intersects = false;
+      for (const Conjunction& disjunct : db_.representation().disjuncts()) {
+        if (regions_[r].region.IntersectsConjunction(disjunct)) {
+          intersects = true;
+          break;
+        }
+      }
+      intersects_s_[r] = intersects;
+    }
+    return *intersects_s_[r];
+  }
+
+  bool ContainsPoint(size_t r, const Vec& point) const override {
+    return regions_[r].region.Contains(point);
+  }
+
+  const Conjunction& RegionFormula(size_t r) const override {
+    if (!formulas_[r].has_value()) {
+      formulas_[r] = regions_[r].region.ToConjunction();
+    }
+    return *formulas_[r];
+  }
+
+  Vec RegionWitness(size_t r) const override {
+    return regions_[r].region.Witness();
+  }
+
+  const std::vector<size_t>& ZeroDimRegions() const override {
+    return zero_dim_;
+  }
+
+  Vec ZeroDimPoint(size_t r) const override {
+    LCDB_CHECK(regions_[r].region.Dimension() == 0);
+    return regions_[r].region.points()[0];
+  }
+
+  const std::vector<DecompRegion>& regions() const { return regions_; }
+
+ private:
+  ConstraintDatabase db_;
+  std::vector<DecompRegion> regions_;
+  mutable std::vector<std::optional<Conjunction>> formulas_;
+  mutable std::vector<std::optional<bool>> subset_s_;
+  mutable std::vector<std::optional<bool>> intersects_s_;
+  mutable std::unordered_map<uint64_t, bool> adjacent_cache_;
+  std::vector<size_t> zero_dim_;
+};
+
+}  // namespace
+
+std::unique_ptr<RegionExtension> MakeDecompositionExtension(
+    const ConstraintDatabase& db) {
+  return std::make_unique<DecompositionExtension>(db);
+}
+
+}  // namespace lcdb

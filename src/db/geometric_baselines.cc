@@ -1,0 +1,83 @@
+#include "db/geometric_baselines.h"
+
+#include <deque>
+
+#include "util/status.h"
+
+namespace lcdb {
+
+UnionFind::UnionFind(size_t n) : parent_(n), classes_(n) {
+  for (size_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+size_t UnionFind::Find(size_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];
+    x = parent_[x];
+  }
+  return x;
+}
+
+void UnionFind::Union(size_t a, size_t b) {
+  a = Find(a);
+  b = Find(b);
+  if (a == b) return;
+  parent_[a] = b;
+  --classes_;
+}
+
+namespace {
+
+/// Indices of regions contained in S.
+std::vector<size_t> RegionsInS(const RegionExtension& ext) {
+  std::vector<size_t> in_s;
+  for (size_t r = 0; r < ext.num_regions(); ++r) {
+    if (ext.RegionSubsetOfS(r)) in_s.push_back(r);
+  }
+  return in_s;
+}
+
+}  // namespace
+
+size_t CountComponentsBaseline(const RegionExtension& ext) {
+  std::vector<size_t> in_s = RegionsInS(ext);
+  UnionFind uf(in_s.size());
+  for (size_t i = 0; i < in_s.size(); ++i) {
+    for (size_t j = i + 1; j < in_s.size(); ++j) {
+      if (ext.Adjacent(in_s[i], in_s[j])) uf.Union(i, j);
+    }
+  }
+  return uf.NumClasses();
+}
+
+bool SpatialConnectivityBaseline(const RegionExtension& ext) {
+  return CountComponentsBaseline(ext) <= 1;
+}
+
+bool RegionReachabilityBaseline(const RegionExtension& ext, const Vec& from,
+                                const Vec& to) {
+  // Locate the regions containing the endpoints; both must be inside S.
+  size_t start = ext.num_regions(), goal = ext.num_regions();
+  for (size_t r = 0; r < ext.num_regions(); ++r) {
+    if (!ext.RegionSubsetOfS(r)) continue;
+    if (start == ext.num_regions() && ext.ContainsPoint(r, from)) start = r;
+    if (goal == ext.num_regions() && ext.ContainsPoint(r, to)) goal = r;
+  }
+  if (start == ext.num_regions() || goal == ext.num_regions()) return false;
+  std::vector<bool> seen(ext.num_regions(), false);
+  std::deque<size_t> queue = {start};
+  seen[start] = true;
+  while (!queue.empty()) {
+    size_t r = queue.front();
+    queue.pop_front();
+    if (r == goal) return true;
+    for (size_t g = 0; g < ext.num_regions(); ++g) {
+      if (seen[g] || !ext.RegionSubsetOfS(g) || !ext.Adjacent(r, g)) continue;
+      seen[g] = true;
+      queue.push_back(g);
+    }
+  }
+  return false;
+}
+
+}  // namespace lcdb

@@ -1,0 +1,45 @@
+#ifndef LCDB_DB_GEOMETRIC_BASELINES_H_
+#define LCDB_DB_GEOMETRIC_BASELINES_H_
+
+#include <vector>
+
+#include "db/region_extension.h"
+
+namespace lcdb {
+
+/// Hand-written geometric algorithms over the region graph. These serve as
+/// the *baselines* for the generic logic evaluator (DESIGN.md's substitution
+/// for the Grumbach–Kuper comparator [11]): they compute the same answers as
+/// the corresponding RegLFP/RegTC queries, directly, with union-find/BFS.
+
+/// True iff S is topologically connected, decided by union-find over the
+/// adjacency graph restricted to regions contained in S — the geometric
+/// counterpart of the paper's Conn query (Section 5). An empty S counts as
+/// connected (the query's universal quantification is vacuous).
+bool SpatialConnectivityBaseline(const RegionExtension& ext);
+
+/// Number of connected components of the sub-S region graph.
+size_t CountComponentsBaseline(const RegionExtension& ext);
+
+/// True iff the regions containing `from` and `to` are linked by a path of
+/// adjacent regions contained in S (BFS) — the geometric counterpart of the
+/// LFP reachability core of Conn.
+bool RegionReachabilityBaseline(const RegionExtension& ext, const Vec& from,
+                                const Vec& to);
+
+/// Simple union-find used by the baselines (exposed for tests).
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n);
+  size_t Find(size_t x);
+  void Union(size_t a, size_t b);
+  size_t NumClasses() const { return classes_; }
+
+ private:
+  std::vector<size_t> parent_;
+  size_t classes_;
+};
+
+}  // namespace lcdb
+
+#endif  // LCDB_DB_GEOMETRIC_BASELINES_H_

@@ -1,0 +1,34 @@
+#ifndef LCDB_DB_IO_H_
+#define LCDB_DB_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "db/database.h"
+#include "util/status.h"
+
+namespace lcdb {
+
+/// Text format for constraint databases:
+///
+///   # comment lines and blank lines are ignored
+///   relation S(x, y)
+///   formula (x >= 0 & y >= 0 & x + y <= 4) | x = y
+///
+/// The formula may span multiple lines; everything after the `formula`
+/// keyword (to end of input) is parsed as one DNF expression.
+Result<ConstraintDatabase> LoadDatabaseFromString(std::string_view text);
+
+/// Reads a database from a file on disk.
+Result<ConstraintDatabase> LoadDatabaseFromFile(const std::string& path);
+
+/// Serializes; `LoadDatabaseFromString` round-trips the result.
+std::string SaveDatabaseToString(const ConstraintDatabase& db);
+
+/// Writes the database to a file.
+Status SaveDatabaseToFile(const ConstraintDatabase& db,
+                          const std::string& path);
+
+}  // namespace lcdb
+
+#endif  // LCDB_DB_IO_H_

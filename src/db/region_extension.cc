@@ -1,0 +1,13 @@
+#include "db/region_extension.h"
+
+namespace lcdb {
+
+size_t RegionExtension::ZeroDimRank(size_t r) const {
+  const std::vector<size_t>& zeros = ZeroDimRegions();
+  for (size_t i = 0; i < zeros.size(); ++i) {
+    if (zeros[i] == r) return i;
+  }
+  return num_regions();
+}
+
+}  // namespace lcdb

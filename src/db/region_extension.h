@@ -1,0 +1,86 @@
+#ifndef LCDB_DB_REGION_EXTENSION_H_
+#define LCDB_DB_REGION_EXTENSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+
+namespace lcdb {
+
+/// The two-sorted region extension B^Reg = (R, Reg; <=, +, S, adj, ∈) of a
+/// linear constraint database (Definition 4.1 and Note 7.1). The first sort
+/// is handled symbolically by the evaluator; this interface exposes the
+/// finite second sort: the set of regions with the relations the logics use.
+///
+/// Two implementations exist, matching the paper's two decompositions:
+///  * ArrangementExtension — regions are the faces of the arrangement A(S)
+///    (Sections 3-6). Faces partition R^d and each is contained in or
+///    disjoint from S.
+///  * DecompositionExtension — regions are the Appendix A generator regions
+///    (Section 7). Regions may overlap, need not cover R^d, and need not be
+///    contained in or disjoint from S (Note 7.1).
+class RegionExtension {
+ public:
+  virtual ~RegionExtension() = default;
+
+  virtual const ConstraintDatabase& database() const = 0;
+
+  /// Identifies which decomposition produced the extension.
+  virtual std::string kind() const = 0;
+
+  virtual size_t num_regions() const = 0;
+
+  /// Dimension of the affine support of the region.
+  virtual int RegionDim(size_t r) const = 0;
+
+  /// Whether the region is contained in some hypercube (Theorem 6.4's
+  /// bounded/unbounded split).
+  virtual bool RegionBounded(size_t r) const = 0;
+
+  /// The adjacency relation adj of Definition 4.1: some point of one region
+  /// has every epsilon-neighbourhood meeting the other. Irreflexive by
+  /// convention, symmetric.
+  virtual bool Adjacent(size_t r1, size_t r2) const = 0;
+
+  /// R ⊆ S (the paper's `R ⊆ S` atoms in example queries).
+  virtual bool RegionSubsetOfS(size_t r) const = 0;
+
+  /// R ∩ S nonempty. On arrangements this coincides with RegionSubsetOfS.
+  virtual bool RegionIntersectsS(size_t r) const = 0;
+
+  /// The containment relation ∈ between points and regions.
+  virtual bool ContainsPoint(size_t r, const Vec& point) const = 0;
+
+  /// A quantifier-free formula defining the region (used by the evaluator
+  /// to translate region atoms into element-sort constraints; proof of
+  /// Theorem 4.3).
+  virtual const Conjunction& RegionFormula(size_t r) const = 0;
+
+  /// A rational point inside the region.
+  virtual Vec RegionWitness(size_t r) const = 0;
+
+  /// The 0-dimensional regions ordered lexicographically by their point
+  /// (the order underlying the rBIT operator and the Theorem 6.4 encoding).
+  virtual const std::vector<size_t>& ZeroDimRegions() const = 0;
+
+  /// The unique point of a 0-dimensional region.
+  virtual Vec ZeroDimPoint(size_t r) const = 0;
+
+  /// Rank of a 0-dimensional region in the lexicographic order, or
+  /// num_regions() if `r` is not 0-dimensional.
+  size_t ZeroDimRank(size_t r) const;
+};
+
+/// Builds the Sections 3-6 extension (arrangement faces).
+std::unique_ptr<RegionExtension> MakeArrangementExtension(
+    const ConstraintDatabase& db);
+
+/// Builds the Section 7 / Appendix A extension (generator regions).
+std::unique_ptr<RegionExtension> MakeDecompositionExtension(
+    const ConstraintDatabase& db);
+
+}  // namespace lcdb
+
+#endif  // LCDB_DB_REGION_EXTENSION_H_

@@ -1,0 +1,141 @@
+#include "db/workloads.h"
+
+#include <random>
+
+#include "util/status.h"
+
+namespace lcdb {
+
+namespace {
+
+LinearAtom Atom2(int64_t cx, int64_t cy, RelOp rel, int64_t rhs) {
+  return LinearAtom({Rational(cx), Rational(cy)}, rel, Rational(rhs));
+}
+
+/// The closed axis-aligned box [x0, x1] x [y0, y1].
+Conjunction Box(int64_t x0, int64_t x1, int64_t y0, int64_t y1) {
+  return Conjunction(2, {Atom2(1, 0, RelOp::kGe, x0), Atom2(1, 0, RelOp::kLe, x1),
+                         Atom2(0, 1, RelOp::kGe, y0), Atom2(0, 1, RelOp::kLe, y1)});
+}
+
+}  // namespace
+
+ConstraintDatabase MakeComb(size_t teeth, bool connected) {
+  LCDB_CHECK(teeth >= 1);
+  std::vector<Conjunction> disjuncts;
+  for (size_t i = 0; i < teeth; ++i) {
+    const int64_t x = static_cast<int64_t>(2 * i);
+    disjuncts.push_back(Box(x, x + 1, 0, 2));
+  }
+  if (connected) {
+    disjuncts.push_back(Box(0, static_cast<int64_t>(2 * (teeth - 1) + 1), 2, 3));
+  }
+  return ConstraintDatabase("S", DnfFormula(2, std::move(disjuncts)),
+                            {"x", "y"});
+}
+
+ConstraintDatabase MakeStaircase(size_t steps) {
+  LCDB_CHECK(steps >= 1);
+  std::vector<Conjunction> disjuncts;
+  for (size_t i = 0; i < steps; ++i) {
+    const int64_t t = static_cast<int64_t>(i);
+    disjuncts.push_back(Box(t, t + 1, t, t + 1));
+  }
+  return ConstraintDatabase("S", DnfFormula(2, std::move(disjuncts)),
+                            {"x", "y"});
+}
+
+ConstraintDatabase MakeBoxGrid(size_t k) {
+  LCDB_CHECK(k >= 1);
+  std::vector<Conjunction> disjuncts;
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      disjuncts.push_back(Box(static_cast<int64_t>(2 * i),
+                              static_cast<int64_t>(2 * i + 1),
+                              static_cast<int64_t>(2 * j),
+                              static_cast<int64_t>(2 * j + 1)));
+    }
+  }
+  return ConstraintDatabase("S", DnfFormula(2, std::move(disjuncts)),
+                            {"x", "y"});
+}
+
+std::vector<Hyperplane> RandomHyperplanes(size_t n, size_t dim,
+                                          int64_t max_coeff, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> coeff(-max_coeff, max_coeff);
+  std::vector<Hyperplane> planes;
+  planes.reserve(n);
+  while (planes.size() < n) {
+    Vec c(dim);
+    for (size_t i = 0; i < dim; ++i) c[i] = Rational(coeff(rng));
+    if (VecIsZero(c)) c[planes.size() % dim] = Rational(1);
+    Hyperplane h =
+        Hyperplane::FromAtom(LinearAtom(c, RelOp::kEq, Rational(coeff(rng))));
+    bool duplicate = false;
+    for (const Hyperplane& existing : planes) {
+      if (existing == h) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) planes.push_back(std::move(h));
+  }
+  return planes;
+}
+
+ConstraintDatabase MakeRandomSlabs(size_t n, size_t dim, int64_t max_coeff,
+                                   uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> coeff(-max_coeff, max_coeff);
+  std::vector<std::string> names;
+  for (size_t i = 0; i < dim; ++i) names.push_back("x" + std::to_string(i));
+  std::vector<Conjunction> disjuncts;
+  while (disjuncts.size() < n) {
+    Vec c(dim);
+    for (size_t i = 0; i < dim; ++i) c[i] = Rational(coeff(rng));
+    if (VecIsZero(c)) c[disjuncts.size() % dim] = Rational(1);
+    const Rational base(coeff(rng));
+    Conjunction slab(dim, {LinearAtom(c, RelOp::kGe, base),
+                           LinearAtom(c, RelOp::kLe, base + Rational(1))});
+    disjuncts.push_back(std::move(slab));
+  }
+  return ConstraintDatabase("S", DnfFormula(dim, std::move(disjuncts)),
+                            std::move(names));
+}
+
+ConstraintDatabase MakeRiverScenario(size_t river_len,
+                                     const std::vector<size_t>& cities,
+                                     const std::vector<size_t>& chem1_at,
+                                     const std::vector<size_t>& chem2_at) {
+  LCDB_CHECK(river_len >= 1);
+  // Layers on the l axis; every feature is a horizontal unit interval
+  // {x in [c, c+1], l = layer}.
+  auto strip = [](int64_t x0, int64_t x1, int64_t layer) {
+    return Conjunction(2, {Atom2(1, 0, RelOp::kGe, x0),
+                           Atom2(1, 0, RelOp::kLe, x1),
+                           Atom2(0, 1, RelOp::kEq, layer)});
+  };
+  std::vector<Conjunction> disjuncts;
+  disjuncts.push_back(strip(0, static_cast<int64_t>(river_len), 1));  // river
+  disjuncts.push_back(strip(0, 1, 2));                                // spring
+  for (size_t c : cities) {
+    LCDB_CHECK(c < river_len);
+    disjuncts.push_back(strip(static_cast<int64_t>(c),
+                              static_cast<int64_t>(c) + 1, 3));
+  }
+  for (size_t c : chem1_at) {
+    LCDB_CHECK(c < river_len);
+    disjuncts.push_back(strip(static_cast<int64_t>(c),
+                              static_cast<int64_t>(c) + 1, 4));
+  }
+  for (size_t c : chem2_at) {
+    LCDB_CHECK(c < river_len);
+    disjuncts.push_back(strip(static_cast<int64_t>(c),
+                              static_cast<int64_t>(c) + 1, 5));
+  }
+  return ConstraintDatabase("S", DnfFormula(2, std::move(disjuncts)),
+                            {"x", "l"});
+}
+
+}  // namespace lcdb

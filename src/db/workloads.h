@@ -1,0 +1,60 @@
+#ifndef LCDB_DB_WORKLOADS_H_
+#define LCDB_DB_WORKLOADS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/database.h"
+#include "geometry/hyperplane.h"
+
+namespace lcdb {
+
+/// Synthetic workload generators used by the benchmark harness and tests.
+/// The paper has no published datasets; these generators produce families
+/// with controlled region counts and connectivity structure so that the
+/// complexity-theorem experiments (DESIGN.md, T3.1/T4.3/T6.1/T7.3) can
+/// sweep input size.
+
+/// A comb in R^2: `teeth` vertical bars; when `connected`, a horizontal
+/// spine joins them (S connected), otherwise the bars are isolated.
+/// Representation size grows linearly in `teeth`, and the LFP reachability
+/// chain through the arrangement grows with it.
+ConstraintDatabase MakeComb(size_t teeth, bool connected);
+
+/// A staircase corridor of `steps` unit squares joined corner-to-corner —
+/// the adjacency diameter of the region graph grows linearly in `steps`.
+ConstraintDatabase MakeStaircase(size_t steps);
+
+/// A k x k grid of pairwise-disjoint closed unit boxes (k^2 components).
+ConstraintDatabase MakeBoxGrid(size_t k);
+
+/// `n` pseudo-random hyperplanes in R^dim with integer coefficients in
+/// [-max_coeff, max_coeff] (deterministic in `seed`; degenerate all-zero
+/// rows are repaired).
+std::vector<Hyperplane> RandomHyperplanes(size_t n, size_t dim,
+                                          int64_t max_coeff, uint64_t seed);
+
+/// A database whose relation is a union of `n` random halfplane slabs —
+/// drives arrangement sizes for the Theorem 3.1 sweep.
+ConstraintDatabase MakeRandomSlabs(size_t n, size_t dim, int64_t max_coeff,
+                                   uint64_t seed);
+
+/// The river scenario of the paper's Figure 6. The paper stores the
+/// information whether a point belongs to the river, a city, etc. "in the
+/// third dimension"; we use the same trick one dimension down — a 2-ary
+/// relation over (x, layer) — because the river's lateral extent carries no
+/// information (the relation would be a cylinder over it) and dropping it
+/// keeps the arrangement small. Layers:
+///   1 = river (an interval of `river_len` unit segments flowing in +x),
+///   2 = the spring (the first river segment),
+///   3 = cities (unit intervals at the given positions),
+///   4 = chem1 markers, 5 = chem2 markers (unit intervals at positions
+///       from `chem1_at` / `chem2_at`, indices into 0..river_len-1).
+ConstraintDatabase MakeRiverScenario(size_t river_len,
+                                     const std::vector<size_t>& cities,
+                                     const std::vector<size_t>& chem1_at,
+                                     const std::vector<size_t>& chem2_at);
+
+}  // namespace lcdb
+
+#endif  // LCDB_DB_WORKLOADS_H_

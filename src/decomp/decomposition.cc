@@ -1,0 +1,236 @@
+#include "decomp/decomposition.h"
+
+#include <algorithm>
+
+#include "geometry/predicates.h"
+#include "geometry/vertex_enumeration.h"
+#include "util/status.h"
+
+namespace lcdb {
+
+namespace {
+
+/// Calls `visit` with every size-k multiset (combination with repetition)
+/// of indices {0, ..., n-1}, as a non-decreasing index vector.
+template <typename Visitor>
+void ForEachMultiset(size_t n, size_t k, Visitor visit) {
+  if (n == 0 || k == 0) return;
+  std::vector<size_t> idx(k, 0);
+  while (true) {
+    visit(idx);
+    size_t i = k;
+    while (i > 0 && idx[i - 1] == n - 1) --i;
+    if (i == 0) return;
+    ++idx[i - 1];
+    for (size_t j = i; j < k; ++j) idx[j] = idx[i - 1];
+  }
+}
+
+void AppendUnique(std::vector<DecompRegion>* out, DecompRegion region) {
+  for (const DecompRegion& existing : *out) {
+    if (existing.region == region.region) return;
+  }
+  out->push_back(std::move(region));
+}
+
+/// Appendix A, bounded case: inner and outer regions from a vertex set.
+void BoundedRegions(const Conjunction& poly, const std::vector<Vec>& vertices,
+                    size_t disjunct, std::vector<DecompRegion>* out) {
+  if (vertices.empty()) return;
+  const size_t d = poly.num_vars();
+  const Conjunction interior = RelativeInterior(poly);
+
+  // Outer regions: open hulls of at most d vertices (with repetition) whose
+  // pairwise open segments avoid the relative interior of poly.
+  for (size_t k = 1; k <= d; ++k) {
+    ForEachMultiset(vertices.size(), k, [&](const std::vector<size_t>& idx) {
+      for (size_t a = 0; a < idx.size(); ++a) {
+        for (size_t b = a + 1; b < idx.size(); ++b) {
+          if (idx[a] == idx[b]) continue;
+          GeneratorRegion seg = GeneratorRegion::OpenSegment(
+              vertices[idx[a]], vertices[idx[b]]);
+          if (seg.IntersectsConjunction(interior)) return;
+        }
+      }
+      std::vector<Vec> points;
+      for (size_t i : idx) points.push_back(vertices[i]);
+      AppendUnique(out, {GeneratorRegion::OpenHull(d, std::move(points)),
+                         disjunct, DecompKind::kOuter});
+    });
+  }
+
+  // Inner regions: p_low is the lexicographically smallest vertex; hulls of
+  // p_low plus d vertices (with repetition) from the others, such that the
+  // open segment from p_low to every remaining vertex misses the hull.
+  size_t low = 0;
+  for (size_t i = 1; i < vertices.size(); ++i) {
+    if (VecLexCompare(vertices[i], vertices[low]) < 0) low = i;
+  }
+  std::vector<size_t> others;
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    if (i != low) others.push_back(i);
+  }
+  ForEachMultiset(others.size(), d, [&](const std::vector<size_t>& idx) {
+    std::vector<Vec> points = {vertices[low]};
+    std::vector<bool> chosen(vertices.size(), false);
+    chosen[low] = true;
+    for (size_t i : idx) {
+      points.push_back(vertices[others[i]]);
+      chosen[others[i]] = true;
+    }
+    GeneratorRegion hull = GeneratorRegion::OpenHull(d, std::move(points));
+    for (size_t v = 0; v < vertices.size(); ++v) {
+      if (chosen[v]) continue;
+      GeneratorRegion probe =
+          GeneratorRegion::OpenSegment(vertices[low], vertices[v]);
+      if (probe.Intersects(hull)) return;
+    }
+    AppendUnique(out, {std::move(hull), disjunct, DecompKind::kInner});
+  });
+}
+
+/// Computes the Appendix A coordinate bound c for `poly`.
+Rational CoordinateBound(const Conjunction& poly,
+                         const std::vector<Vec>& vertices) {
+  if (!vertices.empty()) return MaxAbsCoordinate(vertices);
+  // No vertices: use vert'(psi) over 𝔥(psi) extended with the axes x_i = 0.
+  const size_t d = poly.num_vars();
+  std::vector<Hyperplane> planes = HyperplanesOf(poly);
+  for (size_t i = 0; i < d; ++i) {
+    Vec row(d);
+    row[i] = Rational(1);
+    planes.push_back(
+        Hyperplane::FromAtom(LinearAtom(row, RelOp::kEq, Rational(0))));
+  }
+  std::sort(planes.begin(), planes.end());
+  planes.erase(std::unique(planes.begin(), planes.end()), planes.end());
+  return MaxAbsCoordinate(EnumerateIntersectionPoints(planes, d));
+}
+
+/// Appendix A boundedness test: psi is bounded iff every facet hyperplane of
+/// cube(psi) misses psi.
+bool CubeBounded(const Conjunction& poly, const Rational& c) {
+  for (const LinearAtom& facet : CubeAtoms(poly.num_vars(), c)) {
+    std::vector<LinearAtom> atoms = poly.atoms();
+    atoms.push_back(facet);
+    if (Conjunction(poly.num_vars(), std::move(atoms)).IsFeasible()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string DecompRegion::ToString() const {
+  std::string kind_name;
+  switch (kind) {
+    case DecompKind::kInner:
+      kind_name = "inner";
+      break;
+    case DecompKind::kOuter:
+      kind_name = "outer";
+      break;
+    case DecompKind::kRay:
+      kind_name = "ray";
+      break;
+    case DecompKind::kUnboundedHull:
+      kind_name = "unbounded-hull";
+      break;
+  }
+  return kind_name + "[psi_" + std::to_string(disjunct) + "] " +
+         region.ToString();
+}
+
+std::vector<DecompRegion> DecomposeDisjunct(const Conjunction& poly,
+                                            size_t disjunct_index) {
+  std::vector<DecompRegion> out;
+  if (!poly.IsFeasible()) return out;
+  const size_t d = poly.num_vars();
+  const std::vector<Vec> vertices = VerticesOf(poly);
+  const Rational c = CoordinateBound(poly, vertices);
+  if (CubeBounded(poly, c)) {
+    BoundedRegions(poly, vertices, disjunct_index, &out);
+    return out;
+  }
+
+  // Unbounded case: clip by the open inner cube and decompose the clipped
+  // polyhedron as in the bounded case.
+  std::vector<LinearAtom> clipped_atoms = poly.atoms();
+  for (const LinearAtom& atom : InnerCubeAtoms(d, c)) {
+    clipped_atoms.push_back(atom);
+  }
+  const Conjunction clipped(d, std::move(clipped_atoms));
+  const std::vector<Vec> cube_vertices = VerticesOf(clipped);
+  BoundedRegions(clipped, cube_vertices, disjunct_index, &out);
+
+  // up(psi): pairs (p, p - q), p a vertex on the boundary of icube, q any
+  // other vertex, with the full ray inside closure(psi).
+  const Rational bound = (c + Rational(1)) * Rational(2);
+  auto on_cube_boundary = [&](const Vec& p) {
+    for (const Rational& x : p) {
+      if (x == bound || x == -bound) return true;
+    }
+    return false;
+  };
+  std::vector<std::pair<Vec, Vec>> up;
+  for (const Vec& p : cube_vertices) {
+    if (!on_cube_boundary(p)) continue;
+    for (const Vec& q : cube_vertices) {
+      if (q == p) continue;
+      Vec dir = VecSub(p, q);
+      if (VecIsZero(dir)) continue;
+      if (RayInClosure(p, dir, poly)) {
+        up.emplace_back(p, std::move(dir));
+      }
+    }
+  }
+  // Each up pair is an (open) ray region; open hulls of up to d rays form
+  // the higher-dimensional unbounded regions.
+  for (const auto& [p, dir] : up) {
+    AppendUnique(&out, {GeneratorRegion::OpenRay(p, dir), disjunct_index,
+                        DecompKind::kRay});
+  }
+  for (size_t k = 2; k <= d && k <= up.size(); ++k) {
+    ForEachMultiset(up.size(), k, [&](const std::vector<size_t>& idx) {
+      // Skip multisets that repeat a ray (they collapse to fewer rays).
+      for (size_t a = 1; a < idx.size(); ++a) {
+        if (idx[a] == idx[a - 1]) return;
+      }
+      std::vector<Vec> points;
+      std::vector<Vec> rays;
+      for (size_t i : idx) {
+        points.push_back(up[i].first);
+        rays.push_back(up[i].second);
+      }
+      AppendUnique(&out,
+                   {GeneratorRegion(d, std::move(points), std::move(rays),
+                                    /*open=*/true),
+                    disjunct_index, DecompKind::kUnboundedHull});
+    });
+  }
+  return out;
+}
+
+std::vector<DecompRegion> DecomposeFormula(const DnfFormula& formula) {
+  std::vector<DecompRegion> out;
+  for (size_t i = 0; i < formula.disjuncts().size(); ++i) {
+    for (DecompRegion& r : DecomposeDisjunct(formula.disjuncts()[i], i)) {
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> RegionCountsByDimension(
+    const std::vector<DecompRegion>& regions, size_t ambient_dim) {
+  std::vector<size_t> counts(ambient_dim + 1, 0);
+  for (const DecompRegion& r : regions) {
+    const int dim = r.region.Dimension();
+    LCDB_CHECK(dim >= 0 && dim <= static_cast<int>(ambient_dim));
+    counts[static_cast<size_t>(dim)]++;
+  }
+  return counts;
+}
+
+}  // namespace lcdb

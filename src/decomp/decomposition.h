@@ -1,0 +1,57 @@
+#ifndef LCDB_DECOMP_DECOMPOSITION_H_
+#define LCDB_DECOMP_DECOMPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "constraint/dnf_formula.h"
+#include "geometry/generator_region.h"
+
+namespace lcdb {
+
+/// Provenance of a region produced by the Appendix A decomposition.
+enum class DecompKind {
+  kInner,          ///< open hull of p_low and d vertices (bounded case)
+  kOuter,          ///< open hull of at most d vertices on the boundary
+  kRay,            ///< open ray of an up(ψ) pair (unbounded case)
+  kUnboundedHull,  ///< open hull of up to d rays (unbounded case)
+};
+
+/// One region of the Section 7 / Appendix A decomposition, with provenance.
+struct DecompRegion {
+  GeneratorRegion region;
+  size_t disjunct = 0;  ///< index of the disjunct ψ_i it was computed from
+  DecompKind kind = DecompKind::kOuter;
+
+  std::string ToString() const;
+};
+
+/// The Section 7 decomposition regions(ψ) of a single (feasible) disjunct.
+/// Follows Appendix A literally:
+///  1. vert(ψ): unique intersections of d-tuples of hyperplanes of 𝔥(ψ)
+///     lying in closure(ψ).
+///  2. Boundedness via the cube(ψ) facet test at 2(c+1).
+///  3. Bounded: inner regions are open hulls of p_low (the lexicographically
+///     smallest vertex) and d further vertices (with repetition) such that
+///     the open segment from p_low to every *other* vertex misses the hull;
+///     outer regions are open hulls of at most d vertices whose pairwise
+///     open segments miss the relative interior of ψ.
+///  4. Unbounded: bounded regions of ψ ∩ icube(ψ), plus the up(ψ) rays
+///     (p on the cube boundary, direction p - q, ray inside closure(ψ)) and
+///     open hulls of up to d of those rays.
+std::vector<DecompRegion> DecomposeDisjunct(const Conjunction& poly,
+                                            size_t disjunct_index);
+
+/// The full decomposition regions(S) = union over disjuncts (Note 7.1);
+/// regions of different disjuncts may overlap and need not be contained in
+/// or disjoint from S.
+std::vector<DecompRegion> DecomposeFormula(const DnfFormula& formula);
+
+/// Counts regions per (geometric) dimension; index k = number of regions of
+/// dimension k.
+std::vector<size_t> RegionCountsByDimension(
+    const std::vector<DecompRegion>& regions, size_t ambient_dim);
+
+}  // namespace lcdb
+
+#endif  // LCDB_DECOMP_DECOMPOSITION_H_

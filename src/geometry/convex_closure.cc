@@ -1,0 +1,142 @@
+#include "geometry/convex_closure.h"
+
+#include <algorithm>
+
+#include "geometry/predicates.h"
+#include "geometry/vertex_enumeration.h"
+#include "util/status.h"
+
+namespace lcdb {
+
+namespace {
+
+/// Generators (points + ray directions) of one closed polyhedron.
+struct Generators {
+  std::vector<Vec> points;
+  std::vector<Vec> rays;
+};
+
+/// V-style description of the closure of one disjunct: vertices of the
+/// cube-clipped polyhedron plus recession-cone generators.
+Generators DisjunctGenerators(const Conjunction& poly) {
+  Generators out;
+  const size_t d = poly.num_vars();
+  const Conjunction closure = poly.ClosureConjunction();
+
+  // Coordinate bound c as in Appendix A (falls back to axis intersections
+  // when the polyhedron has no vertices).
+  std::vector<Vec> vertices = VerticesOf(closure);
+  Rational c = MaxAbsCoordinate(vertices);
+  if (vertices.empty()) {
+    std::vector<Hyperplane> planes = HyperplanesOf(closure);
+    for (size_t i = 0; i < d; ++i) {
+      Vec row(d);
+      row[i] = Rational(1);
+      planes.push_back(
+          Hyperplane::FromAtom(LinearAtom(row, RelOp::kEq, Rational(0))));
+    }
+    std::sort(planes.begin(), planes.end());
+    planes.erase(std::unique(planes.begin(), planes.end()), planes.end());
+    c = MaxAbsCoordinate(EnumerateIntersectionPoints(planes, d));
+  }
+
+  // Clip with the *closed* cube and take all vertices: for the cube chosen
+  // beyond every vertex coordinate, closure(poly) = conv(vertices of the
+  // clipped polytope) + recession cone (Minkowski-Weyl with the Appendix A
+  // cube construction).
+  {
+    std::vector<LinearAtom> clipped = closure.atoms();
+    const Rational bound = (c + Rational(1)) * Rational(2);
+    for (size_t i = 0; i < d; ++i) {
+      Vec row(d);
+      row[i] = Rational(1);
+      clipped.emplace_back(row, RelOp::kLe, bound);
+      clipped.emplace_back(row, RelOp::kGe, -bound);
+    }
+    out.points = VerticesOf(Conjunction(d, std::move(clipped)));
+  }
+
+  // Recession cone {x : A x <= 0 (rows of the closure)}; its generators are
+  // the nonzero vertices of cone ∩ [-1, 1]^d.
+  {
+    std::vector<LinearAtom> cone;
+    for (const LinearAtom& atom : closure.atoms()) {
+      Vec row(d);
+      for (size_t i = 0; i < d; ++i) row[i] = Rational(atom.coeffs()[i]);
+      cone.emplace_back(row, atom.rel(), Rational(0));
+    }
+    for (size_t i = 0; i < d; ++i) {
+      Vec row(d);
+      row[i] = Rational(1);
+      cone.emplace_back(row, RelOp::kLe, Rational(1));
+      cone.emplace_back(row, RelOp::kGe, Rational(-1));
+    }
+    for (Vec& v : VerticesOf(Conjunction(d, std::move(cone)))) {
+      if (!VecIsZero(v)) out.rays.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+/// Drops points inside the hull of the others and rays inside the cone of
+/// the others (LP per generator), so the Fourier–Motzkin conversion sees a
+/// small generator set.
+void PruneGenerators(size_t d, Generators* g) {
+  // Points first (their count dominates the parametric system size).
+  for (size_t i = 0; i < g->points.size() && g->points.size() > 1;) {
+    std::vector<Vec> rest_points;
+    for (size_t j = 0; j < g->points.size(); ++j) {
+      if (j != i) rest_points.push_back(g->points[j]);
+    }
+    GeneratorRegion rest(d, std::move(rest_points), g->rays, /*open=*/false);
+    if (rest.Contains(g->points[i])) {
+      g->points.erase(g->points.begin() + i);
+    } else {
+      ++i;
+    }
+  }
+  for (size_t i = 0; i < g->rays.size();) {
+    std::vector<Vec> rest_rays;
+    for (size_t j = 0; j < g->rays.size(); ++j) {
+      if (j != i) rest_rays.push_back(g->rays[j]);
+    }
+    // Ray r is redundant iff anchor + r stays in hull(anchor; other rays)
+    // for an arbitrary anchor point... equivalently r ∈ cone(other rays):
+    // test with a single-point region at the origin plus the other rays.
+    GeneratorRegion cone(d, {Vec(d)}, std::move(rest_rays), /*open=*/false);
+    if (cone.Contains(g->rays[i])) {
+      g->rays.erase(g->rays.begin() + i);
+    } else {
+      ++i;
+    }
+  }
+}
+
+}  // namespace
+
+Result<GeneratorRegion> ConvexClosureGenerators(const DnfFormula& f) {
+  const size_t d = f.num_vars();
+  Generators pooled;
+  for (const Conjunction& disjunct : f.disjuncts()) {
+    if (!disjunct.IsFeasible()) continue;
+    Generators g = DisjunctGenerators(disjunct);
+    pooled.points.insert(pooled.points.end(), g.points.begin(),
+                         g.points.end());
+    pooled.rays.insert(pooled.rays.end(), g.rays.begin(), g.rays.end());
+  }
+  if (pooled.points.empty()) {
+    return Status::InvalidArgument("convex closure of an empty set");
+  }
+  PruneGenerators(d, &pooled);
+  return GeneratorRegion(d, std::move(pooled.points), std::move(pooled.rays),
+                         /*open=*/false);
+}
+
+Result<DnfFormula> ConvexClosure(const DnfFormula& f) {
+  if (f.IsEmpty()) return DnfFormula::False(f.num_vars());
+  LCDB_ASSIGN_OR_RETURN(GeneratorRegion hull, ConvexClosureGenerators(f));
+  Conjunction conj = hull.ToConjunction();
+  return DnfFormula(f.num_vars(), {std::move(conj)});
+}
+
+}  // namespace lcdb

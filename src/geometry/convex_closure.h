@@ -1,0 +1,40 @@
+#ifndef LCDB_GEOMETRY_CONVEX_CLOSURE_H_
+#define LCDB_GEOMETRY_CONVEX_CLOSURE_H_
+
+#include "constraint/dnf_formula.h"
+#include "geometry/generator_region.h"
+#include "util/status.h"
+
+namespace lcdb {
+
+/// The *closed* convex hull of a semilinear set, as a quantifier-free
+/// formula (a single conjunction — hulls are convex).
+///
+/// This implements the operator behind the paper's Section 8 ("ongoing
+/// work"): an extension of the region logics by a convex-closure operator
+/// towards capturing non-boolean PTIME queries. Closure is preserved: the
+/// closed convex hull of a semilinear set is again semilinear.
+///
+/// Algorithm (reusing the library's own substrates):
+///  1. per disjunct, take the topological closure and harvest a V-style
+///     description: its vertices, clipped by the Appendix A cube when the
+///     polyhedron has few/no vertices, plus generators of its recession
+///     cone (vertices of cone ∩ unit box, a classic trick);
+///  2. pool all generators, prune non-extreme ones with the LP oracle;
+///  3. convert the generator region back to constraints with the
+///     Fourier–Motzkin engine (GeneratorRegion::ToConjunction).
+///
+/// The hull of the topological closure is taken (hence *closed* convex
+/// hull); the paper's conv(P) of Section 3 may be partially open for open
+/// inputs — the distinction is documented in DESIGN.md.
+///
+/// Returns False for an empty input.
+Result<DnfFormula> ConvexClosure(const DnfFormula& f);
+
+/// The pooled generator description computed by step 1-2 (exposed for
+/// tests and for callers that want the V-representation itself).
+Result<GeneratorRegion> ConvexClosureGenerators(const DnfFormula& f);
+
+}  // namespace lcdb
+
+#endif  // LCDB_GEOMETRY_CONVEX_CLOSURE_H_

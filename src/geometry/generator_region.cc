@@ -1,0 +1,219 @@
+#include "geometry/generator_region.h"
+
+#include <algorithm>
+
+#include "linalg/gauss.h"
+#include "lp/feasibility.h"
+#include "qe/fourier_motzkin.h"
+#include "util/status.h"
+
+namespace lcdb {
+
+GeneratorRegion::GeneratorRegion(size_t ambient_dim, std::vector<Vec> points,
+                                 std::vector<Vec> rays, bool open)
+    : ambient_dim_(ambient_dim),
+      points_(std::move(points)),
+      rays_(std::move(rays)),
+      open_(open) {
+  LCDB_CHECK_MSG(!points_.empty(), "a generator region needs a point");
+  for (const Vec& p : points_) LCDB_CHECK(p.size() == ambient_dim_);
+  for (const Vec& r : rays_) LCDB_CHECK(r.size() == ambient_dim_);
+  // Deduplicate generators; multiset choices (Appendix A allows repeated
+  // vertices) collapse to the same region.
+  std::sort(points_.begin(), points_.end(),
+            [](const Vec& a, const Vec& b) { return VecLexCompare(a, b) < 0; });
+  points_.erase(std::unique(points_.begin(), points_.end()), points_.end());
+  std::sort(rays_.begin(), rays_.end(),
+            [](const Vec& a, const Vec& b) { return VecLexCompare(a, b) < 0; });
+  rays_.erase(std::unique(rays_.begin(), rays_.end()), rays_.end());
+}
+
+GeneratorRegion GeneratorRegion::OpenHull(size_t ambient_dim,
+                                          std::vector<Vec> points) {
+  return GeneratorRegion(ambient_dim, std::move(points), {}, /*open=*/true);
+}
+
+GeneratorRegion GeneratorRegion::ClosedHull(size_t ambient_dim,
+                                            std::vector<Vec> points) {
+  return GeneratorRegion(ambient_dim, std::move(points), {}, /*open=*/false);
+}
+
+GeneratorRegion GeneratorRegion::OpenRay(Vec p, Vec dir) {
+  const size_t d = p.size();
+  LCDB_CHECK_MSG(!VecIsZero(dir), "ray needs a nonzero direction");
+  return GeneratorRegion(d, {std::move(p)}, {std::move(dir)}, /*open=*/true);
+}
+
+GeneratorRegion GeneratorRegion::OpenSegment(const Vec& p, const Vec& q) {
+  return OpenHull(p.size(), {p, q});
+}
+
+GeneratorRegion GeneratorRegion::ClosedSegment(const Vec& p, const Vec& q) {
+  return ClosedHull(p.size(), {p, q});
+}
+
+GeneratorRegion GeneratorRegion::ClosureRegion() const {
+  return GeneratorRegion(ambient_dim_, points_, rays_, /*open=*/false);
+}
+
+int GeneratorRegion::Dimension() const {
+  std::vector<Vec> span = points_;
+  for (const Vec& r : rays_) span.push_back(VecAdd(points_[0], r));
+  return AffineDimension(span);
+}
+
+std::vector<LinearConstraint> GeneratorRegion::ParametricSystem(
+    size_t total_vars, size_t lambda_offset, bool closed) const {
+  const size_t k = points_.size();
+  const size_t m = rays_.size();
+  LCDB_CHECK(lambda_offset + k + m <= total_vars);
+  std::vector<LinearConstraint> out;
+  const RelOp positive = (open_ && !closed) ? RelOp::kGt : RelOp::kGe;
+  // sum lambda = 1.
+  {
+    Vec row(total_vars);
+    for (size_t j = 0; j < k; ++j) row[lambda_offset + j] = Rational(1);
+    out.emplace_back(std::move(row), RelOp::kEq, Rational(1));
+  }
+  for (size_t j = 0; j < k + m; ++j) {
+    Vec row(total_vars);
+    row[lambda_offset + j] = Rational(1);
+    out.emplace_back(std::move(row), positive, Rational(0));
+  }
+  return out;
+}
+
+bool GeneratorRegion::Contains(const Vec& point) const {
+  LCDB_CHECK(point.size() == ambient_dim_);
+  const size_t k = points_.size();
+  const size_t m = rays_.size();
+  const size_t total = k + m;
+  std::vector<LinearConstraint> system =
+      ParametricSystem(total, /*lambda_offset=*/0, /*closed=*/false);
+  // Coordinate equations: sum_j lambda_j p_j[i] + sum_l mu_l r_l[i] = x_i.
+  for (size_t i = 0; i < ambient_dim_; ++i) {
+    Vec row(total);
+    for (size_t j = 0; j < k; ++j) row[j] = points_[j][i];
+    for (size_t l = 0; l < m; ++l) row[k + l] = rays_[l][i];
+    system.emplace_back(std::move(row), RelOp::kEq, point[i]);
+  }
+  return CheckFeasibility(total, system).feasible;
+}
+
+bool GeneratorRegion::Intersects(const GeneratorRegion& other) const {
+  LCDB_CHECK(ambient_dim_ == other.ambient_dim_);
+  const size_t k1 = points_.size(), m1 = rays_.size();
+  const size_t k2 = other.points_.size(), m2 = other.rays_.size();
+  const size_t total = k1 + m1 + k2 + m2;
+  std::vector<LinearConstraint> system =
+      ParametricSystem(total, /*lambda_offset=*/0, /*closed=*/false);
+  {
+    std::vector<LinearConstraint> second =
+        other.ParametricSystem(total, /*lambda_offset=*/k1 + m1,
+                               /*closed=*/false);
+    system.insert(system.end(), second.begin(), second.end());
+  }
+  // Coordinate equations: point of A equals point of B.
+  for (size_t i = 0; i < ambient_dim_; ++i) {
+    Vec row(total);
+    for (size_t j = 0; j < k1; ++j) row[j] = points_[j][i];
+    for (size_t l = 0; l < m1; ++l) row[k1 + l] = rays_[l][i];
+    for (size_t j = 0; j < k2; ++j) row[k1 + m1 + j] = -other.points_[j][i];
+    for (size_t l = 0; l < m2; ++l) row[k1 + m1 + k2 + l] = -other.rays_[l][i];
+    system.emplace_back(std::move(row), RelOp::kEq, Rational(0));
+  }
+  return CheckFeasibility(total, system).feasible;
+}
+
+bool GeneratorRegion::IntersectsConjunction(const Conjunction& conj) const {
+  LCDB_CHECK(conj.num_vars() == ambient_dim_);
+  const size_t k = points_.size();
+  const size_t m = rays_.size();
+  const size_t total = ambient_dim_ + k + m;
+  std::vector<LinearConstraint> system =
+      ParametricSystem(total, /*lambda_offset=*/ambient_dim_,
+                       /*closed=*/false);
+  for (size_t i = 0; i < ambient_dim_; ++i) {
+    Vec row(total);
+    row[i] = Rational(1);
+    for (size_t j = 0; j < k; ++j) row[ambient_dim_ + j] = -points_[j][i];
+    for (size_t l = 0; l < m; ++l) row[ambient_dim_ + k + l] = -rays_[l][i];
+    system.emplace_back(std::move(row), RelOp::kEq, Rational(0));
+  }
+  for (const LinearAtom& atom : conj.atoms()) {
+    LinearConstraint c = atom.ToLinearConstraint();
+    c.coeffs.resize(total, Rational(0));
+    system.push_back(std::move(c));
+  }
+  return CheckFeasibility(total, system).feasible;
+}
+
+bool GeneratorRegion::AdjacentTo(const GeneratorRegion& other) const {
+  return ClosureRegion().Intersects(other) ||
+         Intersects(other.ClosureRegion());
+}
+
+Vec GeneratorRegion::Witness() const {
+  Vec out(ambient_dim_);
+  const Rational weight(1, static_cast<int64_t>(points_.size()));
+  for (const Vec& p : points_) out = VecAdd(out, VecScale(weight, p));
+  for (const Vec& r : rays_) out = VecAdd(out, r);
+  return out;
+}
+
+Conjunction GeneratorRegion::ToConjunction() const {
+  const size_t k = points_.size();
+  const size_t m = rays_.size();
+  const size_t total = ambient_dim_ + k + m;
+  std::vector<LinearAtom> atoms;
+  for (const LinearConstraint& c :
+       ParametricSystem(total, ambient_dim_, /*closed=*/false)) {
+    atoms.emplace_back(c.coeffs, c.rel, c.rhs);
+  }
+  for (size_t i = 0; i < ambient_dim_; ++i) {
+    Vec row(total);
+    row[i] = Rational(1);
+    for (size_t j = 0; j < k; ++j) row[ambient_dim_ + j] = -points_[j][i];
+    for (size_t l = 0; l < m; ++l) row[ambient_dim_ + k + l] = -rays_[l][i];
+    atoms.emplace_back(row, RelOp::kEq, Rational(0));
+  }
+  DnfFormula parametric(total, {Conjunction(total, std::move(atoms))});
+  std::vector<size_t> eliminate;
+  for (size_t v = ambient_dim_; v < total; ++v) eliminate.push_back(v);
+  DnfFormula projected = ExistsVariables(parametric, std::move(eliminate));
+  for (size_t v = total; v-- > ambient_dim_;) {
+    projected = DropVariable(projected, v);
+  }
+  if (projected.disjuncts().empty()) {
+    // Empty region (cannot happen for well-formed generators, but keep the
+    // representation total): the false conjunction.
+    return Conjunction(ambient_dim_,
+                       {LinearAtom(Vec(ambient_dim_), RelOp::kLt, Rational(0))});
+  }
+  LCDB_CHECK_MSG(projected.disjuncts().size() == 1,
+                 "projection of a convex region must be one conjunction");
+  Conjunction result = projected.disjuncts()[0];
+  result.RemoveRedundantAtoms();
+  return result;
+}
+
+std::string GeneratorRegion::ToString() const {
+  std::string out = open_ ? "open{" : "closed{";
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += VecToString(points_[i]);
+  }
+  for (const Vec& r : rays_) {
+    out += ", ray ";
+    out += VecToString(r);
+  }
+  out += "}";
+  return out;
+}
+
+bool GeneratorRegion::operator==(const GeneratorRegion& other) const {
+  return ambient_dim_ == other.ambient_dim_ && open_ == other.open_ &&
+         points_ == other.points_ && rays_ == other.rays_;
+}
+
+}  // namespace lcdb

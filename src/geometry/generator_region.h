@@ -1,0 +1,95 @@
+#ifndef LCDB_GEOMETRY_GENERATOR_REGION_H_
+#define LCDB_GEOMETRY_GENERATOR_REGION_H_
+
+#include <string>
+#include <vector>
+
+#include "constraint/conjunction.h"
+
+namespace lcdb {
+
+/// A region given by generators rather than constraints:
+///
+///   { sum_i lambda_i p_i + sum_j mu_j r_j :
+///     lambda_i REL 0, sum lambda_i = 1, mu_j REL 0 }
+///
+/// where REL is > for an *open* region (the paper's open convex hull,
+/// Section 3 / Appendix A) and >= for its closure. Points p_i come from
+/// vertex sets; rays r_j appear in the unbounded regions of Appendix A
+/// (directions p - q of up(ψ)).
+///
+/// All predicates reduce to LP feasibility over the barycentric coordinates,
+/// and the defining quantifier-free formula is obtained by eliminating those
+/// coordinates with the library's own Fourier–Motzkin engine.
+class GeneratorRegion {
+ public:
+  GeneratorRegion(size_t ambient_dim, std::vector<Vec> points,
+                  std::vector<Vec> rays, bool open);
+
+  /// Open convex hull of `points` (openconv of Section 3).
+  static GeneratorRegion OpenHull(size_t ambient_dim, std::vector<Vec> points);
+  /// Closed convex hull.
+  static GeneratorRegion ClosedHull(size_t ambient_dim,
+                                    std::vector<Vec> points);
+  /// The open ray { p + a * dir : a > 0 } of Appendix A's up(ψ) pairs.
+  static GeneratorRegion OpenRay(Vec p, Vec dir);
+  /// Open segment between two points (endpoints excluded).
+  static GeneratorRegion OpenSegment(const Vec& p, const Vec& q);
+  /// Closed segment between two points.
+  static GeneratorRegion ClosedSegment(const Vec& p, const Vec& q);
+
+  size_t ambient_dim() const { return ambient_dim_; }
+  const std::vector<Vec>& points() const { return points_; }
+  const std::vector<Vec>& rays() const { return rays_; }
+  bool open() const { return open_; }
+
+  /// The closure (same generators, non-strict coordinates).
+  GeneratorRegion ClosureRegion() const;
+
+  /// Dimension of the affine hull of the region.
+  int Dimension() const;
+
+  /// Exact membership test.
+  bool Contains(const Vec& point) const;
+
+  /// True iff this region intersects `other`.
+  bool Intersects(const GeneratorRegion& other) const;
+
+  /// True iff this region intersects the solution set of `conj`.
+  bool IntersectsConjunction(const Conjunction& conj) const;
+
+  /// Adjacency in the paper's sense (Definition 4.1): some point of one
+  /// region has every epsilon-neighbourhood meeting the other, i.e.
+  /// A ∩ cl(B) or cl(A) ∩ B is nonempty.
+  bool AdjacentTo(const GeneratorRegion& other) const;
+
+  /// A point in the region (barycenter-like; regions are nonempty by
+  /// construction as long as they have at least one point generator).
+  Vec Witness() const;
+
+  /// The defining quantifier-free formula, computed by eliminating the
+  /// barycentric coordinates. For a convex region this is a single
+  /// conjunction.
+  Conjunction ToConjunction() const;
+
+  std::string ToString() const;
+
+  bool operator==(const GeneratorRegion& other) const;
+
+ private:
+  /// Builds the parametric constraint system in variables
+  /// (x_0..x_{d-1}, lambda..., mu...) optionally shifted by `var_offset`
+  /// for the lambda/mu block, with `x` either symbolic or pinned to a point.
+  std::vector<LinearConstraint> ParametricSystem(size_t total_vars,
+                                                 size_t lambda_offset,
+                                                 bool closed) const;
+
+  size_t ambient_dim_;
+  std::vector<Vec> points_;
+  std::vector<Vec> rays_;
+  bool open_;
+};
+
+}  // namespace lcdb
+
+#endif  // LCDB_GEOMETRY_GENERATOR_REGION_H_

@@ -1,0 +1,77 @@
+#include "geometry/hyperplane.h"
+
+#include "util/status.h"
+
+namespace lcdb {
+
+Hyperplane Hyperplane::FromAtom(const LinearAtom& atom) {
+  LCDB_CHECK_MSG(!atom.IsConstant(), "constant atom has no hyperplane");
+  Vec coeffs(atom.num_vars());
+  for (size_t i = 0; i < atom.num_vars(); ++i) {
+    coeffs[i] = Rational(atom.coeffs()[i]);
+  }
+  // Rebuilding with kEq canonicalizes the orientation (positive leading
+  // coefficient), so <= and >= versions of the same plane coincide.
+  return Hyperplane(LinearAtom(coeffs, RelOp::kEq, Rational(atom.rhs())));
+}
+
+int Hyperplane::SideOf(const Vec& point) const {
+  LCDB_CHECK(point.size() == num_vars());
+  Rational lhs;
+  for (size_t i = 0; i < num_vars(); ++i) {
+    if (coeffs()[i].IsZero()) continue;
+    lhs += Rational(coeffs()[i]) * point[i];
+  }
+  const Rational b(rhs());
+  if (lhs < b) return -1;
+  if (b < lhs) return 1;
+  return 0;
+}
+
+LinearAtom Hyperplane::ToAtom(RelOp rel) const {
+  Vec coeffs(num_vars());
+  for (size_t i = 0; i < num_vars(); ++i) coeffs[i] = Rational(this->coeffs()[i]);
+  return LinearAtom(coeffs, rel, Rational(rhs()));
+}
+
+SignVector PositionVector(const std::vector<Hyperplane>& planes,
+                          const Vec& point) {
+  SignVector sv(planes.size());
+  for (size_t i = 0; i < planes.size(); ++i) {
+    sv[i] = static_cast<int8_t>(planes[i].SideOf(point));
+  }
+  return sv;
+}
+
+std::string SignVectorToString(const SignVector& sv) {
+  std::string out = "(";
+  for (size_t i = 0; i < sv.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += sv[i] > 0 ? "+" : (sv[i] < 0 ? "-" : "0");
+  }
+  out += ")";
+  return out;
+}
+
+Conjunction SignVectorConjunction(const std::vector<Hyperplane>& planes,
+                                  const SignVector& sv) {
+  LCDB_CHECK(planes.size() == sv.size());
+  LCDB_CHECK(!planes.empty());
+  std::vector<LinearAtom> atoms;
+  atoms.reserve(planes.size());
+  for (size_t i = 0; i < planes.size(); ++i) {
+    RelOp rel = sv[i] > 0 ? RelOp::kGt : (sv[i] < 0 ? RelOp::kLt : RelOp::kEq);
+    atoms.push_back(planes[i].ToAtom(rel));
+  }
+  return Conjunction(planes[0].num_vars(), std::move(atoms));
+}
+
+bool InClosureOf(const SignVector& sv_f, const SignVector& sv_g) {
+  LCDB_CHECK(sv_f.size() == sv_g.size());
+  for (size_t i = 0; i < sv_f.size(); ++i) {
+    if (sv_f[i] != 0 && sv_f[i] != sv_g[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace lcdb

@@ -1,0 +1,80 @@
+#ifndef LCDB_GEOMETRY_HYPERPLANE_H_
+#define LCDB_GEOMETRY_HYPERPLANE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "constraint/conjunction.h"
+#include "constraint/linear_atom.h"
+
+namespace lcdb {
+
+/// An oriented hyperplane  sum coeffs_i x_i = rhs  in canonical form
+/// (integer coefficients, gcd one, positive leading coefficient). The
+/// canonical form makes the hyperplane set 𝔥(S) of Section 3 a *set*: two
+/// atoms touching the same geometric hyperplane yield equal Hyperplane
+/// objects, and "above"/"below" (h+, h-) are well defined by the canonical
+/// orientation.
+class Hyperplane {
+ public:
+  /// The hyperplane obtained by replacing the atom's relation with equality
+  /// — exactly the construction of 𝔥(S). The atom must not be constant.
+  static Hyperplane FromAtom(const LinearAtom& atom);
+
+  size_t num_vars() const { return equality_.num_vars(); }
+  const std::vector<BigInt>& coeffs() const { return equality_.coeffs(); }
+  const BigInt& rhs() const { return equality_.rhs(); }
+
+  /// Position of a point: +1 above (sum > rhs), 0 on, -1 below — the
+  /// components v_i(p) of the paper's position vectors.
+  int SideOf(const Vec& point) const;
+
+  /// The atom `this REL rhs` for synthesizing face formulas from position
+  /// vectors.
+  LinearAtom ToAtom(RelOp rel) const;
+
+  std::string ToString(const std::vector<std::string>& var_names = {}) const {
+    return equality_.ToString(var_names);
+  }
+
+  bool operator==(const Hyperplane& other) const {
+    return equality_ == other.equality_;
+  }
+  bool operator<(const Hyperplane& other) const {
+    return equality_ < other.equality_;
+  }
+  size_t Hash() const { return equality_.Hash(); }
+
+ private:
+  explicit Hyperplane(LinearAtom equality) : equality_(std::move(equality)) {}
+
+  LinearAtom equality_;  // canonical equality atom
+};
+
+/// A position vector (Section 3): the vector of sides of a point w.r.t. an
+/// ordered list of hyperplanes. Entries are -1, 0, +1.
+using SignVector = std::vector<int8_t>;
+
+/// Computes the position vector of `point` w.r.t. `planes`.
+SignVector PositionVector(const std::vector<Hyperplane>& planes,
+                          const Vec& point);
+
+/// Renders e.g. "(+, 0, -)".
+std::string SignVectorToString(const SignVector& sv);
+
+/// The conjunction of atoms asserting position `sv` w.r.t. `planes` — the
+/// formula defining a face, read off the incidence-graph data as in the
+/// proof of Theorem 4.3.
+Conjunction SignVectorConjunction(const std::vector<Hyperplane>& planes,
+                                  const SignVector& sv);
+
+/// Sign-vector closure order: F is in the closure of G iff every nonzero
+/// entry of F's vector agrees with G's (zeros of F may "absorb" anything is
+/// NOT allowed — F's zero entries are exactly where F lies on the plane).
+/// Precisely: for all i, sv_f[i] == sv_g[i] or sv_f[i] == 0.
+bool InClosureOf(const SignVector& sv_f, const SignVector& sv_g);
+
+}  // namespace lcdb
+
+#endif  // LCDB_GEOMETRY_HYPERPLANE_H_

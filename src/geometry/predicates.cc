@@ -1,0 +1,106 @@
+#include "geometry/predicates.h"
+
+#include "lp/feasibility.h"
+#include "util/status.h"
+
+namespace lcdb {
+
+Conjunction RelativeInterior(const Conjunction& poly) {
+  const size_t n = poly.num_vars();
+  std::vector<LinearAtom> atoms;
+  atoms.reserve(poly.atoms().size());
+  std::vector<LinearConstraint> closure;
+  for (const LinearAtom& atom : poly.atoms()) {
+    closure.push_back(atom.ClosureAtom().ToLinearConstraint());
+  }
+  for (const LinearAtom& atom : poly.atoms()) {
+    if (atom.rel() == RelOp::kEq) {
+      atoms.push_back(atom);
+      continue;
+    }
+    // Implicit equality test: can the atom be strict somewhere on poly?
+    std::vector<LinearConstraint> system = closure;
+    LinearConstraint strict = atom.ToLinearConstraint();
+    strict.rel = atom.rel() == RelOp::kLe || atom.rel() == RelOp::kLt
+                     ? RelOp::kLt
+                     : RelOp::kGt;
+    system.push_back(strict);
+    if (CheckFeasibility(n, system).feasible) {
+      // Regular inequality: strictify for the relative interior.
+      Vec coeffs(n);
+      for (size_t i = 0; i < n; ++i) coeffs[i] = Rational(atom.coeffs()[i]);
+      atoms.emplace_back(coeffs, strict.rel, Rational(atom.rhs()));
+    } else {
+      // Holds with equality everywhere: part of the affine support.
+      Vec coeffs(n);
+      for (size_t i = 0; i < n; ++i) coeffs[i] = Rational(atom.coeffs()[i]);
+      atoms.emplace_back(coeffs, RelOp::kEq, Rational(atom.rhs()));
+    }
+  }
+  return Conjunction(n, std::move(atoms));
+}
+
+bool RayInClosure(const Vec& p, const Vec& dir, const Conjunction& poly) {
+  const Conjunction closure = poly.ClosureConjunction();
+  if (!closure.Satisfies(p)) return false;
+  for (const LinearAtom& atom : closure.atoms()) {
+    Vec coeffs(atom.num_vars());
+    for (size_t i = 0; i < atom.num_vars(); ++i) {
+      coeffs[i] = Rational(atom.coeffs()[i]);
+    }
+    const Rational slope = Dot(coeffs, dir);
+    switch (atom.rel()) {
+      case RelOp::kLe:
+        if (slope.Sign() > 0) return false;
+        break;
+      case RelOp::kEq:
+        if (slope.Sign() != 0) return false;
+        break;
+      default:
+        LCDB_CHECK_MSG(false, "closure atoms are <= or =");
+    }
+  }
+  return true;
+}
+
+Rational MaxAbsCoordinate(const std::vector<Vec>& points) {
+  Rational c(0);
+  for (const Vec& p : points) {
+    for (const Rational& x : p) {
+      if (c < x.Abs()) c = x.Abs();
+    }
+  }
+  return c;
+}
+
+std::vector<LinearAtom> CubeAtoms(size_t dim, const Rational& c) {
+  const Rational bound = (c + Rational(1)) * Rational(2);
+  std::vector<LinearAtom> atoms;
+  atoms.reserve(2 * dim);
+  for (size_t i = 0; i < dim; ++i) {
+    Vec row(dim);
+    row[i] = Rational(1);
+    atoms.emplace_back(row, RelOp::kEq, bound);
+    atoms.emplace_back(row, RelOp::kEq, -bound);
+  }
+  return atoms;
+}
+
+std::vector<LinearAtom> InnerCubeAtoms(size_t dim, const Rational& c) {
+  const Rational bound = (c + Rational(1)) * Rational(2);
+  std::vector<LinearAtom> atoms;
+  atoms.reserve(2 * dim);
+  for (size_t i = 0; i < dim; ++i) {
+    Vec row(dim);
+    row[i] = Rational(1);
+    atoms.emplace_back(row, RelOp::kLt, bound);
+    atoms.emplace_back(row, RelOp::kGt, -bound);
+  }
+  return atoms;
+}
+
+bool IsBoundedPolyhedron(const Conjunction& poly) {
+  return IsBoundedSystem(poly.num_vars(), poly.ToConstraints());
+}
+
+}  // namespace lcdb

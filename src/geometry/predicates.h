@@ -1,0 +1,42 @@
+#ifndef LCDB_GEOMETRY_PREDICATES_H_
+#define LCDB_GEOMETRY_PREDICATES_H_
+
+#include <vector>
+
+#include "constraint/conjunction.h"
+#include "geometry/generator_region.h"
+
+namespace lcdb {
+
+/// The relative interior of the polyhedron defined by `poly` (interior with
+/// respect to its affine support — the paper's convention, Section 3).
+/// Implicit equalities (inequality atoms that hold with equality on all of
+/// the polyhedron) are detected with the LP oracle and turned into
+/// equalities; the remaining inequalities become strict.
+Conjunction RelativeInterior(const Conjunction& poly);
+
+/// True iff the full ray { p + a*dir : a >= 0 } lies in the topological
+/// closure of `poly` — the membership test behind Appendix A's up(ψ).
+/// Decided exactly: p must satisfy the closure, and dir must lie in its
+/// recession cone (a.dir <= 0 for every <=-atom, a.dir = 0 for equalities).
+bool RayInClosure(const Vec& p, const Vec& dir, const Conjunction& poly);
+
+/// The maximal absolute value of any coordinate among `points`
+/// (zero if empty).
+Rational MaxAbsCoordinate(const std::vector<Vec>& points);
+
+/// The 2d facet hyperplane atoms x_i = ±2(c+1) of Appendix A's cube(ψ).
+std::vector<LinearAtom> CubeAtoms(size_t dim, const Rational& c);
+
+/// The open cube interior constraints -2(c+1) < x_i < 2(c+1) of icube(ψ).
+std::vector<LinearAtom> InnerCubeAtoms(size_t dim, const Rational& c);
+
+/// True iff `poly` is bounded per Appendix A's test: every cube facet
+/// hyperplane has empty intersection with poly... relaxed here to the exact
+/// geometric test (the closure is bounded in every coordinate), which agrees
+/// with the cube test for the paper's constructions.
+bool IsBoundedPolyhedron(const Conjunction& poly);
+
+}  // namespace lcdb
+
+#endif  // LCDB_GEOMETRY_PREDICATES_H_

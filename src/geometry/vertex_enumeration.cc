@@ -1,0 +1,82 @@
+#include "geometry/vertex_enumeration.h"
+
+#include <algorithm>
+
+#include "linalg/gauss.h"
+#include "util/status.h"
+
+namespace lcdb {
+
+namespace {
+
+/// Calls `visit` with every size-k index subset of {0, ..., n-1}.
+template <typename Visitor>
+void ForEachSubset(size_t n, size_t k, Visitor visit) {
+  if (k > n) return;
+  if (k == 0) {
+    visit(std::vector<size_t>{});
+    return;
+  }
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  while (true) {
+    visit(idx);
+    // Advance to next combination.
+    size_t i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + n - k) break;
+      if (i == 0) return;
+    }
+    if (idx[i] == i + n - k) return;
+    ++idx[i];
+    for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+}  // namespace
+
+std::vector<Vec> EnumerateIntersectionPoints(
+    const std::vector<Hyperplane>& planes, size_t dim) {
+  std::vector<Vec> points;
+  if (dim == 0) return points;
+  ForEachSubset(planes.size(), dim, [&](const std::vector<size_t>& idx) {
+    Matrix a;
+    Vec b;
+    for (size_t i : idx) {
+      Vec row(dim);
+      for (size_t c = 0; c < dim; ++c) row[c] = Rational(planes[i].coeffs()[c]);
+      a.AppendRow(row);
+      b.push_back(Rational(planes[i].rhs()));
+    }
+    SolveResult r = SolveLinearSystem(a, b);
+    if (r.outcome == SolveOutcome::kUnique) points.push_back(std::move(r.solution));
+  });
+  std::sort(points.begin(), points.end(),
+            [](const Vec& p, const Vec& q) { return VecLexCompare(p, q) < 0; });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  return points;
+}
+
+std::vector<Hyperplane> HyperplanesOf(const Conjunction& conj) {
+  std::vector<Hyperplane> planes;
+  for (const LinearAtom& atom : conj.atoms()) {
+    if (atom.IsConstant()) continue;
+    planes.push_back(Hyperplane::FromAtom(atom));
+  }
+  std::sort(planes.begin(), planes.end());
+  planes.erase(std::unique(planes.begin(), planes.end()), planes.end());
+  return planes;
+}
+
+std::vector<Vec> VerticesOf(const Conjunction& poly) {
+  const size_t d = poly.num_vars();
+  const Conjunction closure = poly.ClosureConjunction();
+  std::vector<Vec> vertices;
+  for (Vec& p : EnumerateIntersectionPoints(HyperplanesOf(poly), d)) {
+    if (closure.Satisfies(p)) vertices.push_back(std::move(p));
+  }
+  return vertices;
+}
+
+}  // namespace lcdb

@@ -1,0 +1,29 @@
+#ifndef LCDB_GEOMETRY_VERTEX_ENUMERATION_H_
+#define LCDB_GEOMETRY_VERTEX_ENUMERATION_H_
+
+#include <vector>
+
+#include "constraint/conjunction.h"
+#include "geometry/hyperplane.h"
+
+namespace lcdb {
+
+/// All points that arise as the *unique* intersection of `dim`-many
+/// hyperplanes from `planes` (deduplicated, lexicographically sorted).
+/// This is the first step of the Appendix A decomposition: "For each d-tuple
+/// of atoms from 𝔥(ψ) we compute the intersection of the hyperplanes."
+std::vector<Vec> EnumerateIntersectionPoints(
+    const std::vector<Hyperplane>& planes, size_t dim);
+
+/// The hyperplane set 𝔥 of a conjunction: one canonical hyperplane per
+/// non-constant atom, deduplicated (Section 3's 𝔥(S) restricted to one
+/// disjunct).
+std::vector<Hyperplane> HyperplanesOf(const Conjunction& conj);
+
+/// The vertex set vert(ψ) of Appendix A: intersection points of d-tuples of
+/// hyperplanes of `poly` that lie in the closure of `poly`.
+std::vector<Vec> VerticesOf(const Conjunction& poly);
+
+}  // namespace lcdb
+
+#endif  // LCDB_GEOMETRY_VERTEX_ENUMERATION_H_

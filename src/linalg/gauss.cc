@@ -1,0 +1,126 @@
+#include "linalg/gauss.h"
+
+#include <utility>
+
+#include "util/status.h"
+
+namespace lcdb {
+
+namespace {
+
+/// Reduces `m` (rows x (cols)) to row echelon form in place; returns the list
+/// of pivot columns. Operates on the full rows, so callers can append an
+/// augmented column before calling.
+std::vector<size_t> RowEchelon(std::vector<Vec>* m, size_t cols) {
+  std::vector<size_t> pivot_cols;
+  size_t row = 0;
+  for (size_t col = 0; col < cols && row < m->size(); ++col) {
+    size_t pivot = row;
+    while (pivot < m->size() && (*m)[pivot][col].IsZero()) ++pivot;
+    if (pivot == m->size()) continue;
+    std::swap((*m)[row], (*m)[pivot]);
+    const Rational inv = Rational(1) / (*m)[row][col];
+    for (size_t c = col; c < (*m)[row].size(); ++c) {
+      (*m)[row][c] *= inv;
+    }
+    for (size_t r = 0; r < m->size(); ++r) {
+      if (r == row || (*m)[r][col].IsZero()) continue;
+      const Rational factor = (*m)[r][col];
+      for (size_t c = col; c < (*m)[r].size(); ++c) {
+        (*m)[r][c] -= factor * (*m)[row][c];
+      }
+    }
+    pivot_cols.push_back(col);
+    ++row;
+  }
+  return pivot_cols;
+}
+
+std::vector<Vec> ToRows(const Matrix& a) {
+  std::vector<Vec> rows(a.rows());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    rows[r].resize(a.cols());
+    for (size_t c = 0; c < a.cols(); ++c) rows[r][c] = a.at(r, c);
+  }
+  return rows;
+}
+
+}  // namespace
+
+SolveResult SolveLinearSystem(const Matrix& a, const Vec& b) {
+  LCDB_CHECK(a.rows() == b.size());
+  const size_t n = a.cols();
+  std::vector<Vec> rows = ToRows(a);
+  for (size_t r = 0; r < rows.size(); ++r) rows[r].push_back(b[r]);
+  std::vector<size_t> pivots = RowEchelon(&rows, n);
+  // Inconsistent if some row is (0 ... 0 | nonzero).
+  for (size_t r = pivots.size(); r < rows.size(); ++r) {
+    if (!rows[r][n].IsZero()) return {SolveOutcome::kInconsistent, {}};
+  }
+  if (pivots.size() < n) return {SolveOutcome::kUnderdetermined, {}};
+  Vec solution(n);
+  for (size_t i = 0; i < n; ++i) solution[pivots[i]] = rows[i][n];
+  return {SolveOutcome::kUnique, std::move(solution)};
+}
+
+size_t Rank(const Matrix& a) {
+  std::vector<Vec> rows = ToRows(a);
+  return RowEchelon(&rows, a.cols()).size();
+}
+
+Rational Determinant(const Matrix& a) {
+  LCDB_CHECK(a.rows() == a.cols());
+  std::vector<Vec> rows = ToRows(a);
+  const size_t n = a.cols();
+  Rational det(1);
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    while (pivot < n && rows[pivot][col].IsZero()) ++pivot;
+    if (pivot == n) return Rational(0);
+    if (pivot != col) {
+      std::swap(rows[col], rows[pivot]);
+      det = -det;
+    }
+    det *= rows[col][col];
+    const Rational inv = Rational(1) / rows[col][col];
+    for (size_t r = col + 1; r < n; ++r) {
+      if (rows[r][col].IsZero()) continue;
+      const Rational factor = rows[r][col] * inv;
+      for (size_t c = col; c < n; ++c) {
+        rows[r][c] -= factor * rows[col][c];
+      }
+    }
+  }
+  return det;
+}
+
+std::vector<Vec> NullSpaceBasis(const Matrix& a) {
+  const size_t n = a.cols();
+  std::vector<Vec> rows = ToRows(a);
+  std::vector<size_t> pivots = RowEchelon(&rows, n);
+  std::vector<bool> is_pivot(n, false);
+  for (size_t c : pivots) is_pivot[c] = true;
+  std::vector<Vec> basis;
+  for (size_t free_col = 0; free_col < n; ++free_col) {
+    if (is_pivot[free_col]) continue;
+    Vec v(n);
+    v[free_col] = Rational(1);
+    for (size_t i = 0; i < pivots.size(); ++i) {
+      v[pivots[i]] = -rows[i][free_col];
+    }
+    basis.push_back(std::move(v));
+  }
+  return basis;
+}
+
+int AffineDimension(const std::vector<Vec>& points) {
+  if (points.empty()) return -1;
+  if (points.size() == 1) return 0;
+  Matrix differences;
+  for (size_t i = 1; i < points.size(); ++i) {
+    differences.AppendRow(VecSub(points[i], points[0]));
+  }
+  return static_cast<int>(Rank(differences));
+}
+
+}  // namespace lcdb

@@ -1,0 +1,45 @@
+#ifndef LCDB_LINALG_GAUSS_H_
+#define LCDB_LINALG_GAUSS_H_
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace lcdb {
+
+/// Outcome of solving a linear system A x = b exactly.
+enum class SolveOutcome {
+  kUnique,        ///< exactly one solution
+  kInconsistent,  ///< no solution
+  kUnderdetermined,  ///< infinitely many solutions
+};
+
+/// Result of `SolveLinearSystem`. `solution` is set only for kUnique.
+struct SolveResult {
+  SolveOutcome outcome = SolveOutcome::kInconsistent;
+  Vec solution;
+};
+
+/// Solves A x = b by Gaussian elimination over the rationals.
+/// A is m x n, b has m entries.
+SolveResult SolveLinearSystem(const Matrix& a, const Vec& b);
+
+/// Rank of `a` over the rationals.
+size_t Rank(const Matrix& a);
+
+/// Determinant of a square matrix.
+Rational Determinant(const Matrix& a);
+
+/// A basis of the null space of `a` (n-dimensional column space).
+std::vector<Vec> NullSpaceBasis(const Matrix& a);
+
+/// Rank of the affine hull of `points`, i.e. the dimension of the smallest
+/// affine subspace containing them (-1 for an empty set, 0 for a single
+/// point). This is the paper's notion of the dimension of a face via its
+/// affine support (Section 3).
+int AffineDimension(const std::vector<Vec>& points);
+
+}  // namespace lcdb
+
+#endif  // LCDB_LINALG_GAUSS_H_

@@ -1,0 +1,87 @@
+#include "linalg/matrix.h"
+
+#include "util/status.h"
+
+namespace lcdb {
+
+Vec VecAdd(const Vec& v, const Vec& w) {
+  LCDB_CHECK(v.size() == w.size());
+  Vec out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = v[i] + w[i];
+  return out;
+}
+
+Vec VecSub(const Vec& v, const Vec& w) {
+  LCDB_CHECK(v.size() == w.size());
+  Vec out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = v[i] - w[i];
+  return out;
+}
+
+Vec VecScale(const Rational& c, const Vec& v) {
+  Vec out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = c * v[i];
+  return out;
+}
+
+Rational Dot(const Vec& v, const Vec& w) {
+  LCDB_CHECK(v.size() == w.size());
+  Rational out;
+  for (size_t i = 0; i < v.size(); ++i) out += v[i] * w[i];
+  return out;
+}
+
+bool VecIsZero(const Vec& v) {
+  for (const Rational& x : v) {
+    if (!x.IsZero()) return false;
+  }
+  return true;
+}
+
+std::string VecToString(const Vec& v) {
+  std::string out = "(";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += v[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+int VecLexCompare(const Vec& a, const Vec& b) {
+  LCDB_CHECK(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return -1;
+    if (b[i] < a[i]) return 1;
+  }
+  return 0;
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<Rational>> rows) {
+  for (const auto& row : rows) {
+    AppendRow(Vec(row));
+  }
+}
+
+void Matrix::AppendRow(const Vec& row) {
+  if (cols_ == 0 && data_.empty()) {
+    cols_ = row.size();
+  }
+  LCDB_CHECK(row.size() == cols_);
+  data_.insert(data_.end(), row.begin(), row.end());
+}
+
+std::string Matrix::ToString() const {
+  std::string out;
+  for (size_t r = 0; r < rows(); ++r) {
+    out += "[";
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c > 0) out += ", ";
+      out += at(r, c).ToString();
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace lcdb

@@ -1,0 +1,57 @@
+#ifndef LCDB_LINALG_MATRIX_H_
+#define LCDB_LINALG_MATRIX_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "arith/rational.h"
+
+namespace lcdb {
+
+/// Dense vector of rationals; used for points, directions and coefficient
+/// rows throughout lcdb.
+using Vec = std::vector<Rational>;
+
+/// v + w (sizes must match).
+Vec VecAdd(const Vec& v, const Vec& w);
+/// v - w (sizes must match).
+Vec VecSub(const Vec& v, const Vec& w);
+/// c * v.
+Vec VecScale(const Rational& c, const Vec& v);
+/// Standard inner product.
+Rational Dot(const Vec& v, const Vec& w);
+/// All-zero test.
+bool VecIsZero(const Vec& v);
+/// "(a, b, c)" rendering.
+std::string VecToString(const Vec& v);
+/// Lexicographic comparison, used for the paper's ordering of 0-dimensional
+/// regions (proof of Theorem 6.4). Returns <0, 0, >0.
+int VecLexCompare(const Vec& a, const Vec& b);
+
+/// Dense row-major matrix of rationals.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols) : cols_(cols), data_(rows * cols) {}
+  Matrix(std::initializer_list<std::initializer_list<Rational>> rows);
+
+  size_t rows() const { return cols_ == 0 ? 0 : data_.size() / cols_; }
+  size_t cols() const { return cols_; }
+
+  Rational& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  const Rational& at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Appends a row (size must equal cols(), or set cols on first row).
+  void AppendRow(const Vec& row);
+
+  std::string ToString() const;
+
+ private:
+  size_t cols_ = 0;
+  std::vector<Rational> data_;
+};
+
+}  // namespace lcdb
+
+#endif  // LCDB_LINALG_MATRIX_H_

@@ -1,0 +1,259 @@
+#include "lp/simplex.h"
+
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace lcdb {
+
+bool LinearConstraint::Satisfies(const Vec& point) const {
+  const Rational lhs = Dot(coeffs, point);
+  int cmp = 0;
+  if (lhs < rhs) {
+    cmp = -1;
+  } else if (rhs < lhs) {
+    cmp = 1;
+  }
+  return EvalRelOp(cmp, rel);
+}
+
+namespace {
+
+/// Tableau simplex over exact rationals. All variables are >= 0; each row r
+/// maintains  sum_j rows_[r][j] x_j = rhs_[r]  with rhs_[r] >= 0 and
+/// basis_[r] the index of the variable basic in row r (coefficient one in
+/// its row, zero elsewhere). The objective is kept as
+/// z = obj_const_ + sum_j obj_[j] x_j with obj_[basic] = 0.
+class Tableau {
+ public:
+  Tableau(size_t num_cols) : num_cols_(num_cols), obj_(num_cols) {}
+
+  size_t num_cols() const { return num_cols_; }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<size_t>& basis() const { return basis_; }
+  const Rational& rhs(size_t r) const { return rhs_[r]; }
+  const Rational& coeff(size_t r, size_t c) const { return rows_[r][c]; }
+  const Rational& objective_value() const { return obj_const_; }
+
+  void AddRow(Vec row, Rational rhs, size_t basic_var) {
+    LCDB_CHECK(row.size() == num_cols_);
+    LCDB_CHECK(rhs.Sign() >= 0);
+    rows_.push_back(std::move(row));
+    rhs_.push_back(std::move(rhs));
+    basis_.push_back(basic_var);
+  }
+
+  /// Installs objective `z = sum coeffs[j] x_j`, rewritten through the
+  /// current basis so that basic variables have zero reduced cost.
+  void SetObjective(const Vec& coeffs) {
+    LCDB_CHECK(coeffs.size() == num_cols_);
+    obj_ = coeffs;
+    obj_const_ = Rational(0);
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      const Rational factor = obj_[basis_[r]];
+      if (factor.IsZero()) continue;
+      for (size_t c = 0; c < num_cols_; ++c) {
+        obj_[c] -= factor * rows_[r][c];
+      }
+      obj_const_ += factor * rhs_[r];
+      obj_[basis_[r]] = Rational(0);
+    }
+  }
+
+  /// Runs Bland's-rule simplex until optimal or unbounded. `allowed` masks
+  /// columns eligible to enter the basis (used to keep artificials out in
+  /// phase 2). Returns false iff unbounded.
+  bool Optimize(const std::vector<bool>& allowed) {
+    while (true) {
+      // Entering column: smallest index with positive reduced cost.
+      size_t enter = num_cols_;
+      for (size_t c = 0; c < num_cols_; ++c) {
+        if (allowed[c] && obj_[c].Sign() > 0) {
+          enter = c;
+          break;
+        }
+      }
+      if (enter == num_cols_) return true;  // optimal
+      // Leaving row: minimum ratio rhs/coeff over rows with coeff > 0;
+      // ties broken by smallest basic-variable index (Bland).
+      size_t leave = num_rows();
+      std::optional<Rational> best_ratio;
+      for (size_t r = 0; r < num_rows(); ++r) {
+        if (rows_[r][enter].Sign() <= 0) continue;
+        Rational ratio = rhs_[r] / rows_[r][enter];
+        if (!best_ratio.has_value() || ratio < *best_ratio ||
+            (ratio == *best_ratio && basis_[r] < basis_[leave])) {
+          best_ratio = std::move(ratio);
+          leave = r;
+        }
+      }
+      if (leave == num_rows()) return false;  // unbounded
+      Pivot(leave, enter);
+    }
+  }
+
+  void Pivot(size_t row, size_t col) {
+    LCDB_CHECK(rows_[row][col].Sign() != 0);
+    const Rational inv = Rational(1) / rows_[row][col];
+    for (size_t c = 0; c < num_cols_; ++c) rows_[row][c] *= inv;
+    rhs_[row] *= inv;
+    rows_[row][col] = Rational(1);  // kill rounding-free drift from aliasing
+    for (size_t r = 0; r < num_rows(); ++r) {
+      if (r == row) continue;
+      const Rational factor = rows_[r][col];
+      if (factor.IsZero()) continue;
+      for (size_t c = 0; c < num_cols_; ++c) {
+        rows_[r][c] -= factor * rows_[row][c];
+      }
+      rhs_[r] -= factor * rhs_[row];
+      rows_[r][col] = Rational(0);
+    }
+    const Rational ofactor = obj_[col];
+    if (!ofactor.IsZero()) {
+      for (size_t c = 0; c < num_cols_; ++c) {
+        obj_[c] -= ofactor * rows_[row][c];
+      }
+      obj_const_ += ofactor * rhs_[row];
+      obj_[col] = Rational(0);
+    }
+    basis_[row] = col;
+  }
+
+  void DropRow(size_t r) {
+    rows_.erase(rows_.begin() + r);
+    rhs_.erase(rhs_.begin() + r);
+    basis_.erase(basis_.begin() + r);
+  }
+
+ private:
+  size_t num_cols_;
+  std::vector<Vec> rows_;
+  Vec rhs_;
+  std::vector<size_t> basis_;
+  Vec obj_;
+  Rational obj_const_;
+};
+
+}  // namespace
+
+LpResult MaximizeLp(size_t num_vars,
+                    const std::vector<LinearConstraint>& constraints,
+                    const Vec& objective) {
+  LCDB_CHECK(objective.size() == num_vars);
+  // Normalize constraints to `a . x <= b` form rows; equalities become two
+  // inequalities. Strict relations are rejected (feasibility.h handles them).
+  struct Row {
+    Vec a;
+    Rational b;
+  };
+  std::vector<Row> le_rows;
+  for (const LinearConstraint& c : constraints) {
+    LCDB_CHECK_MSG(!IsStrict(c.rel), "MaximizeLp requires non-strict relations");
+    LCDB_CHECK(c.coeffs.size() == num_vars);
+    if (c.rel == RelOp::kLe || c.rel == RelOp::kEq) {
+      le_rows.push_back({c.coeffs, c.rhs});
+    }
+    if (c.rel == RelOp::kGe || c.rel == RelOp::kEq) {
+      le_rows.push_back({VecScale(Rational(-1), c.coeffs), -c.rhs});
+    }
+  }
+
+  // Column layout: [x+_0..x+_{n-1} | x-_0..x-_{n-1} | slacks | artificials].
+  const size_t m = le_rows.size();
+  const size_t slack_base = 2 * num_vars;
+  // Count artificials: rows whose rhs is negative after slack insertion.
+  size_t num_artificial = 0;
+  for (const Row& row : le_rows) {
+    if (row.b.Sign() < 0) ++num_artificial;
+  }
+  const size_t art_base = slack_base + m;
+  const size_t num_cols = art_base + num_artificial;
+
+  Tableau tableau(num_cols);
+  size_t next_art = art_base;
+  std::vector<size_t> artificial_vars;
+  for (size_t r = 0; r < m; ++r) {
+    Vec row(num_cols);
+    Rational rhs = le_rows[r].b;
+    Rational sign(1);
+    if (rhs.Sign() < 0) {
+      sign = Rational(-1);
+      rhs = -rhs;
+    }
+    for (size_t j = 0; j < num_vars; ++j) {
+      row[j] = sign * le_rows[r].a[j];
+      row[num_vars + j] = -row[j];
+    }
+    row[slack_base + r] = sign;  // slack: +1 normally, -1 on negated rows
+    size_t basic;
+    if (sign.Sign() > 0) {
+      basic = slack_base + r;
+    } else {
+      row[next_art] = Rational(1);
+      basic = next_art;
+      artificial_vars.push_back(next_art);
+      ++next_art;
+    }
+    tableau.AddRow(std::move(row), std::move(rhs), basic);
+  }
+
+  std::vector<bool> allow_all(num_cols, true);
+  if (num_artificial > 0) {
+    // Phase 1: maximize -sum(artificials).
+    Vec phase1(num_cols);
+    for (size_t v : artificial_vars) phase1[v] = Rational(-1);
+    tableau.SetObjective(phase1);
+    bool bounded = tableau.Optimize(allow_all);
+    LCDB_CHECK_MSG(bounded, "phase-1 objective cannot be unbounded");
+    if (tableau.objective_value().Sign() < 0) {
+      return {LpStatus::kInfeasible, Rational(0), {}};
+    }
+    // Drive remaining artificials out of the basis.
+    for (size_t r = 0; r < tableau.num_rows();) {
+      size_t bv = tableau.basis()[r];
+      if (bv < art_base) {
+        ++r;
+        continue;
+      }
+      size_t pivot_col = num_cols;
+      for (size_t c = 0; c < art_base; ++c) {
+        if (tableau.coeff(r, c).Sign() != 0) {
+          pivot_col = c;
+          break;
+        }
+      }
+      if (pivot_col == num_cols) {
+        tableau.DropRow(r);  // redundant constraint
+      } else {
+        tableau.Pivot(r, pivot_col);
+        ++r;
+      }
+    }
+  }
+
+  // Phase 2: real objective over split variables; artificials locked out.
+  Vec phase2(num_cols);
+  for (size_t j = 0; j < num_vars; ++j) {
+    phase2[j] = objective[j];
+    phase2[num_vars + j] = -objective[j];
+  }
+  tableau.SetObjective(phase2);
+  std::vector<bool> allowed(num_cols, true);
+  for (size_t c = art_base; c < num_cols; ++c) allowed[c] = false;
+  if (!tableau.Optimize(allowed)) {
+    return {LpStatus::kUnbounded, Rational(0), {}};
+  }
+
+  Vec split(num_cols);
+  for (size_t r = 0; r < tableau.num_rows(); ++r) {
+    split[tableau.basis()[r]] = tableau.rhs(r);
+  }
+  Vec solution(num_vars);
+  for (size_t j = 0; j < num_vars; ++j) {
+    solution[j] = split[j] - split[num_vars + j];
+  }
+  return {LpStatus::kOptimal, tableau.objective_value(), std::move(solution)};
+}
+
+}  // namespace lcdb

@@ -1,0 +1,46 @@
+#ifndef LCDB_LP_SIMPLEX_H_
+#define LCDB_LP_SIMPLEX_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/relop.h"
+
+namespace lcdb {
+
+/// One linear constraint  coeffs . x  REL  rhs  over free (unrestricted)
+/// real variables.
+struct LinearConstraint {
+  Vec coeffs;
+  RelOp rel = RelOp::kLe;
+  Rational rhs;
+
+  LinearConstraint() = default;
+  LinearConstraint(Vec c, RelOp r, Rational b)
+      : coeffs(std::move(c)), rel(r), rhs(std::move(b)) {}
+
+  /// True iff `point` satisfies the constraint.
+  bool Satisfies(const Vec& point) const;
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  Rational objective;  ///< optimal value (kOptimal only)
+  Vec solution;        ///< an optimal point (kOptimal only)
+};
+
+/// Maximizes `objective . x` subject to the *non-strict* constraints
+/// (strict relations are not allowed here; use feasibility.h for those).
+/// Variables are free; internally each is split into a difference of two
+/// non-negative variables and solved with a two-phase tableau simplex using
+/// Bland's rule over exact rationals, so the solver always terminates with
+/// an exact answer.
+LpResult MaximizeLp(size_t num_vars,
+                    const std::vector<LinearConstraint>& constraints,
+                    const Vec& objective);
+
+}  // namespace lcdb
+
+#endif  // LCDB_LP_SIMPLEX_H_

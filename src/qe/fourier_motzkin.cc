@@ -1,0 +1,197 @@
+#include "qe/fourier_motzkin.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/status.h"
+
+namespace lcdb {
+namespace {
+
+/// A bound on the eliminated variable: x REL expr, with expr an affine
+/// expression not involving x. `strict` distinguishes < from <=.
+struct Bound {
+  AffineExpr expr;
+  bool strict = false;
+};
+
+/// Result of classifying one conjunct's atoms w.r.t. the variable.
+struct Classified {
+  std::vector<LinearAtom> free_atoms;  // atoms not involving x
+  std::vector<Bound> lowers;           // expr REL x
+  std::vector<Bound> uppers;           // x REL expr
+  std::optional<AffineExpr> equality;  // x = expr (if any equality has x)
+};
+
+Classified Classify(const Conjunction& conj, size_t var) {
+  Classified out;
+  const size_t n = conj.num_vars();
+  for (const LinearAtom& atom : conj.atoms()) {
+    const BigInt& a = atom.coeffs()[var];
+    if (a.IsZero()) {
+      out.free_atoms.push_back(atom);
+      continue;
+    }
+    // Rewrite  sum a_i x_i REL b  as  x REL' (b - sum_{i != var} a_i x_i)/a.
+    AffineExpr expr;
+    expr.coeffs.assign(n, Rational(0));
+    const Rational inv = Rational(1) / Rational(a);
+    for (size_t i = 0; i < n; ++i) {
+      if (i == var || atom.coeffs()[i].IsZero()) continue;
+      expr.coeffs[i] = -Rational(atom.coeffs()[i]) * inv;
+    }
+    expr.constant = Rational(atom.rhs()) * inv;
+    RelOp rel = atom.rel();
+    if (a.IsNegative()) rel = Flip(rel);  // dividing by negative flips
+    switch (rel) {
+      case RelOp::kEq:
+        if (!out.equality.has_value()) {
+          out.equality = expr;
+        } else {
+          // Second equality on x: keep as a free constraint expr == first.
+          Vec diff = VecSub(expr.coeffs, out.equality->coeffs);
+          out.free_atoms.push_back(LinearAtom(
+              diff, RelOp::kEq, out.equality->constant - expr.constant));
+        }
+        break;
+      case RelOp::kLt:
+        out.uppers.push_back({std::move(expr), true});
+        break;
+      case RelOp::kLe:
+        out.uppers.push_back({std::move(expr), false});
+        break;
+      case RelOp::kGt:
+        out.lowers.push_back({std::move(expr), true});
+        break;
+      case RelOp::kGe:
+        out.lowers.push_back({std::move(expr), false});
+        break;
+    }
+  }
+  return out;
+}
+
+/// lower REL upper with strictness if either side is strict.
+LinearAtom CombineBounds(const Bound& lower, const Bound& upper) {
+  Vec coeffs = VecSub(lower.expr.coeffs, upper.expr.coeffs);
+  Rational rhs = upper.expr.constant - lower.expr.constant;
+  RelOp rel = (lower.strict || upper.strict) ? RelOp::kLt : RelOp::kLe;
+  return LinearAtom(coeffs, rel, rhs);
+}
+
+Conjunction EliminateFromConjunct(const Conjunction& conj, size_t var) {
+  const size_t n = conj.num_vars();
+  Classified c = Classify(conj, var);
+  if (c.equality.has_value()) {
+    // Gauss step: substitute x := expr into every atom of the original
+    // conjunct except the defining equality occurrence.
+    std::vector<AffineExpr> map;
+    map.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      map.push_back(i == var ? *c.equality : AffineExpr::Variable(n, i));
+    }
+    std::vector<LinearAtom> atoms;
+    atoms.reserve(c.free_atoms.size() + c.lowers.size() + c.uppers.size());
+    atoms = c.free_atoms;
+    for (const Bound& b : c.lowers) {
+      // expr_lower REL x  with x := equality expr.
+      atoms.push_back(CombineBounds(b, Bound{*c.equality, false}));
+    }
+    for (const Bound& b : c.uppers) {
+      atoms.push_back(CombineBounds(Bound{*c.equality, false}, b));
+    }
+    return Conjunction(n, std::move(atoms));
+  }
+  // Fourier-Motzkin: all lower/upper pairs.
+  std::vector<LinearAtom> atoms = std::move(c.free_atoms);
+  atoms.reserve(atoms.size() + c.lowers.size() * c.uppers.size());
+  for (const Bound& lo : c.lowers) {
+    for (const Bound& up : c.uppers) {
+      atoms.push_back(CombineBounds(lo, up));
+    }
+  }
+  // If there are no lowers or no uppers, x escapes to -inf/+inf: the bounds
+  // impose no condition, i.e. they are simply dropped.
+  return Conjunction(n, std::move(atoms));
+}
+
+}  // namespace
+
+DnfFormula ExistsVariable(const DnfFormula& f, size_t var) {
+  std::vector<Conjunction> out;
+  out.reserve(f.disjuncts().size());
+  for (const Conjunction& conj : f.disjuncts()) {
+    Conjunction reduced = EliminateFromConjunct(conj, var);
+    if (!reduced.IsSyntacticallyFalse()) out.push_back(std::move(reduced));
+  }
+  DnfFormula result(f.num_vars(), std::move(out));
+  result.Simplify();
+  return result;
+}
+
+DnfFormula ForallVariable(const DnfFormula& f, size_t var) {
+  return ExistsVariable(f.Negate(), var).Negate();
+}
+
+bool VariableOccurs(const DnfFormula& f, size_t var) {
+  for (const Conjunction& conj : f.disjuncts()) {
+    for (const LinearAtom& atom : conj.atoms()) {
+      if (!atom.coeffs()[var].IsZero()) return true;
+    }
+  }
+  return false;
+}
+
+DnfFormula ExistsVariables(const DnfFormula& f, std::vector<size_t> vars) {
+  DnfFormula current = f;
+  while (!vars.empty()) {
+    // Pick the variable with the smallest lower*upper product estimate.
+    size_t best_index = 0;
+    size_t best_cost = SIZE_MAX;
+    for (size_t k = 0; k < vars.size(); ++k) {
+      size_t cost = 0;
+      for (const Conjunction& conj : current.disjuncts()) {
+        size_t lowers = 0, uppers = 0, eqs = 0;
+        for (const LinearAtom& atom : conj.atoms()) {
+          const BigInt& a = atom.coeffs()[vars[k]];
+          if (a.IsZero()) continue;
+          if (atom.rel() == RelOp::kEq) {
+            ++eqs;
+          } else if ((atom.rel() == RelOp::kLt || atom.rel() == RelOp::kLe) ==
+                     !a.IsNegative()) {
+            ++uppers;
+          } else {
+            ++lowers;
+          }
+        }
+        cost += eqs > 0 ? conj.atoms().size() : lowers * uppers;
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_index = k;
+      }
+    }
+    current = ExistsVariable(current, vars[best_index]);
+    vars.erase(vars.begin() + best_index);
+  }
+  return current;
+}
+
+DnfFormula DropVariable(const DnfFormula& f, size_t var) {
+  LCDB_CHECK_MSG(!VariableOccurs(f, var), "dropping a live variable");
+  const size_t n = f.num_vars();
+  LCDB_CHECK(var < n);
+  // Build the reindexing substitution from the old space into the new one.
+  std::vector<AffineExpr> map;
+  map.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i == var) {
+      map.push_back(AffineExpr::Constant(n - 1, Rational(0)));
+    } else {
+      map.push_back(AffineExpr::Variable(n - 1, i < var ? i : i - 1));
+    }
+  }
+  return f.Substitute(map, n - 1);
+}
+
+}  // namespace lcdb

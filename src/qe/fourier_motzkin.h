@@ -1,0 +1,41 @@
+#ifndef LCDB_QE_FOURIER_MOTZKIN_H_
+#define LCDB_QE_FOURIER_MOTZKIN_H_
+
+#include <vector>
+
+#include "constraint/dnf_formula.h"
+
+namespace lcdb {
+
+/// Quantifier elimination for first-order logic over (R, <, +) with rational
+/// coefficients — the engine behind the *closure* of every query language in
+/// the paper (Section 2: the result of a query must again be representable
+/// by a quantifier-free formula) and behind the element-variable quantifier
+/// cases in the proof of Theorem 4.3.
+///
+/// `ExistsVariable(f, var)` returns a quantifier-free DNF formula over the
+/// same variable space (with `var` no longer occurring) equivalent to
+/// `exists x_var . f`. Per disjunct it first substitutes out equalities
+/// containing the variable (a Gauss step) and otherwise combines lower and
+/// upper bounds pairwise (Fourier–Motzkin), with strictness propagated:
+/// a lower bound L <(=) x and an upper bound x <(=) U combine to L REL U
+/// where REL is strict iff either input was strict.
+DnfFormula ExistsVariable(const DnfFormula& f, size_t var);
+
+/// `forall x_var . f`, computed as NOT exists NOT.
+DnfFormula ForallVariable(const DnfFormula& f, size_t var);
+
+/// Eliminates several variables existentially, cheapest-first (the variable
+/// whose elimination produces the fewest product atoms is chosen next).
+DnfFormula ExistsVariables(const DnfFormula& f, std::vector<size_t> vars);
+
+/// True iff `var` occurs with nonzero coefficient anywhere in `f`.
+bool VariableOccurs(const DnfFormula& f, size_t var);
+
+/// Removes column `var` from the variable space (the variable must not
+/// occur); the remaining variables shift down by one.
+DnfFormula DropVariable(const DnfFormula& f, size_t var);
+
+}  // namespace lcdb
+
+#endif  // LCDB_QE_FOURIER_MOTZKIN_H_

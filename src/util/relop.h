@@ -1,0 +1,87 @@
+#ifndef LCDB_UTIL_RELOP_H_
+#define LCDB_UTIL_RELOP_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace lcdb {
+
+/// Comparison relation of a linear atom  sum a_i x_i  REL  b.
+/// The paper disallows negation in representations but allows all five
+/// relations (Section 2); != is expressed as a disjunction of < and >.
+enum class RelOp { kLt, kLe, kEq, kGe, kGt };
+
+inline bool IsStrict(RelOp rel) {
+  return rel == RelOp::kLt || rel == RelOp::kGt;
+}
+
+/// The relation with < and > (and <= / >=) swapped; used when multiplying an
+/// atom by a negative scalar.
+inline RelOp Flip(RelOp rel) {
+  switch (rel) {
+    case RelOp::kLt:
+      return RelOp::kGt;
+    case RelOp::kLe:
+      return RelOp::kGe;
+    case RelOp::kEq:
+      return RelOp::kEq;
+    case RelOp::kGe:
+      return RelOp::kLe;
+    case RelOp::kGt:
+      return RelOp::kLt;
+  }
+  LCDB_CHECK(false);
+  return RelOp::kEq;
+}
+
+/// Relaxes strict comparisons to their non-strict counterparts (topological
+/// closure of the solution set).
+inline RelOp Closure(RelOp rel) {
+  switch (rel) {
+    case RelOp::kLt:
+      return RelOp::kLe;
+    case RelOp::kGt:
+      return RelOp::kGe;
+    default:
+      return rel;
+  }
+}
+
+inline const char* RelOpToString(RelOp rel) {
+  switch (rel) {
+    case RelOp::kLt:
+      return "<";
+    case RelOp::kLe:
+      return "<=";
+    case RelOp::kEq:
+      return "=";
+    case RelOp::kGe:
+      return ">=";
+    case RelOp::kGt:
+      return ">";
+  }
+  return "?";
+}
+
+/// Evaluates `lhs REL rhs` for an already-computed comparison
+/// (`cmp` = sign of lhs - rhs).
+inline bool EvalRelOp(int cmp, RelOp rel) {
+  switch (rel) {
+    case RelOp::kLt:
+      return cmp < 0;
+    case RelOp::kLe:
+      return cmp <= 0;
+    case RelOp::kEq:
+      return cmp == 0;
+    case RelOp::kGe:
+      return cmp >= 0;
+    case RelOp::kGt:
+      return cmp > 0;
+  }
+  return false;
+}
+
+}  // namespace lcdb
+
+#endif  // LCDB_UTIL_RELOP_H_

@@ -1,0 +1,140 @@
+#ifndef LCDB_UTIL_STATUS_H_
+#define LCDB_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace lcdb {
+
+/// Error categories used across the library. The set is deliberately small:
+/// parse errors (malformed input text), invalid arguments (well-formed but
+/// semantically wrong inputs, e.g. a non-linear term), and internal errors
+/// (invariant violations that indicate a bug in lcdb itself).
+enum class StatusCode {
+  kOk = 0,
+  kParseError = 1,
+  kInvalidArgument = 2,
+  kInternal = 3,
+  kNotFound = 4,
+  kUnsupported = 5,
+};
+
+/// Arrow/RocksDB-style status object. Functions that can fail on user input
+/// return `Status` (or `Result<T>`); invariant violations abort via
+/// LCDB_CHECK instead.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "ParseError: unexpected token ')'".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Minimal StatusOr-like result type: either a value or an error status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error status keeps call
+  /// sites terse (`return some_value;` / `return Status::ParseError(...);`).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                            // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+}  // namespace internal
+
+}  // namespace lcdb
+
+/// Aborts the process with a diagnostic when `expr` is false. Used for
+/// internal invariants only; user-facing failures return Status.
+#define LCDB_CHECK(expr)                                          \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::lcdb::internal::CheckFailed(__FILE__, __LINE__, #expr, ""); \
+    }                                                             \
+  } while (0)
+
+#define LCDB_CHECK_MSG(expr, msg)                                    \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::lcdb::internal::CheckFailed(__FILE__, __LINE__, #expr, msg); \
+    }                                                                \
+  } while (0)
+
+/// Propagates a non-OK status out of the enclosing function.
+#define LCDB_RETURN_IF_ERROR(expr)           \
+  do {                                       \
+    ::lcdb::Status _st = (expr);             \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Assigns the value of a Result<T> expression to `lhs`, or propagates the
+/// error. `lhs` must be a declaration, e.g. LCDB_ASSIGN_OR_RETURN(auto x, f()).
+#define LCDB_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  LCDB_ASSIGN_OR_RETURN_IMPL_(                     \
+      LCDB_STATUS_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define LCDB_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                \
+  if (!result.ok()) return result.status();             \
+  lhs = std::move(result).value()
+
+#define LCDB_STATUS_CONCAT_INNER_(a, b) a##b
+#define LCDB_STATUS_CONCAT_(a, b) LCDB_STATUS_CONCAT_INNER_(a, b)
+
+#endif  // LCDB_UTIL_STATUS_H_

@@ -1,0 +1,301 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "arrangement/arrangement.h"
+#include "arrangement/incidence_graph.h"
+#include "constraint/parser.h"
+
+namespace lcdb {
+namespace {
+
+const std::vector<std::string> kXY = {"x", "y"};
+
+Vec V(std::initializer_list<int64_t> values) {
+  Vec out;
+  for (int64_t v : values) out.emplace_back(v);
+  return out;
+}
+
+Hyperplane H(const std::string& text,
+             const std::vector<std::string>& vars = kXY) {
+  return Hyperplane::FromAtom(ParseAtom(text, vars).value());
+}
+
+TEST(ArrangementTest, SingleLineSplitsPlane) {
+  Arrangement arr = Arrangement::Build({H("x = 0")}, 2);
+  EXPECT_EQ(arr.num_faces(), 3u);
+  auto counts = arr.FaceCountsByDimension();
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 2u);
+}
+
+TEST(ArrangementTest, TwoCrossingLines) {
+  Arrangement arr = Arrangement::Build({H("x = 0"), H("y = 0")}, 2);
+  EXPECT_EQ(arr.num_faces(), 9u);
+  auto counts = arr.FaceCountsByDimension();
+  EXPECT_EQ(counts[0], 1u);  // origin
+  EXPECT_EQ(counts[1], 4u);  // four half-axes
+  EXPECT_EQ(counts[2], 4u);  // four quadrants
+}
+
+TEST(ArrangementTest, PaperExampleThreeLinesGeneralPosition) {
+  // Figure 3 of the paper: an arrangement with seven 2-dimensional faces
+  // e1..e7, nine 1-dimensional faces l1..l9, three vertices p1..p3 — three
+  // hyperplanes in general position.
+  Arrangement arr =
+      Arrangement::Build({H("x = 0"), H("y = 0"), H("x + y = 4")}, 2);
+  auto counts = arr.FaceCountsByDimension();
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 9u);
+  EXPECT_EQ(counts[2], 7u);
+  EXPECT_EQ(arr.num_faces(), 19u);
+}
+
+TEST(ArrangementTest, ParallelLines) {
+  Arrangement arr = Arrangement::Build({H("x = 0"), H("x = 1")}, 2);
+  auto counts = arr.FaceCountsByDimension();
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 3u);
+}
+
+TEST(ArrangementTest, DuplicatePlanesCollapse) {
+  Arrangement arr =
+      Arrangement::Build({H("x = 0"), H("2x = 0"), H("x <= 0" /* same */)}, 2);
+  EXPECT_EQ(arr.planes().size(), 1u);
+  EXPECT_EQ(arr.num_faces(), 3u);
+}
+
+TEST(ArrangementTest, EmptyPlaneList) {
+  Arrangement arr = Arrangement::Build({}, 2);
+  EXPECT_EQ(arr.num_faces(), 1u);
+  EXPECT_EQ(arr.face(0).dim, 2);
+  EXPECT_FALSE(arr.face(0).bounded);
+  EXPECT_EQ(arr.LocateFace(V({5, -3})), 0u);
+  EXPECT_TRUE(arr.FaceFormula(0).IsTrue());
+}
+
+TEST(ArrangementTest, OneDimensional) {
+  std::vector<std::string> x = {"x"};
+  Arrangement arr = Arrangement::Build(
+      {H("x = 0", x), H("x = 1", x), H("x = 5", x)}, 1);
+  auto counts = arr.FaceCountsByDimension();
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 4u);
+}
+
+TEST(ArrangementTest, WitnessInFaceAndFormulaConsistency) {
+  Arrangement arr =
+      Arrangement::Build({H("x = 0"), H("y = 0"), H("x + y = 4")}, 2);
+  for (size_t i = 0; i < arr.num_faces(); ++i) {
+    Conjunction formula = arr.FaceFormula(i);
+    EXPECT_TRUE(formula.Satisfies(arr.face(i).witness)) << i;
+    EXPECT_EQ(arr.LocateFace(arr.face(i).witness), i);
+  }
+}
+
+TEST(ArrangementTest, FacesPartitionThePlane) {
+  Arrangement arr =
+      Arrangement::Build({H("x = 0"), H("y = 0"), H("x + y = 4"),
+                          H("x - y = 1")},
+                         2);
+  std::mt19937_64 rng(12345);
+  std::uniform_int_distribution<int64_t> num(-12, 12);
+  std::uniform_int_distribution<int64_t> den(1, 4);
+  for (int iter = 0; iter < 200; ++iter) {
+    Vec p = {Rational(num(rng), den(rng)), Rational(num(rng), den(rng))};
+    size_t face = arr.LocateFace(p);
+    size_t containing = 0;
+    for (size_t i = 0; i < arr.num_faces(); ++i) {
+      if (arr.FaceFormula(i).Satisfies(p)) {
+        ++containing;
+        EXPECT_EQ(i, face);
+      }
+    }
+    EXPECT_EQ(containing, 1u) << VecToString(p);
+  }
+}
+
+TEST(ArrangementTest, BoundedFaces) {
+  // Triangle lines: exactly one bounded 2-face (the open triangle), three
+  // bounded edges, three vertices.
+  Arrangement arr =
+      Arrangement::Build({H("x = 0"), H("y = 0"), H("x + y = 4")}, 2);
+  size_t bounded2 = 0, bounded1 = 0, bounded0 = 0;
+  for (const Face& f : arr.faces()) {
+    if (!f.bounded) continue;
+    if (f.dim == 2) ++bounded2;
+    if (f.dim == 1) ++bounded1;
+    if (f.dim == 0) ++bounded0;
+  }
+  EXPECT_EQ(bounded2, 1u);
+  EXPECT_EQ(bounded1, 3u);
+  EXPECT_EQ(bounded0, 3u);
+}
+
+TEST(ArrangementTest, AdjacencySymmetricAndDimensionSeparated) {
+  Arrangement arr = Arrangement::Build({H("x = 0"), H("y = 0")}, 2);
+  for (size_t f = 0; f < arr.num_faces(); ++f) {
+    EXPECT_FALSE(arr.Adjacent(f, f));
+    for (size_t g = 0; g < arr.num_faces(); ++g) {
+      EXPECT_EQ(arr.Adjacent(f, g), arr.Adjacent(g, f));
+      if (arr.Adjacent(f, g)) {
+        // The paper: adjacent regions have strictly different dimensions.
+        EXPECT_NE(arr.face(f).dim, arr.face(g).dim);
+      }
+      if (arr.Incident(f, g)) EXPECT_TRUE(arr.Adjacent(f, g));
+    }
+  }
+  // Origin adjacent to every other face in the two-axes arrangement.
+  size_t origin = arr.LocateFace(V({0, 0}));
+  for (size_t g = 0; g < arr.num_faces(); ++g) {
+    if (g != origin) EXPECT_TRUE(arr.Adjacent(origin, g));
+  }
+}
+
+TEST(ArrangementTest, EulerCharacteristicOfLineArrangements) {
+  // For any arrangement of lines in R^2: V - E + C == 1.
+  std::vector<std::vector<Hyperplane>> cases = {
+      {H("x = 0")},
+      {H("x = 0"), H("y = 0")},
+      {H("x = 0"), H("y = 0"), H("x + y = 4")},
+      {H("x = 0"), H("y = 0"), H("x + y = 4"), H("x - y = 1")},
+      {H("x = 0"), H("x = 1"), H("y = 0"), H("x + 2y = 3")},
+  };
+  for (auto& planes : cases) {
+    Arrangement arr = Arrangement::Build(planes, 2);
+    auto counts = arr.FaceCountsByDimension();
+    int euler = static_cast<int>(counts[0]) - static_cast<int>(counts[1]) +
+                static_cast<int>(counts[2]);
+    EXPECT_EQ(euler, 1);
+  }
+}
+
+TEST(ArrangementTest, GeneralPositionCountFormulas) {
+  // n lines in general position: C(n,2) vertices, n^2 edges,
+  // 1 + n + C(n,2) cells.
+  std::vector<Hyperplane> planes = {H("x = 0"), H("y = 0"), H("x + y = 4"),
+                                    H("x - y = 1"), H("x + 2y = -3")};
+  const size_t n = planes.size();
+  Arrangement arr = Arrangement::Build(planes, 2);
+  auto counts = arr.FaceCountsByDimension();
+  EXPECT_EQ(counts[0], n * (n - 1) / 2);
+  EXPECT_EQ(counts[1], n * n);
+  EXPECT_EQ(counts[2], 1 + n + n * (n - 1) / 2);
+}
+
+TEST(ArrangementTest, ThreeDimensionalAxes) {
+  std::vector<std::string> xyz = {"x", "y", "z"};
+  Arrangement arr = Arrangement::Build(
+      {H("x = 0", xyz), H("y = 0", xyz), H("z = 0", xyz)}, 3);
+  auto counts = arr.FaceCountsByDimension();
+  EXPECT_EQ(counts[0], 1u);   // origin
+  EXPECT_EQ(counts[1], 6u);   // half-axes
+  EXPECT_EQ(counts[2], 12u);  // quarter-planes
+  EXPECT_EQ(counts[3], 8u);   // octants
+}
+
+TEST(IncidenceGraphTest, CrossingLinesStructure) {
+  Arrangement arr = Arrangement::Build({H("x = 0"), H("y = 0")}, 2);
+  IncidenceGraph graph(arr);
+  size_t origin = arr.LocateFace(V({0, 0}));
+  // Vertex: four incident edges up, improper bottom down.
+  EXPECT_EQ(graph.Up(origin).size(), 4u);
+  ASSERT_EQ(graph.Down(origin).size(), 1u);
+  EXPECT_EQ(graph.Down(origin)[0], IncidenceGraph::kBottom);
+  // Every 1-face: up to two quadrants, down to the origin.
+  for (size_t f = 0; f < arr.num_faces(); ++f) {
+    if (arr.face(f).dim != 1) continue;
+    EXPECT_EQ(graph.Up(f).size(), 2u);
+    ASSERT_EQ(graph.Down(f).size(), 1u);
+    EXPECT_EQ(graph.Down(f)[0], origin);
+  }
+  // Every quadrant: up to the improper top.
+  for (size_t f = 0; f < arr.num_faces(); ++f) {
+    if (arr.face(f).dim != 2) continue;
+    ASSERT_EQ(graph.Up(f).size(), 1u);
+    EXPECT_EQ(graph.Up(f)[0], IncidenceGraph::kTop);
+    EXPECT_EQ(graph.Down(f).size(), 2u);
+  }
+  EXPECT_FALSE(graph.DescribeNeighbourhood(arr, origin).empty());
+}
+
+TEST(IncidenceGraphTest, PaperFigure4Neighbourhood) {
+  // Around a vertex of the three-line arrangement: p2-like vertex has four
+  // incident 1-faces (it lies on two of the three lines).
+  Arrangement arr =
+      Arrangement::Build({H("x = 0"), H("y = 0"), H("x + y = 4")}, 2);
+  IncidenceGraph graph(arr);
+  size_t p = arr.LocateFace(V({0, 4}));  // intersection of x=0 and x+y=4
+  EXPECT_EQ(arr.face(p).dim, 0);
+  EXPECT_EQ(graph.Up(p).size(), 4u);
+  for (size_t e : graph.Up(p)) {
+    EXPECT_EQ(arr.face(e).dim, 1);
+    // And each such edge leads up to two 2-faces.
+    size_t proper_up = 0;
+    for (size_t c : graph.Up(e)) {
+      if (c != IncidenceGraph::kTop) ++proper_up;
+    }
+    EXPECT_EQ(proper_up, 2u);
+  }
+}
+
+TEST(IncidenceGraphTest, DiamondProperty) {
+  // A classic face-lattice invariant: for faces F < H with dim(H) =
+  // dim(F) + 2 and F in cl(H), there are exactly TWO faces G between them
+  // (F < G < H). Holds for arrangements of hyperplanes.
+  Arrangement arr =
+      Arrangement::Build({H("x = 0"), H("y = 0"), H("x + y = 4")}, 2);
+  for (size_t f = 0; f < arr.num_faces(); ++f) {
+    for (size_t h = 0; h < arr.num_faces(); ++h) {
+      if (arr.face(f).dim + 2 != arr.face(h).dim) continue;
+      if (!InClosureOf(arr.face(f).sign, arr.face(h).sign)) continue;
+      size_t between = 0;
+      for (size_t g = 0; g < arr.num_faces(); ++g) {
+        if (arr.face(g).dim != arr.face(f).dim + 1) continue;
+        if (arr.Incident(f, g) && arr.Incident(g, h)) ++between;
+      }
+      EXPECT_EQ(between, 2u) << "F=" << f << " H=" << h;
+    }
+  }
+}
+
+class ArrangementPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ArrangementPropertyTest, RandomArrangementInvariants) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int64_t> coeff(-3, 3);
+  for (int iter = 0; iter < 6; ++iter) {
+    std::vector<Hyperplane> planes;
+    for (int i = 0; i < 4; ++i) {
+      Vec c = {Rational(coeff(rng)), Rational(coeff(rng))};
+      if (VecIsZero(c)) c[0] = Rational(1);
+      planes.push_back(
+          Hyperplane::FromAtom(LinearAtom(c, RelOp::kEq, Rational(coeff(rng)))));
+    }
+    Arrangement arr = Arrangement::Build(planes, 2);
+    // Euler characteristic of the plane.
+    auto counts = arr.FaceCountsByDimension();
+    EXPECT_EQ(static_cast<int>(counts[0]) - static_cast<int>(counts[1]) +
+                  static_cast<int>(counts[2]),
+              1);
+    // Distinct faces have distinct sign vectors, and witnesses locate home.
+    for (size_t f = 0; f < arr.num_faces(); ++f) {
+      EXPECT_EQ(arr.LocateFace(arr.face(f).witness), f);
+      EXPECT_EQ(PositionVector(arr.planes(), arr.face(f).witness),
+                arr.face(f).sign);
+    }
+    // 0-dimensional faces are always bounded.
+    for (const Face& face : arr.faces()) {
+      if (face.dim == 0) EXPECT_TRUE(face.bounded);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArrangementPropertyTest,
+                         ::testing::Values(5u, 25u, 125u));
+
+}  // namespace
+}  // namespace lcdb

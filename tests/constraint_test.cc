@@ -1,0 +1,316 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "constraint/dnf_formula.h"
+#include "constraint/linear_atom.h"
+#include "constraint/parser.h"
+#include "constraint/simplify.h"
+
+namespace lcdb {
+namespace {
+
+const std::vector<std::string> kXY = {"x", "y"};
+const std::vector<std::string> kX = {"x"};
+
+Vec V(std::initializer_list<int64_t> values) {
+  Vec out;
+  for (int64_t v : values) out.emplace_back(v);
+  return out;
+}
+
+DnfFormula Parse(const std::string& text,
+                 const std::vector<std::string>& vars = kXY) {
+  auto r = ParseDnf(text, vars);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for " << text;
+  return r.ok() ? *r : DnfFormula::False(vars.size());
+}
+
+TEST(LinearAtomTest, CanonicalizationScalesToIntegers) {
+  // x/2 + y/3 <= 1/6  ->  3x + 2y <= 1.
+  LinearAtom a({Rational(1, 2), Rational(1, 3)}, RelOp::kLe, Rational(1, 6));
+  EXPECT_EQ(a.ToString(kXY), "3x + 2y <= 1");
+}
+
+TEST(LinearAtomTest, GreaterRelationsFlip) {
+  LinearAtom a(V({2, 0}), RelOp::kGe, Rational(4));
+  EXPECT_EQ(a.rel(), RelOp::kLe);
+  EXPECT_EQ(a.ToString(kXY), "-x <= -2");
+  LinearAtom b(V({1, 0}), RelOp::kGt, Rational(0));
+  EXPECT_EQ(b.rel(), RelOp::kLt);
+}
+
+TEST(LinearAtomTest, EqualityLeadingCoefficientPositive) {
+  LinearAtom a(V({-2, 4}), RelOp::kEq, Rational(-6));
+  EXPECT_EQ(a.ToString(kXY), "x - 2y = 3");
+  LinearAtom b(V({2, -4}), RelOp::kEq, Rational(6));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(LinearAtomTest, GcdReduction) {
+  LinearAtom a(V({4, 6}), RelOp::kLe, Rational(10));
+  EXPECT_EQ(a.ToString(kXY), "2x + 3y <= 5");
+}
+
+TEST(LinearAtomTest, SatisfiesAndNegate) {
+  LinearAtom a(V({1, 1}), RelOp::kLt, Rational(2));
+  EXPECT_TRUE(a.Satisfies(V({0, 0})));
+  EXPECT_FALSE(a.Satisfies(V({1, 1})));
+  auto neg = a.Negate();
+  ASSERT_EQ(neg.size(), 1u);
+  EXPECT_FALSE(neg[0].Satisfies(V({0, 0})));
+  EXPECT_TRUE(neg[0].Satisfies(V({1, 1})));
+
+  LinearAtom eq(V({1, 0}), RelOp::kEq, Rational(0));
+  auto eq_neg = eq.Negate();
+  ASSERT_EQ(eq_neg.size(), 2u);
+  EXPECT_TRUE(eq_neg[0].Satisfies(V({-1, 0})) ^ eq_neg[1].Satisfies(V({-1, 0})));
+}
+
+TEST(LinearAtomTest, ConstantAtoms) {
+  LinearAtom t(V({0, 0}), RelOp::kLe, Rational(1));
+  EXPECT_TRUE(t.IsConstant());
+  EXPECT_TRUE(t.ConstantValue());
+  LinearAtom f(V({0, 0}), RelOp::kGt, Rational(0));
+  EXPECT_TRUE(f.IsConstant());
+  EXPECT_FALSE(f.ConstantValue());
+  LinearAtom z(V({0, 0}), RelOp::kEq, Rational(0));
+  EXPECT_TRUE(z.ConstantValue());
+}
+
+TEST(LinearAtomTest, SubstituteAffine) {
+  // x + y <= 3 under x := 2u, y := u + v - 1  gives 3u + v <= 4.
+  LinearAtom a(V({1, 1}), RelOp::kLe, Rational(3));
+  std::vector<AffineExpr> map = {
+      AffineExpr({Rational(2), Rational(0)}, Rational(0)),
+      AffineExpr({Rational(1), Rational(1)}, Rational(-1))};
+  LinearAtom sub = a.Substitute(map, 2);
+  EXPECT_EQ(sub.ToString({"u", "v"}), "3u + v <= 4");
+}
+
+TEST(ConjunctionTest, NormalizationSortsAndDedupes) {
+  LinearAtom a(V({1, 0}), RelOp::kLe, Rational(1));
+  LinearAtom b(V({0, 1}), RelOp::kLe, Rational(1));
+  Conjunction c(2, {b, a, a});
+  EXPECT_EQ(c.atoms().size(), 2u);
+  Conjunction c2(2, {a, b});
+  EXPECT_EQ(c, c2);
+}
+
+TEST(ConjunctionTest, ConstantFalseCollapses) {
+  LinearAtom f(V({0, 0}), RelOp::kLt, Rational(0));
+  LinearAtom a(V({1, 0}), RelOp::kLe, Rational(1));
+  Conjunction c(2, {a, f});
+  EXPECT_TRUE(c.IsSyntacticallyFalse());
+  EXPECT_FALSE(c.IsFeasible());
+}
+
+TEST(ConjunctionTest, FeasibilityAndWitness) {
+  Conjunction square(2, {LinearAtom(V({1, 0}), RelOp::kGt, Rational(0)),
+                         LinearAtom(V({1, 0}), RelOp::kLt, Rational(1)),
+                         LinearAtom(V({0, 1}), RelOp::kGt, Rational(0)),
+                         LinearAtom(V({0, 1}), RelOp::kLt, Rational(1))});
+  EXPECT_TRUE(square.IsFeasible());
+  Vec w = square.FindWitness();
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_TRUE(square.Satisfies(w));
+  // Empty open interval.
+  Conjunction empty(1, {LinearAtom(V({1}), RelOp::kLt, Rational(0)),
+                        LinearAtom(V({1}), RelOp::kGt, Rational(0))});
+  EXPECT_FALSE(empty.IsFeasible());
+  EXPECT_FALSE(empty.IsSyntacticallyFalse());  // semantic, not syntactic
+}
+
+TEST(ConjunctionTest, RemoveRedundantAtoms) {
+  Conjunction c(1, {LinearAtom(V({1}), RelOp::kLe, Rational(1)),
+                    LinearAtom(V({1}), RelOp::kLe, Rational(5)),
+                    LinearAtom(V({1}), RelOp::kGe, Rational(0))});
+  c.RemoveRedundantAtoms();
+  EXPECT_EQ(c.atoms().size(), 2u);  // x <= 5 implied by x <= 1
+}
+
+TEST(DnfFormulaTest, BooleanAlgebra) {
+  DnfFormula f = Parse("x < 0 | x > 1", kX);
+  EXPECT_EQ(f.disjuncts().size(), 2u);
+  DnfFormula neg = f.Negate();
+  // Complement is [0, 1].
+  EXPECT_TRUE(neg.Satisfies(V({0})));
+  EXPECT_TRUE(neg.Satisfies(V({1})));
+  EXPECT_FALSE(neg.Satisfies(V({2})));
+  EXPECT_FALSE(neg.Satisfies(V({-1})));
+  // Double negation is semantically identity.
+  EXPECT_TRUE(AreEquivalent(neg.Negate(), f));
+}
+
+TEST(DnfFormulaTest, AndOrSemantics) {
+  DnfFormula a = Parse("x >= 0", kXY);
+  DnfFormula b = Parse("y >= 0", kXY);
+  DnfFormula both = a.And(b);
+  EXPECT_TRUE(both.Satisfies(V({1, 1})));
+  EXPECT_FALSE(both.Satisfies(V({1, -1})));
+  DnfFormula either = a.Or(b);
+  EXPECT_TRUE(either.Satisfies(V({1, -1})));
+  EXPECT_FALSE(either.Satisfies(V({-1, -1})));
+}
+
+TEST(DnfFormulaTest, TrueFalseAlgebra) {
+  DnfFormula t = DnfFormula::True(2);
+  DnfFormula f = DnfFormula::False(2);
+  DnfFormula a = Parse("x = y", kXY);
+  EXPECT_TRUE(AreEquivalent(a.And(t), a));
+  EXPECT_TRUE(a.And(f).IsSyntacticallyFalse());
+  EXPECT_TRUE(AreEquivalent(a.Or(f), a));
+  EXPECT_TRUE(a.Or(t).IsSyntacticallyTrue());
+  EXPECT_TRUE(t.Negate().IsSyntacticallyFalse());
+  EXPECT_TRUE(f.Negate().IsSyntacticallyTrue());
+}
+
+TEST(DnfFormulaTest, SimplifyPrunesEmptyDisjuncts) {
+  DnfFormula f = Parse("(x < 0 & x > 0) | x = 1", kX);
+  EXPECT_EQ(f.disjuncts().size(), 1u);
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  for (const char* text :
+       {"x + y <= 3", "2x - 3y < 5", "x = y", "x < 0 | x > 1",
+        "x >= 0 & y >= 0 & x + y <= 1", "1/2 x + 1/3 y = 1"}) {
+    DnfFormula f = Parse(text);
+    auto reparsed = ParseDnf(f.ToString(kXY), kXY);
+    ASSERT_TRUE(reparsed.ok()) << f.ToString(kXY);
+    EXPECT_TRUE(AreEquivalent(f, *reparsed)) << text;
+  }
+}
+
+TEST(ParserTest, NotEqualDesugars) {
+  DnfFormula f = Parse("x != 0", kX);
+  EXPECT_EQ(f.disjuncts().size(), 2u);
+  EXPECT_TRUE(f.Satisfies(V({1})));
+  EXPECT_TRUE(f.Satisfies(V({-1})));
+  EXPECT_FALSE(f.Satisfies(V({0})));
+}
+
+TEST(ParserTest, NegationAndParens) {
+  DnfFormula f = Parse("!(x < 0 | x > 1)", kX);
+  EXPECT_TRUE(f.Satisfies(V({0})));
+  EXPECT_FALSE(f.Satisfies(V({-1})));
+  DnfFormula g = Parse("!(x < 0) & !(x > 1)", kX);
+  EXPECT_TRUE(AreEquivalent(f, g));
+}
+
+TEST(ParserTest, ConstantsOnBothSides) {
+  DnfFormula f = Parse("x + 1 <= y + 3", kXY);
+  EXPECT_TRUE(f.Satisfies(V({2, 0})));
+  EXPECT_FALSE(f.Satisfies(V({3, 0})));
+}
+
+TEST(ParserTest, TrueFalseLiterals) {
+  EXPECT_TRUE(Parse("true", kX).IsSyntacticallyTrue());
+  EXPECT_TRUE(Parse("false", kX).IsSyntacticallyFalse());
+  EXPECT_TRUE(AreEquivalent(Parse("x < 1 & true", kX), Parse("x < 1", kX)));
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseDnf("x <", kX).ok());
+  EXPECT_FALSE(ParseDnf("z < 1", kX).ok());  // unknown variable
+  EXPECT_FALSE(ParseDnf("x < 1 (", kX).ok());
+  EXPECT_FALSE(ParseDnf("(x < 1", kX).ok());
+  EXPECT_FALSE(ParseDnf("x << 1", kX).ok());
+  EXPECT_FALSE(ParseDnf("", kX).ok());
+  EXPECT_FALSE(ParseDnf("x < 1/0", kX).ok());
+}
+
+TEST(SimplifyTest, ImplicationAndEquivalence) {
+  DnfFormula narrow = Parse("x > 0 & x < 1", kX);
+  DnfFormula wide = Parse("x >= 0 & x <= 1", kX);
+  EXPECT_TRUE(Implies(narrow, wide));
+  EXPECT_FALSE(Implies(wide, narrow));
+  EXPECT_FALSE(AreEquivalent(narrow, wide));
+  // The paper's Section 2 example: two representations of (0, 10).
+  DnfFormula r1 = Parse("0 < x & x < 10", kX);
+  DnfFormula r2 = Parse("(0 < x & x < 6) | (6 < x & x < 10) | x = 6", kX);
+  EXPECT_TRUE(AreEquivalent(r1, r2));
+}
+
+TEST(SimplifyTest, DifferenceComputesSetMinus) {
+  DnfFormula interval = Parse("x >= 0 & x <= 10", kX);
+  DnfFormula hole = Parse("x > 3 & x < 7", kX);
+  DnfFormula diff = Difference(interval, hole);
+  EXPECT_TRUE(diff.Satisfies(V({3})));
+  EXPECT_TRUE(diff.Satisfies(V({7})));
+  EXPECT_FALSE(diff.Satisfies(V({5})));
+  EXPECT_TRUE(diff.Satisfies(V({0})));
+}
+
+TEST(SimplifyTest, StrongSimplifyPreservesSemantics) {
+  // RemoveRedundantAtoms / SimplifyStrong must never change the relation.
+  for (const char* text :
+       {"x >= 0 & x <= 5 & x <= 9 & x >= -3",
+        "(x > 0 & x < 2 & x < 10) | (x >= 1 & x <= 3)",
+        "x = 1 & x >= 0", "(x < 0 & x > 1) | x = 2"}) {
+    DnfFormula f = Parse(text, kX);
+    DnfFormula g = f;
+    g.SimplifyStrong();
+    EXPECT_TRUE(AreEquivalent(f, g)) << text;
+    EXPECT_LE(g.AtomCount(), f.AtomCount()) << text;
+  }
+}
+
+TEST(SimplifyTest, SubstitutionPreservesSemanticsUnderComposition) {
+  // (f o sigma) o tau == f o (sigma then tau) pointwise, sampled.
+  DnfFormula f = Parse("x + y <= 3 | x - y > 1");
+  std::vector<AffineExpr> swap_map = {AffineExpr::Variable(2, 1),
+                                      AffineExpr::Variable(2, 0)};
+  DnfFormula swapped = f.Substitute(swap_map, 2);
+  DnfFormula twice = swapped.Substitute(swap_map, 2);
+  EXPECT_TRUE(AreEquivalent(twice, f));
+  for (int64_t x = -3; x <= 3; ++x) {
+    for (int64_t y = -3; y <= 3; ++y) {
+      EXPECT_EQ(swapped.Satisfies(V({x, y})), f.Satisfies(V({y, x})));
+    }
+  }
+}
+
+class DnfPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+// Random formulas: boolean algebra laws checked by point sampling.
+TEST_P(DnfPropertyTest, DeMorganAndDistributivityBySampling) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int64_t> coeff(-3, 3);
+  std::uniform_int_distribution<int> rel_pick(0, 4);
+  const RelOp rels[] = {RelOp::kLt, RelOp::kLe, RelOp::kEq, RelOp::kGe,
+                        RelOp::kGt};
+  auto random_formula = [&](size_t atoms) {
+    DnfFormula f = DnfFormula::False(2);
+    for (size_t i = 0; i < atoms; ++i) {
+      Vec c = {Rational(coeff(rng)), Rational(coeff(rng))};
+      DnfFormula atom = DnfFormula::FromAtom(
+          LinearAtom(c, rels[rel_pick(rng)], Rational(coeff(rng))));
+      f = (i % 2 == 0) ? f.Or(atom) : f.And(atom);
+    }
+    return f;
+  };
+  std::uniform_int_distribution<int64_t> pt(-4, 4);
+  for (int iter = 0; iter < 12; ++iter) {
+    DnfFormula a = random_formula(2);
+    DnfFormula b = random_formula(2);
+    DnfFormula not_a = a.Negate();
+    DnfFormula a_and_b = a.And(b);
+    DnfFormula a_or_b = a.Or(b);
+    DnfFormula demorgan = a_and_b.Negate();
+    DnfFormula expected = not_a.Or(b.Negate());
+    for (int s = 0; s < 40; ++s) {
+      Vec p = {Rational(pt(rng), 1 + s % 3), Rational(pt(rng), 1 + s % 2)};
+      EXPECT_NE(a.Satisfies(p), not_a.Satisfies(p));
+      EXPECT_EQ(a_and_b.Satisfies(p), a.Satisfies(p) && b.Satisfies(p));
+      EXPECT_EQ(a_or_b.Satisfies(p), a.Satisfies(p) || b.Satisfies(p));
+      EXPECT_EQ(demorgan.Satisfies(p), expected.Satisfies(p));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DnfPropertyTest,
+                         ::testing::Values(3u, 17u, 42u));
+
+}  // namespace
+}  // namespace lcdb

@@ -1,0 +1,254 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "constraint/parser.h"
+#include "constraint/simplify.h"
+#include "core/evaluator.h"
+#include "core/parser.h"
+#include "db/region_extension.h"
+#include "geometry/convex_closure.h"
+
+namespace lcdb {
+namespace {
+
+const std::vector<std::string> kXY = {"x", "y"};
+const std::vector<std::string> kX = {"x"};
+
+DnfFormula Parse(const std::string& text,
+                 const std::vector<std::string>& vars = kXY) {
+  auto r = ParseDnf(text, vars);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : DnfFormula::False(vars.size());
+}
+
+Vec V(std::initializer_list<int64_t> values) {
+  Vec out;
+  for (int64_t v : values) out.emplace_back(v);
+  return out;
+}
+
+TEST(ConvexClosureTest, TwoPointsGiveSegment) {
+  DnfFormula two = Parse("(x = 0 & y = 0) | (x = 2 & y = 2)");
+  auto hull = ConvexClosure(two);
+  ASSERT_TRUE(hull.ok()) << hull.status().ToString();
+  EXPECT_TRUE(hull->Satisfies(V({1, 1})));
+  EXPECT_TRUE(hull->Satisfies(V({0, 0})));
+  EXPECT_TRUE(hull->Satisfies(V({2, 2})));
+  EXPECT_FALSE(hull->Satisfies(V({1, 0})));
+  EXPECT_FALSE(hull->Satisfies(V({3, 3})));
+  EXPECT_EQ(hull->disjuncts().size(), 1u);
+}
+
+TEST(ConvexClosureTest, TwoBoxesGiveTheirHull) {
+  DnfFormula boxes = Parse(
+      "(x >= 0 & x <= 1 & y >= 0 & y <= 1) | "
+      "(x >= 3 & x <= 4 & y >= 0 & y <= 1)");
+  auto hull = ConvexClosure(boxes);
+  ASSERT_TRUE(hull.ok());
+  // The hull is the bounding box [0,4] x [0,1].
+  auto expected = Parse("x >= 0 & x <= 4 & y >= 0 & y <= 1");
+  EXPECT_TRUE(AreEquivalent(*hull, expected));
+}
+
+TEST(ConvexClosureTest, OpenSetGivesClosedHull) {
+  // Closed convex hull by definition: the open unit square hulls to the
+  // closed one (documented in DESIGN.md).
+  DnfFormula open_square = Parse("x > 0 & x < 1 & y > 0 & y < 1");
+  auto hull = ConvexClosure(open_square);
+  ASSERT_TRUE(hull.ok());
+  auto expected = Parse("x >= 0 & x <= 1 & y >= 0 & y <= 1");
+  EXPECT_TRUE(AreEquivalent(*hull, expected));
+}
+
+TEST(ConvexClosureTest, ConvexInputIsAFixedPoint) {
+  for (const char* text :
+       {"x >= 0 & x <= 1 & y >= 0 & y <= 1",
+        "x + y <= 4 & x >= 0 & y >= 0", "x = y & x >= 0 & x <= 1"}) {
+    DnfFormula f = Parse(text);
+    auto hull = ConvexClosure(f);
+    ASSERT_TRUE(hull.ok()) << text;
+    EXPECT_TRUE(AreEquivalent(*hull, f)) << text;
+    // Idempotence.
+    auto again = ConvexClosure(*hull);
+    ASSERT_TRUE(again.ok());
+    EXPECT_TRUE(AreEquivalent(*again, *hull)) << text;
+  }
+}
+
+TEST(ConvexClosureTest, UnboundedWedge) {
+  // Hull of two rays from the origin: the wedge between them.
+  DnfFormula rays = Parse("(y = 0 & x >= 0) | (x = 0 & y >= 0)");
+  auto hull = ConvexClosure(rays);
+  ASSERT_TRUE(hull.ok());
+  auto expected = Parse("x >= 0 & y >= 0");
+  EXPECT_TRUE(AreEquivalent(*hull, expected));
+}
+
+TEST(ConvexClosureTest, MixedBoundedUnbounded) {
+  // A point plus a ray: the hull is the ray's line... no — conv of {(0,5)}
+  // and the ray {y = 0, x >= 0} is the filled strip between them.
+  DnfFormula f = Parse("(x = 0 & y = 5) | (y = 0 & x >= 0)");
+  auto hull = ConvexClosure(f);
+  ASSERT_TRUE(hull.ok());
+  EXPECT_TRUE(hull->Satisfies(V({0, 5})));
+  EXPECT_TRUE(hull->Satisfies(V({10, 0})));
+  EXPECT_TRUE(hull->Satisfies({Rational(1), Rational(1)}));   // between
+  EXPECT_TRUE(hull->Satisfies({Rational(50), Rational(2)}));  // far out
+  EXPECT_FALSE(hull->Satisfies(V({0, 6})));
+  EXPECT_FALSE(hull->Satisfies(V({-1, 0})));
+  EXPECT_FALSE(hull->Satisfies(V({5, 6})));
+}
+
+TEST(ConvexClosureTest, FullLineViaRays) {
+  DnfFormula line = Parse("x = 0", kX);
+  // In 1-D, hull of a point is the point.
+  auto hull = ConvexClosure(line);
+  ASSERT_TRUE(hull.ok());
+  EXPECT_TRUE(AreEquivalent(*hull, line));
+  // Hull of two half-lines covering R is R.
+  DnfFormula halves = Parse("x >= 1 | x <= -1", kX);
+  auto full = ConvexClosure(halves);
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(AreEquivalent(*full, DnfFormula::True(1)));
+}
+
+TEST(ConvexClosureTest, EmptyInput) {
+  DnfFormula empty = DnfFormula::False(2);
+  auto hull = ConvexClosure(empty);
+  ASSERT_TRUE(hull.ok());
+  EXPECT_TRUE(hull->IsSyntacticallyFalse());
+}
+
+TEST(ConvexClosureTest, GeneratorsArePruned) {
+  // Many collinear points: only the extremes survive pruning.
+  DnfFormula points = Parse("x = 0 | x = 1 | x = 2 | x = 3", kX);
+  auto gens = ConvexClosureGenerators(points);
+  ASSERT_TRUE(gens.ok());
+  EXPECT_EQ(gens->points().size(), 2u);
+  EXPECT_TRUE(gens->rays().empty());
+}
+
+class ConvexClosurePropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ConvexClosurePropertyTest, HullContainsInputAndMidpoints) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int64_t> coord(-5, 5);
+  std::uniform_int_distribution<int> pieces(1, 3);
+  // Random union of boxes and points.
+  std::vector<Conjunction> disjuncts;
+  const int n = pieces(rng);
+  for (int i = 0; i < n; ++i) {
+    int64_t x0 = coord(rng), x1 = coord(rng), y0 = coord(rng), y1 = coord(rng);
+    if (x1 < x0) std::swap(x0, x1);
+    if (y1 < y0) std::swap(y0, y1);
+    disjuncts.push_back(Conjunction(
+        2, {LinearAtom({Rational(1), Rational(0)}, RelOp::kGe, Rational(x0)),
+            LinearAtom({Rational(1), Rational(0)}, RelOp::kLe, Rational(x1)),
+            LinearAtom({Rational(0), Rational(1)}, RelOp::kGe, Rational(y0)),
+            LinearAtom({Rational(0), Rational(1)}, RelOp::kLe, Rational(y1))}));
+  }
+  DnfFormula f(2, std::move(disjuncts));
+  auto hull = ConvexClosure(f);
+  ASSERT_TRUE(hull.ok());
+  std::uniform_int_distribution<int64_t> probe(-12, 12);
+  for (int iter = 0; iter < 60; ++iter) {
+    Vec p = {Rational(probe(rng), 2), Rational(probe(rng), 2)};
+    Vec q = {Rational(probe(rng), 2), Rational(probe(rng), 2)};
+    if (f.Satisfies(p)) {
+      EXPECT_TRUE(hull->Satisfies(p)) << VecToString(p);
+      if (f.Satisfies(q)) {
+        // Convexity: midpoints of input points are in the hull.
+        Vec mid = {Rational::Midpoint(p[0], q[0]),
+                   Rational::Midpoint(p[1], q[1])};
+        EXPECT_TRUE(hull->Satisfies(mid)) << VecToString(mid);
+      }
+    }
+  }
+  // Tightness: hull points are convex combinations of generators, so the
+  // hull of the hull is the hull.
+  auto again = ConvexClosure(*hull);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(AreEquivalent(*again, *hull));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvexClosurePropertyTest,
+                         ::testing::Values(9u, 19u, 29u, 39u));
+
+TEST(HullOperatorTest, SegmentMembership) {
+  // The Section 8 operator in the query language, over any database.
+  auto f = ParseDnf("x = 0", kX);
+  ConstraintDatabase db("S", *f, {"x"});
+  auto ext = MakeArrangementExtension(db);
+  // (1,1) is on the segment between (0,0) and (2,2).
+  auto on = EvaluateSentenceText(
+      *ext, "[hull u, v : (u = 0 & v = 0) | (u = 2 & v = 2)](1, 1)");
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+  EXPECT_TRUE(*on);
+  auto off = EvaluateSentenceText(
+      *ext, "[hull u, v : (u = 0 & v = 0) | (u = 2 & v = 2)](1, 0)");
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(*off);
+}
+
+TEST(HullOperatorTest, FigureFiveMultiplicationInTheLanguage) {
+  // The paper's Figure 5, now INSIDE the (extended) query language:
+  // x*y = z iff (x, y-1) in hull{(0,y), (z,0)}. With y = 3, z = 6 the
+  // unique solution is x = 2.
+  auto f = ParseDnf("x = 0", kX);
+  ConstraintDatabase db("S", *f, {"x"});
+  auto ext = MakeArrangementExtension(db);
+  auto answer = EvaluateQueryText(
+      *ext, "[hull u, v : (u = 0 & v = 3) | (u = 6 & v = 0)](x, 2)");
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  auto expected = ParseDnf("x = 2", kX);
+  EXPECT_TRUE(AreEquivalent(answer->formula, *expected))
+      << answer->ToString();
+}
+
+TEST(HullOperatorTest, HullOfRelation) {
+  // Hull of the database relation itself (via the S atom in the body).
+  auto f = ParseDnf("(x > 0 & x < 1) | (x > 2 & x < 3)", kX);
+  ConstraintDatabase db("S", *f, {"x"});
+  auto ext = MakeArrangementExtension(db);
+  auto hull = EvaluateQueryText(*ext, "[hull u : S(u)](x)");
+  ASSERT_TRUE(hull.ok()) << hull.status().ToString();
+  auto expected = ParseDnf("x >= 0 & x <= 3", kX);
+  EXPECT_TRUE(AreEquivalent(hull->formula, *expected)) << hull->ToString();
+}
+
+TEST(HullOperatorTest, NonConvexityIsDetectable) {
+  // "S is convex" is now expressible: S equals the hull of S. The split
+  // interval database is not convex, a single interval is.
+  const std::string convexity =
+      "forall x . (S(x) <-> ([hull u : S(u)](x) & S(x))) & "
+      "forall y . ([hull u : S(u)](y) -> S(y))";
+  auto split = ParseDnf("(x > 0 & x < 1) | (x > 2 & x < 3)", kX);
+  ConstraintDatabase db1("S", *split, {"x"});
+  auto ext1 = MakeArrangementExtension(db1);
+  auto r1 = EvaluateSentenceText(*ext1, convexity);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_FALSE(*r1);
+  auto solid = ParseDnf("x >= 0 & x <= 3", kX);
+  ConstraintDatabase db2("S", *solid, {"x"});
+  auto ext2 = MakeArrangementExtension(db2);
+  auto r2 = EvaluateSentenceText(*ext2, convexity);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(*r2);
+}
+
+TEST(HullOperatorTest, TypeErrors) {
+  auto f = ParseDnf("x = 0", kX);
+  ConstraintDatabase db("S", *f, {"x"});
+  auto ext = MakeArrangementExtension(db);
+  // Extra free element variable in the body.
+  auto bad = EvaluateSentenceText(
+      *ext, "exists w . ([hull u : u = w](3) & w = w)");
+  EXPECT_FALSE(bad.ok());
+  // Wrong applied arity is a parse error.
+  auto arity = ParseQuery("[hull u, v : u = v](1)", "S");
+  EXPECT_FALSE(arity.ok());
+}
+
+}  // namespace
+}  // namespace lcdb

@@ -1,0 +1,82 @@
+// Loads every sample database shipped in data/ and sanity-checks it against
+// its documented properties. LCDB_TEST_DATA_DIR is injected by CMake.
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "core/queries.h"
+#include "db/io.h"
+#include "db/region_extension.h"
+#include "decomp/decomposition.h"
+
+namespace lcdb {
+namespace {
+
+#ifndef LCDB_TEST_DATA_DIR
+#define LCDB_TEST_DATA_DIR "data"
+#endif
+
+ConstraintDatabase Load(const std::string& name) {
+  auto db = LoadDatabaseFromFile(std::string(LCDB_TEST_DATA_DIR) + "/" + name);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return *db;
+}
+
+TEST(DataFilesTest, Triangle) {
+  ConstraintDatabase db = Load("triangle.lcdb");
+  EXPECT_EQ(db.arity(), 2u);
+  auto ext = MakeArrangementExtension(db);
+  EXPECT_EQ(ext->num_regions(), 19u);
+  auto conn = EvaluateSentenceText(*ext, RegionConnQueryText());
+  ASSERT_TRUE(conn.ok());
+  EXPECT_TRUE(*conn);
+}
+
+TEST(DataFilesTest, Comb) {
+  ConstraintDatabase db = Load("comb.lcdb");
+  auto ext = MakeArrangementExtension(db);
+  auto conn = EvaluateSentenceText(*ext, RegionConnQueryText());
+  ASSERT_TRUE(conn.ok());
+  EXPECT_TRUE(*conn);
+}
+
+TEST(DataFilesTest, Intervals) {
+  ConstraintDatabase db = Load("intervals.lcdb");
+  EXPECT_EQ(db.arity(), 1u);
+  EXPECT_TRUE(db.Contains({Rational(1, 2)}));
+  EXPECT_TRUE(db.Contains({Rational(5)}));
+  EXPECT_FALSE(db.Contains({Rational(1)}));
+  auto ext = MakeArrangementExtension(db);
+  auto conn = EvaluateSentenceText(*ext, RegionConnQueryText());
+  ASSERT_TRUE(conn.ok());
+  EXPECT_FALSE(*conn);
+}
+
+TEST(DataFilesTest, PentagonDecomposition) {
+  ConstraintDatabase db = Load("pentagon.lcdb");
+  auto regions = DecomposeFormula(db.representation());
+  EXPECT_EQ(regions.size(), 15u);
+}
+
+TEST(DataFilesTest, WedgeIsUnbounded) {
+  ConstraintDatabase db = Load("wedge.lcdb");
+  auto ext = MakeArrangementExtension(db);
+  auto has_unbounded = EvaluateSentenceText(
+      *ext, "exists R . (subset(R) & !(bounded(R)))");
+  ASSERT_TRUE(has_unbounded.ok());
+  EXPECT_TRUE(*has_unbounded);
+}
+
+TEST(DataFilesTest, RoundTripAllFiles) {
+  for (const char* name : {"triangle.lcdb", "comb.lcdb", "intervals.lcdb",
+                           "pentagon.lcdb", "wedge.lcdb"}) {
+    ConstraintDatabase db = Load(name);
+    auto reparsed = LoadDatabaseFromString(SaveDatabaseToString(db));
+    ASSERT_TRUE(reparsed.ok()) << name;
+    EXPECT_EQ(reparsed->arity(), db.arity()) << name;
+    EXPECT_EQ(reparsed->relation_name(), db.relation_name()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace lcdb

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "constraint/parser.h"
+#include "constraint/simplify.h"
+#include "datalog/spatial_datalog.h"
+
+namespace lcdb {
+namespace {
+
+ConstraintDatabase Db1(const std::string& formula) {
+  auto f = ParseDnf(formula, {"x"});
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  return ConstraintDatabase("S", *f, {"x"});
+}
+
+TEST(SpatialDatalogTest, NaturalNumbersDiverge) {
+  // The paper's Section 1 motivation: N(x) over (R, <, +) has no finitely
+  // reachable fixpoint — stage k is {0, 1, ..., k} and keeps growing.
+  ConstraintDatabase db = Db1("x = 0");
+  auto r = EvaluateDatalog(NaturalNumbersProgram(), db, /*max_iterations=*/8,
+                           "N");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->converged);
+  EXPECT_EQ(r->iterations, 8u);
+  // Monotone growth of the representation, stage after stage.
+  ASSERT_GE(r->stage_sizes.size(), 3u);
+  for (size_t i = 1; i < r->stage_sizes.size(); ++i) {
+    EXPECT_GT(r->stage_sizes[i], r->stage_sizes[i - 1]);
+  }
+  // Stage 8 contains exactly the first naturals.
+  const DnfFormula& n = r->relations.at("N");
+  EXPECT_TRUE(n.Satisfies({Rational(0)}));
+  EXPECT_TRUE(n.Satisfies({Rational(5)}));
+  EXPECT_FALSE(n.Satisfies({Rational(1, 2)}));
+  EXPECT_FALSE(n.Satisfies({Rational(100)}));  // not yet derived
+}
+
+TEST(SpatialDatalogTest, DownwardClosureConverges) {
+  ConstraintDatabase db = Db1("(x >= 1 & x <= 2) | x = 5");
+  auto r = EvaluateDatalog(DownwardClosureProgram(), db, 10, "D");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  EXPECT_LE(r->iterations, 3u);
+  auto expected = ParseDnf("x <= 5", {"x"});
+  EXPECT_TRUE(AreEquivalent(r->relations.at("D"), *expected));
+}
+
+TEST(SpatialDatalogTest, BoundedCounterTerminates) {
+  ConstraintDatabase db = Db1("x = 0");
+  auto r = EvaluateDatalog(BoundedCounterProgram(4), db, 20, "C");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  // Stages 0..4 derive one new point each, plus the fixpoint check stage.
+  EXPECT_GE(r->iterations, 5u);
+  EXPECT_LE(r->iterations, 7u);
+  auto expected = ParseDnf("x = 0 | x = 1 | x = 2 | x = 3 | x = 4", {"x"});
+  EXPECT_TRUE(AreEquivalent(r->relations.at("C"), *expected));
+}
+
+TEST(SpatialDatalogTest, EdbJoinAndProjection) {
+  // P(x) :- S(y), x = 2y: scaling through a projection.
+  ConstraintDatabase db = Db1("x >= 1 & x <= 2");
+  DatalogProgram p;
+  p.idb_arities["P"] = 1;
+  p.rules.push_back(
+      {"P",
+       {"x"},
+       {{DatalogLiteral::Kind::kEdb, "S", {"y"}, ""},
+        {DatalogLiteral::Kind::kConstraint, "", {}, "x = 2y"}}});
+  auto r = EvaluateDatalog(p, db, 5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  auto expected = ParseDnf("x >= 2 & x <= 4", {"x"});
+  EXPECT_TRUE(AreEquivalent(r->relations.at("P"), *expected));
+}
+
+TEST(SpatialDatalogTest, BinaryPredicateReachability) {
+  // R(x, y): y reachable from x by steps of at most 1 within S. On a
+  // connected interval this converges to the full square of S (every pair),
+  // exercising arity-2 IDB relations.
+  ConstraintDatabase db = Db1("x >= 0 & x <= 2");
+  DatalogProgram p;
+  p.idb_arities["R"] = 2;
+  p.rules.push_back(
+      {"R",
+       {"x", "y"},
+       {{DatalogLiteral::Kind::kEdb, "S", {"x"}, ""},
+        {DatalogLiteral::Kind::kEdb, "S", {"y"}, ""},
+        {DatalogLiteral::Kind::kConstraint, "", {},
+         "x - y <= 1 & y - x <= 1"}}});
+  p.rules.push_back(
+      {"R",
+       {"x", "y"},
+       {{DatalogLiteral::Kind::kIdb, "R", {"x", "z"}, ""},
+        {DatalogLiteral::Kind::kIdb, "R", {"z", "y"}, ""}}});
+  auto r = EvaluateDatalog(p, db, 10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  auto expected = ParseDnf("x >= 0 & x <= 2 & y >= 0 & y <= 2", {"x", "y"});
+  EXPECT_TRUE(AreEquivalent(r->relations.at("R"), *expected));
+}
+
+TEST(SpatialDatalogTest, Validation) {
+  ConstraintDatabase db = Db1("x = 0");
+  // Undeclared head.
+  DatalogProgram bad1;
+  bad1.rules.push_back({"Q", {"x"}, {{DatalogLiteral::Kind::kConstraint,
+                                      "", {}, "x = 0"}}});
+  EXPECT_FALSE(EvaluateDatalog(bad1, db, 3).ok());
+  // Head arity mismatch.
+  DatalogProgram bad2;
+  bad2.idb_arities["Q"] = 2;
+  bad2.rules.push_back({"Q", {"x"}, {{DatalogLiteral::Kind::kConstraint,
+                                      "", {}, "x = 0"}}});
+  EXPECT_FALSE(EvaluateDatalog(bad2, db, 3).ok());
+  // EDB arity mismatch.
+  DatalogProgram bad3;
+  bad3.idb_arities["Q"] = 1;
+  bad3.rules.push_back({"Q", {"x"}, {{DatalogLiteral::Kind::kEdb, "S",
+                                      {"x", "y"}, ""}}});
+  EXPECT_FALSE(EvaluateDatalog(bad3, db, 3).ok());
+  // Unknown IDB in a body.
+  DatalogProgram bad4;
+  bad4.idb_arities["Q"] = 1;
+  bad4.rules.push_back({"Q", {"x"}, {{DatalogLiteral::Kind::kIdb, "Z",
+                                      {"x"}, ""}}});
+  EXPECT_FALSE(EvaluateDatalog(bad4, db, 3).ok());
+  // Constraint over an unknown variable.
+  DatalogProgram bad5;
+  bad5.idb_arities["Q"] = 1;
+  bad5.rules.push_back({"Q", {"x"}, {{DatalogLiteral::Kind::kConstraint,
+                                      "", {}, "x = w"}}});
+  EXPECT_FALSE(EvaluateDatalog(bad5, db, 3).ok());
+}
+
+}  // namespace
+}  // namespace lcdb

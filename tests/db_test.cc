@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "constraint/parser.h"
+#include "db/database.h"
+#include "db/geometric_baselines.h"
+#include "db/io.h"
+#include "db/region_extension.h"
+#include "db/workloads.h"
+
+namespace lcdb {
+namespace {
+
+const std::vector<std::string> kXY = {"x", "y"};
+
+Vec V(std::initializer_list<int64_t> values) {
+  Vec out;
+  for (int64_t v : values) out.emplace_back(v);
+  return out;
+}
+
+ConstraintDatabase MakeDb(const std::string& formula) {
+  auto f = ParseDnf(formula, kXY);
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  return ConstraintDatabase("S", *f, kXY);
+}
+
+TEST(DatabaseTest, BasicAccessors) {
+  ConstraintDatabase db = MakeDb("x >= 0 & y >= 0 & x + y <= 4");
+  EXPECT_EQ(db.relation_name(), "S");
+  EXPECT_EQ(db.arity(), 2u);
+  EXPECT_TRUE(db.Contains(V({1, 1})));
+  EXPECT_FALSE(db.Contains(V({4, 4})));
+  EXPECT_GT(db.Size(), 0u);
+  EXPECT_NE(db.ToString().find("S(x, y)"), std::string::npos);
+}
+
+TEST(DatabaseIoTest, RoundTrip) {
+  ConstraintDatabase db = MakeDb("(x >= 0 & y >= 0 & x + y <= 4) | x = y");
+  std::string text = SaveDatabaseToString(db);
+  auto loaded = LoadDatabaseFromString(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->relation_name(), "S");
+  EXPECT_EQ(loaded->arity(), 2u);
+  for (int64_t x = -2; x <= 5; ++x) {
+    for (int64_t y = -2; y <= 5; ++y) {
+      EXPECT_EQ(loaded->Contains(V({x, y})), db.Contains(V({x, y})));
+    }
+  }
+}
+
+TEST(DatabaseIoTest, ParsesMultilineFormula) {
+  auto loaded = LoadDatabaseFromString(
+      "# a comment\n"
+      "relation R(u, v)\n"
+      "formula u >= 0 &\n"
+      "  v >= 0\n");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->relation_name(), "R");
+  EXPECT_TRUE(loaded->Contains(V({1, 1})));
+  EXPECT_FALSE(loaded->Contains(V({-1, 1})));
+}
+
+TEST(DatabaseIoTest, Errors) {
+  EXPECT_FALSE(LoadDatabaseFromString("").ok());
+  EXPECT_FALSE(LoadDatabaseFromString("formula x > 0").ok());
+  EXPECT_FALSE(LoadDatabaseFromString("relation S(x)\n").ok());
+  EXPECT_FALSE(LoadDatabaseFromString("relation S\nformula x > 0").ok());
+  EXPECT_FALSE(LoadDatabaseFromString("relation S(x)\nformula y > 0").ok());
+  EXPECT_FALSE(LoadDatabaseFromString("junk\n").ok());
+  EXPECT_FALSE(LoadDatabaseFromFile("/nonexistent/path.lcdb").ok());
+}
+
+TEST(RegionExtensionTest, ArrangementBasics) {
+  // Triangle: 19 faces, those inside the triangle are in S.
+  ConstraintDatabase db = MakeDb("x >= 0 & y >= 0 & x + y <= 4");
+  auto ext = MakeArrangementExtension(db);
+  EXPECT_EQ(ext->kind(), "arrangement");
+  EXPECT_EQ(ext->num_regions(), 19u);
+  size_t in_s = 0;
+  for (size_t r = 0; r < ext->num_regions(); ++r) {
+    EXPECT_EQ(ext->RegionSubsetOfS(r), ext->RegionIntersectsS(r));
+    if (ext->RegionSubsetOfS(r)) ++in_s;
+    // Witness is inside the region and satisfies its formula.
+    Vec w = ext->RegionWitness(r);
+    EXPECT_TRUE(ext->ContainsPoint(r, w));
+    EXPECT_TRUE(ext->RegionFormula(r).Satisfies(w));
+  }
+  // Closed triangle: 1 open cell + 3 open edges + 3 vertices are in S.
+  EXPECT_EQ(in_s, 7u);
+  // The three triangle corners are the 0-dimensional regions, lex sorted.
+  ASSERT_EQ(ext->ZeroDimRegions().size(), 3u);
+  EXPECT_EQ(ext->ZeroDimPoint(ext->ZeroDimRegions()[0]), V({0, 0}));
+  EXPECT_EQ(ext->ZeroDimPoint(ext->ZeroDimRegions()[1]), V({0, 4}));
+  EXPECT_EQ(ext->ZeroDimPoint(ext->ZeroDimRegions()[2]), V({4, 0}));
+  EXPECT_EQ(ext->ZeroDimRank(ext->ZeroDimRegions()[2]), 2u);
+}
+
+TEST(RegionExtensionTest, DecompositionBasics) {
+  ConstraintDatabase db = MakeDb("x >= 0 & y >= 0 & x + y <= 4");
+  auto ext = MakeDecompositionExtension(db);
+  EXPECT_EQ(ext->kind(), "decomposition");
+  EXPECT_GT(ext->num_regions(), 0u);
+  for (size_t r = 0; r < ext->num_regions(); ++r) {
+    Vec w = ext->RegionWitness(r);
+    EXPECT_TRUE(ext->ContainsPoint(r, w));
+    EXPECT_TRUE(ext->RegionFormula(r).Satisfies(w));
+    // For a closed polytope every region is inside S.
+    EXPECT_TRUE(ext->RegionSubsetOfS(r));
+    EXPECT_TRUE(ext->RegionIntersectsS(r));
+    EXPECT_TRUE(ext->RegionBounded(r));
+  }
+  EXPECT_EQ(ext->ZeroDimRegions().size(), 3u);
+}
+
+TEST(RegionExtensionTest, DecompositionSubsetVsIntersects) {
+  // Open square: outer regions lie on the boundary — they intersect the
+  // closure but are NOT subsets of the open S.
+  ConstraintDatabase db = MakeDb("x > 0 & x < 1 & y > 0 & y < 1");
+  auto ext = MakeDecompositionExtension(db);
+  bool saw_boundary_region = false;
+  for (size_t r = 0; r < ext->num_regions(); ++r) {
+    if (!ext->RegionSubsetOfS(r)) {
+      saw_boundary_region = true;
+      EXPECT_FALSE(ext->RegionIntersectsS(r));  // boundary misses open S
+    }
+  }
+  EXPECT_TRUE(saw_boundary_region);
+}
+
+TEST(RegionExtensionTest, AdjacencySymmetricIrreflexive) {
+  ConstraintDatabase db = MakeDb("x >= 0 & y >= 0 & x + y <= 4");
+  for (auto make : {MakeArrangementExtension, MakeDecompositionExtension}) {
+    auto ext = make(db);
+    for (size_t a = 0; a < ext->num_regions(); ++a) {
+      EXPECT_FALSE(ext->Adjacent(a, a));
+      for (size_t b = a + 1; b < ext->num_regions(); ++b) {
+        EXPECT_EQ(ext->Adjacent(a, b), ext->Adjacent(b, a));
+      }
+    }
+  }
+}
+
+TEST(BaselineTest, CombConnectivity) {
+  for (size_t teeth : {1u, 2u, 3u}) {
+    ConstraintDatabase connected = MakeComb(teeth, /*connected=*/true);
+    ConstraintDatabase split = MakeComb(teeth, /*connected=*/false);
+    auto ext_c = MakeArrangementExtension(connected);
+    auto ext_s = MakeArrangementExtension(split);
+    EXPECT_TRUE(SpatialConnectivityBaseline(*ext_c)) << teeth;
+    EXPECT_EQ(SpatialConnectivityBaseline(*ext_s), teeth == 1) << teeth;
+    EXPECT_EQ(CountComponentsBaseline(*ext_s), teeth);
+  }
+}
+
+TEST(BaselineTest, StaircaseIsConnectedThroughCorners) {
+  ConstraintDatabase db = MakeStaircase(3);
+  auto ext = MakeArrangementExtension(db);
+  EXPECT_TRUE(SpatialConnectivityBaseline(*ext));
+  EXPECT_EQ(CountComponentsBaseline(*ext), 1u);
+}
+
+TEST(BaselineTest, BoxGridComponents) {
+  ConstraintDatabase db = MakeBoxGrid(2);
+  auto ext = MakeArrangementExtension(db);
+  EXPECT_EQ(CountComponentsBaseline(*ext), 4u);
+  EXPECT_FALSE(SpatialConnectivityBaseline(*ext));
+}
+
+TEST(BaselineTest, Reachability) {
+  ConstraintDatabase db = MakeComb(2, /*connected=*/false);
+  auto ext = MakeArrangementExtension(db);
+  // Inside the same bar: reachable.
+  Vec a = {Rational(1, 2), Rational(1, 2)};
+  Vec b = {Rational(1, 2), Rational(3, 2)};
+  EXPECT_TRUE(RegionReachabilityBaseline(*ext, a, b));
+  // Different bars: not reachable.
+  Vec c = {Rational(5, 2), Rational(1, 2)};
+  EXPECT_FALSE(RegionReachabilityBaseline(*ext, a, c));
+  // Point outside S: not reachable.
+  Vec outside = {Rational(-5), Rational(0)};
+  EXPECT_FALSE(RegionReachabilityBaseline(*ext, a, outside));
+}
+
+TEST(BaselineTest, UnionFind) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.NumClasses(), 5u);
+  uf.Union(0, 1);
+  uf.Union(3, 4);
+  EXPECT_EQ(uf.NumClasses(), 3u);
+  EXPECT_EQ(uf.Find(0), uf.Find(1));
+  EXPECT_NE(uf.Find(0), uf.Find(2));
+  uf.Union(1, 0);  // no-op
+  EXPECT_EQ(uf.NumClasses(), 3u);
+}
+
+TEST(WorkloadTest, RandomHyperplanesDeterministicAndDistinct) {
+  auto a = RandomHyperplanes(8, 2, 5, 42);
+  auto b = RandomHyperplanes(8, 2, 5, 42);
+  ASSERT_EQ(a.size(), 8u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+    for (size_t j = i + 1; j < a.size(); ++j) EXPECT_FALSE(a[i] == a[j]);
+  }
+}
+
+TEST(WorkloadTest, RandomSlabs) {
+  ConstraintDatabase db = MakeRandomSlabs(5, 2, 4, 7);
+  EXPECT_EQ(db.representation().disjuncts().size(), 5u);
+  EXPECT_EQ(db.arity(), 2u);
+}
+
+TEST(WorkloadTest, RiverScenarioLayers) {
+  ConstraintDatabase db = MakeRiverScenario(4, {1, 3}, {1}, {3});
+  EXPECT_EQ(db.arity(), 2u);
+  // River points at layer 1.
+  EXPECT_TRUE(db.Contains({Rational(1, 2), Rational(1)}));
+  EXPECT_TRUE(db.Contains({Rational(7, 2), Rational(1)}));
+  EXPECT_FALSE(db.Contains({Rational(9, 2), Rational(1)}));
+  // Spring at layer 2 over [0, 1].
+  EXPECT_TRUE(db.Contains({Rational(1, 2), Rational(2)}));
+  EXPECT_FALSE(db.Contains({Rational(3, 2), Rational(2)}));
+  // City markers at layer 3.
+  EXPECT_TRUE(db.Contains({Rational(3, 2), Rational(3)}));
+  EXPECT_FALSE(db.Contains({Rational(1, 2), Rational(3)}));
+  // Chemicals at layers 4 and 5.
+  EXPECT_TRUE(db.Contains({Rational(3, 2), Rational(4)}));
+  EXPECT_TRUE(db.Contains({Rational(7, 2), Rational(5)}));
+  EXPECT_FALSE(db.Contains({Rational(7, 2), Rational(4)}));
+}
+
+}  // namespace
+}  // namespace lcdb

@@ -1,0 +1,136 @@
+// Three-dimensional exercises of the Appendix A decomposition and the
+// arrangement — the worked figures in the paper are planar, but the
+// definitions (d-tuples of hyperplanes, open hulls of d+1 vertices, d-fold
+// multisets) are dimension-generic and deserve coverage at d = 3.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "constraint/parser.h"
+#include "constraint/simplify.h"
+#include "core/evaluator.h"
+#include "core/queries.h"
+#include "db/region_extension.h"
+#include "decomp/decomposition.h"
+
+namespace lcdb {
+namespace {
+
+const std::vector<std::string> kXYZ = {"x", "y", "z"};
+
+Conjunction ParseConj(const std::string& text) {
+  auto f = ParseDnf(text, kXYZ);
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  return f->disjuncts()[0];
+}
+
+bool Covered(const std::vector<DecompRegion>& regions, const Vec& p) {
+  for (const DecompRegion& r : regions) {
+    if (r.region.Contains(p)) return true;
+  }
+  return false;
+}
+
+TEST(Decomp3dTest, SimplexInventory) {
+  // The standard 3-simplex: 4 vertices, 6 edges, 4 facet triangles + the
+  // fan structure from p_low. With p_low = origin, every facet is already
+  // a triangle, so the inner 3-dimensional fan has exactly one cell per
+  // opposite facet... verified structurally: counts by dimension and
+  // coverage.
+  Conjunction simplex =
+      ParseConj("x >= 0 & y >= 0 & z >= 0 & x + y + z <= 2");
+  std::vector<DecompRegion> regions = DecomposeDisjunct(simplex, 0);
+  auto counts = RegionCountsByDimension(regions, 3);
+  EXPECT_EQ(counts[0], 4u);  // vertices
+  // Six edges of the simplex; diagonals coincide with edges here.
+  EXPECT_EQ(counts[1], 6u);
+  // Four open facet triangles.
+  EXPECT_EQ(counts[2], 4u);
+  // The interior fan from p_low: the whole open simplex.
+  EXPECT_EQ(counts[3], 1u);
+  // Coverage: rational sample points of the closed simplex lie in some
+  // region.
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<int64_t> num(0, 8);
+  int inside = 0;
+  for (int iter = 0; iter < 120; ++iter) {
+    Vec p = {Rational(num(rng), 4), Rational(num(rng), 4),
+             Rational(num(rng), 4)};
+    if (!simplex.Satisfies(p)) continue;
+    ++inside;
+    EXPECT_TRUE(Covered(regions, p)) << VecToString(p);
+  }
+  EXPECT_GT(inside, 20);
+  EXPECT_FALSE(Covered(regions, {Rational(1), Rational(1), Rational(1)}));
+}
+
+TEST(Decomp3dTest, BoxCoverage) {
+  Conjunction box = ParseConj(
+      "x >= 0 & x <= 1 & y >= 0 & y <= 1 & z >= 0 & z <= 1");
+  std::vector<DecompRegion> regions = DecomposeDisjunct(box, 0);
+  auto counts = RegionCountsByDimension(regions, 3);
+  EXPECT_EQ(counts[0], 8u);  // corners
+  EXPECT_GE(counts[1], 12u);  // at least the edges (plus face diagonals)
+  EXPECT_GE(counts[2], 6u);   // at least the facets
+  EXPECT_GE(counts[3], 1u);
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<int64_t> num(0, 4);
+  for (int iter = 0; iter < 80; ++iter) {
+    Vec p = {Rational(num(rng), 4), Rational(num(rng), 4),
+             Rational(num(rng), 4)};
+    EXPECT_TRUE(Covered(regions, p)) << VecToString(p);
+  }
+}
+
+TEST(Decomp3dTest, UnboundedOctant) {
+  Conjunction octant = ParseConj("x >= 0 & y >= 0 & z >= 0");
+  std::vector<DecompRegion> regions = DecomposeDisjunct(octant, 0);
+  EXPECT_FALSE(regions.empty());
+  // Far-out points of the octant are covered by ray/hull regions.
+  EXPECT_TRUE(Covered(regions, {Rational(100), Rational(0), Rational(0)}));
+  EXPECT_TRUE(Covered(regions, {Rational(50), Rational(50), Rational(50)}));
+  EXPECT_TRUE(Covered(regions, {Rational(0), Rational(77), Rational(3)}));
+  EXPECT_FALSE(Covered(regions, {Rational(-1), Rational(0), Rational(0)}));
+}
+
+TEST(Arrangement3dTest, QueriesOverASolid) {
+  // Region logic over a 3-ary database: a solid box.
+  auto f = ParseDnf("x >= 0 & x <= 1 & y >= 0 & y <= 1 & z >= 0 & z <= 1",
+                    kXYZ);
+  ASSERT_TRUE(f.ok());
+  ConstraintDatabase db("S", *f, kXYZ);
+  auto ext = MakeArrangementExtension(db);
+  // Dimensions 0..3 all occur inside S (corner, edge, facet, interior).
+  for (int dim = 0; dim <= 3; ++dim) {
+    auto r = EvaluateSentenceText(
+        *ext, "exists R . (subset(R) & dim(R) = " + std::to_string(dim) + ")");
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(*r) << dim;
+  }
+  // The solid is connected.
+  auto conn = EvaluateSentenceText(*ext, RegionConnQueryText());
+  ASSERT_TRUE(conn.ok());
+  EXPECT_TRUE(*conn);
+  // A 3-D projection query: the shadow on the z axis.
+  auto shadow = EvaluateQueryText(*ext, "exists x . exists y . S(x, y, z)");
+  ASSERT_TRUE(shadow.ok());
+  auto expected = ParseDnf("z >= 0 & z <= 1", {"z"});
+  EXPECT_TRUE(AreEquivalent(shadow->formula, *expected));
+}
+
+TEST(Arrangement3dTest, TwoCubesDisconnected) {
+  auto f = ParseDnf(
+      "(x >= 0 & x <= 1 & y >= 0 & y <= 1 & z >= 0 & z <= 1) | "
+      "(x >= 3 & x <= 4 & y >= 0 & y <= 1 & z >= 0 & z <= 1)",
+      kXYZ);
+  ASSERT_TRUE(f.ok());
+  ConstraintDatabase db("S", *f, kXYZ);
+  auto ext = MakeArrangementExtension(db);
+  auto conn = EvaluateSentenceText(*ext, RegionConnQueryText());
+  ASSERT_TRUE(conn.ok());
+  EXPECT_FALSE(*conn);
+}
+
+}  // namespace
+}  // namespace lcdb

@@ -1,0 +1,272 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "constraint/parser.h"
+#include "decomp/decomposition.h"
+
+namespace lcdb {
+namespace {
+
+const std::vector<std::string> kXY = {"x", "y"};
+
+Vec V(std::initializer_list<int64_t> values) {
+  Vec out;
+  for (int64_t v : values) out.emplace_back(v);
+  return out;
+}
+
+Conjunction ParseConj(const std::string& text) {
+  auto r = ParseDnf(text, kXY);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r->disjuncts()[0];
+}
+
+bool Covered(const std::vector<DecompRegion>& regions, const Vec& p) {
+  for (const DecompRegion& r : regions) {
+    if (r.region.Contains(p)) return true;
+  }
+  return false;
+}
+
+size_t CountKind(const std::vector<DecompRegion>& regions, DecompKind kind) {
+  size_t n = 0;
+  for (const DecompRegion& r : regions) {
+    if (r.kind == kind) ++n;
+  }
+  return n;
+}
+
+// The paper's Figures 7/8 worked example: a convex pentagon decomposes into
+// three 2-dimensional inner regions (fan from p1), the two inner diagonals
+// p1p3 and p1p4, five outer edges and five vertices — 15 regions.
+TEST(DecompositionTest, PaperPentagonExample) {
+  Conjunction pentagon = ParseConj(
+      "x + 2y >= 0 & 2x - y <= 5 & 2x + y <= 7 & x - 2y >= -4 & x >= 0");
+  std::vector<DecompRegion> regions = DecomposeDisjunct(pentagon, 0);
+  auto counts = RegionCountsByDimension(regions, 2);
+  EXPECT_EQ(counts[0], 5u);
+  EXPECT_EQ(counts[1], 7u);
+  EXPECT_EQ(counts[2], 3u);
+  EXPECT_EQ(regions.size(), 15u);
+  // The three triangles of the fan are the only 2-dimensional regions and
+  // all are inner.
+  for (const DecompRegion& r : regions) {
+    if (r.region.Dimension() == 2) EXPECT_EQ(r.kind, DecompKind::kInner);
+  }
+  // The inner diagonals p1p3 and p1p4 from p_low = (0,0).
+  GeneratorRegion diag13 = GeneratorRegion::OpenSegment(V({0, 0}), V({3, 1}));
+  GeneratorRegion diag14 = GeneratorRegion::OpenSegment(V({0, 0}), V({2, 3}));
+  size_t inner_diagonals = 0;
+  for (const DecompRegion& r : regions) {
+    if (r.region == diag13 || r.region == diag14) {
+      EXPECT_EQ(r.kind, DecompKind::kInner);
+      ++inner_diagonals;
+    }
+  }
+  EXPECT_EQ(inner_diagonals, 2u);
+  // Boundary edges are outer.
+  GeneratorRegion edge12 = GeneratorRegion::OpenSegment(V({0, 0}), V({2, -1}));
+  for (const DecompRegion& r : regions) {
+    if (r.region == edge12) EXPECT_EQ(r.kind, DecompKind::kOuter);
+  }
+}
+
+TEST(DecompositionTest, PentagonCoverage) {
+  Conjunction pentagon = ParseConj(
+      "x + 2y >= 0 & 2x - y <= 5 & 2x + y <= 7 & x - 2y >= -4 & x >= 0");
+  std::vector<DecompRegion> regions = DecomposeDisjunct(pentagon, 0);
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<int64_t> num(-8, 14);
+  std::uniform_int_distribution<int64_t> den(1, 4);
+  int inside_samples = 0;
+  for (int iter = 0; iter < 150; ++iter) {
+    Vec p = {Rational(num(rng), den(rng)), Rational(num(rng), den(rng))};
+    if (!pentagon.Satisfies(p)) continue;
+    ++inside_samples;
+    EXPECT_TRUE(Covered(regions, p)) << VecToString(p);
+  }
+  EXPECT_GT(inside_samples, 10);
+  // Vertices and edge midpoints are covered too.
+  EXPECT_TRUE(Covered(regions, V({0, 0})));
+  EXPECT_TRUE(Covered(regions, {Rational(1), Rational(-1, 2)}));
+  // Points outside the closed pentagon are in no region.
+  EXPECT_FALSE(Covered(regions, V({10, 10})));
+  EXPECT_FALSE(Covered(regions, V({-1, 0})));
+}
+
+TEST(DecompositionTest, TriangleFan) {
+  // A triangle: one inner 2-region, three edges, three vertices, and the
+  // degenerate "diagonals" coincide with edges.
+  Conjunction triangle = ParseConj("y >= 0 & y <= x & x <= 2");
+  std::vector<DecompRegion> regions = DecomposeDisjunct(triangle, 0);
+  auto counts = RegionCountsByDimension(regions, 2);
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 3u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(DecompositionTest, SingletonPolyhedron) {
+  Conjunction point = ParseConj("x = 1 & y = 2");
+  std::vector<DecompRegion> regions = DecomposeDisjunct(point, 0);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].region.Dimension(), 0);
+  EXPECT_TRUE(regions[0].region.Contains(V({1, 2})));
+}
+
+TEST(DecompositionTest, SegmentPolyhedron) {
+  // Lower-dimensional polyhedron: a closed segment.
+  Conjunction seg = ParseConj("y = 0 & x >= 0 & x <= 1");
+  std::vector<DecompRegion> regions = DecomposeDisjunct(seg, 0);
+  auto counts = RegionCountsByDimension(regions, 2);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_TRUE(Covered(regions, {Rational(1, 2), Rational(0)}));
+  EXPECT_TRUE(Covered(regions, V({0, 0})));
+  EXPECT_TRUE(Covered(regions, V({1, 0})));
+}
+
+TEST(DecompositionTest, OpenPolyhedronStillCovered) {
+  // Open triangle: outer regions lie in the closure but every point of the
+  // open set is covered (the paper only requires covering S).
+  Conjunction open_tri = ParseConj("y > 0 & y < x & x < 2");
+  std::vector<DecompRegion> regions = DecomposeDisjunct(open_tri, 0);
+  std::mt19937_64 rng(11);
+  std::uniform_int_distribution<int64_t> num(0, 8);
+  for (int iter = 0; iter < 100; ++iter) {
+    Vec p = {Rational(num(rng), 4), Rational(num(rng), 4)};
+    if (!open_tri.Satisfies(p)) continue;
+    EXPECT_TRUE(Covered(regions, p)) << VecToString(p);
+  }
+}
+
+TEST(DecompositionTest, UnboundedWedge) {
+  // Figure 10-style unbounded polyhedron.
+  Conjunction wedge = ParseConj("x >= 0 & y >= 0 & x + y >= 1");
+  std::vector<DecompRegion> regions = DecomposeDisjunct(wedge, 0);
+  EXPECT_GT(CountKind(regions, DecompKind::kRay), 0u);
+  EXPECT_GT(CountKind(regions, DecompKind::kUnboundedHull), 0u);
+  // The up(psi) rays along the axes from the cube boundary must be present:
+  // vertices (0,1) and (1,0), cube bound 2(c+1) = 4.
+  GeneratorRegion up_ray = GeneratorRegion::OpenRay(V({0, 4}), V({0, 3}));
+  GeneratorRegion right_ray = GeneratorRegion::OpenRay(V({4, 0}), V({3, 0}));
+  bool found_up = false, found_right = false;
+  for (const DecompRegion& r : regions) {
+    if (r.region == up_ray) found_up = true;
+    if (r.region == right_ray) found_right = true;
+  }
+  EXPECT_TRUE(found_up);
+  EXPECT_TRUE(found_right);
+  // Coverage of points far outside the cube.
+  EXPECT_TRUE(Covered(regions, V({100, 100})));
+  EXPECT_TRUE(Covered(regions, V({0, 50})));
+  EXPECT_TRUE(Covered(regions, V({37, 1})));
+  EXPECT_FALSE(Covered(regions, V({-1, 5})));
+  // Coverage of random points of the wedge.
+  std::mt19937_64 rng(13);
+  std::uniform_int_distribution<int64_t> num(0, 40);
+  for (int iter = 0; iter < 60; ++iter) {
+    Vec p = {Rational(num(rng), 2), Rational(num(rng), 2)};
+    if (!wedge.Satisfies(p)) continue;
+    EXPECT_TRUE(Covered(regions, p)) << VecToString(p);
+  }
+}
+
+TEST(DecompositionTest, HalfplaneWithoutVertices) {
+  // No vertex at all: coordinate bound falls back to vert'(psi).
+  Conjunction half = ParseConj("x >= 1");
+  std::vector<DecompRegion> regions = DecomposeDisjunct(half, 0);
+  EXPECT_FALSE(regions.empty());
+  EXPECT_TRUE(Covered(regions, V({1, 0})));
+  EXPECT_TRUE(Covered(regions, V({50, -50})));
+  EXPECT_TRUE(Covered(regions, V({2, 3})));
+  EXPECT_FALSE(Covered(regions, V({0, 0})));
+}
+
+TEST(DecompositionTest, InfeasibleDisjunctYieldsNothing) {
+  // Built directly (the DNF parser would prune the empty disjunct).
+  Conjunction empty(2, {LinearAtom({Rational(1), Rational(0)}, RelOp::kLt,
+                                   Rational(0)),
+                        LinearAtom({Rational(1), Rational(0)}, RelOp::kGt,
+                                   Rational(0))});
+  EXPECT_TRUE(DecomposeDisjunct(empty, 0).empty());
+}
+
+TEST(DecompositionTest, FormulaUnionKeepsDisjunctProvenance) {
+  auto f = ParseDnf("(x >= 0 & x <= 1 & y >= 0 & y <= 1) | "
+                    "(x >= 3 & x <= 4 & y >= 0 & y <= 1)",
+                    kXY);
+  ASSERT_TRUE(f.ok());
+  std::vector<DecompRegion> regions = DecomposeFormula(*f);
+  bool saw0 = false, saw1 = false;
+  for (const DecompRegion& r : regions) {
+    if (r.disjunct == 0) saw0 = true;
+    if (r.disjunct == 1) saw1 = true;
+  }
+  EXPECT_TRUE(saw0);
+  EXPECT_TRUE(saw1);
+  EXPECT_TRUE(Covered(regions, {Rational(1, 2), Rational(1, 2)}));
+  EXPECT_TRUE(Covered(regions, {Rational(7, 2), Rational(1, 2)}));
+  EXPECT_FALSE(Covered(regions, V({2, 0})));
+}
+
+TEST(DecompositionTest, OverlappingDisjunctsAllowed) {
+  // Note 7.1: regions for different polyhedra may overlap.
+  auto f = ParseDnf("(x >= 0 & x <= 2 & y >= 0 & y <= 2) | "
+                    "(x >= 1 & x <= 3 & y >= 0 & y <= 2)",
+                    kXY);
+  ASSERT_TRUE(f.ok());
+  std::vector<DecompRegion> regions = DecomposeFormula(*f);
+  // The overlap zone is covered by regions of both disjuncts.
+  Vec mid = {Rational(3, 2), Rational(1)};
+  size_t covering = 0;
+  for (const DecompRegion& r : regions) {
+    if (r.region.Contains(mid)) ++covering;
+  }
+  EXPECT_GE(covering, 2u);
+}
+
+class DecompPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(DecompPropertyTest, RandomPolytopesAreCovered) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int64_t> coeff(-3, 3);
+  std::uniform_int_distribution<int64_t> rhs(1, 6);
+  for (int iter = 0; iter < 4; ++iter) {
+    // Random bounded polyhedron: a box plus up to two extra halfplanes.
+    std::vector<LinearAtom> atoms;
+    const int64_t bx = rhs(rng), by = rhs(rng);
+    atoms.emplace_back(Vec{Rational(1), Rational(0)}, RelOp::kLe, Rational(bx));
+    atoms.emplace_back(Vec{Rational(1), Rational(0)}, RelOp::kGe, Rational(-bx));
+    atoms.emplace_back(Vec{Rational(0), Rational(1)}, RelOp::kLe, Rational(by));
+    atoms.emplace_back(Vec{Rational(0), Rational(1)}, RelOp::kGe, Rational(-by));
+    for (int extra = 0; extra < 2; ++extra) {
+      Vec c = {Rational(coeff(rng)), Rational(coeff(rng))};
+      if (VecIsZero(c)) continue;
+      atoms.emplace_back(c, RelOp::kLe, Rational(rhs(rng)));
+    }
+    Conjunction poly(2, std::move(atoms));
+    if (!poly.IsFeasible()) continue;
+    std::vector<DecompRegion> regions = DecomposeDisjunct(poly, 0);
+    ASSERT_FALSE(regions.empty());
+    std::uniform_int_distribution<int64_t> sample(-12, 12);
+    for (int s = 0; s < 40; ++s) {
+      Vec p = {Rational(sample(rng), 2), Rational(sample(rng), 2)};
+      if (!poly.Satisfies(p)) continue;
+      EXPECT_TRUE(Covered(regions, p))
+          << VecToString(p) << " in " << poly.ToString(kXY);
+    }
+    // All regions live inside the closure of the polyhedron.
+    Conjunction closure = poly.ClosureConjunction();
+    for (const DecompRegion& r : regions) {
+      EXPECT_TRUE(closure.Satisfies(r.region.Witness()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecompPropertyTest,
+                         ::testing::Values(41u, 43u, 47u));
+
+}  // namespace
+}  // namespace lcdb

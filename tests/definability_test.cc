@@ -1,0 +1,161 @@
+// Checks the paper's "this predicate is first-order definable" assertions
+// by evaluating the defining RegFO formulas (core/definability.h) against
+// the built-in predicates, region by region. Regions are pinned through
+// their witness points with in(...) atoms — on arrangements the containing
+// region is unique, so the pinning is exact.
+
+#include <gtest/gtest.h>
+
+#include "constraint/parser.h"
+#include "core/definability.h"
+#include "core/evaluator.h"
+#include "db/region_extension.h"
+
+namespace lcdb {
+namespace {
+
+ConstraintDatabase Db(const std::string& formula,
+                      const std::vector<std::string>& vars) {
+  auto f = ParseDnf(formula, vars);
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  return ConstraintDatabase("S", *f, vars);
+}
+
+/// "p1, p2, ..." rendering of a witness point as query terms.
+std::string PointTerms(const Vec& p) {
+  std::string out;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += p[i].ToString();
+  }
+  return out;
+}
+
+/// Evaluates a formula text with free region variable R pinned to the
+/// region containing `witness`.
+bool EvalUnary(const RegionExtension& ext, const std::string& formula,
+               const Vec& witness) {
+  std::string query = "exists R . (in(" + PointTerms(witness) + "; R) & (" +
+                      formula + "))";
+  auto r = EvaluateSentenceText(ext, query);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << "\nquery: " << query;
+  return r.ok() && *r;
+}
+
+/// Same with free R and R' pinned to two regions.
+bool EvalBinary(const RegionExtension& ext, const std::string& formula,
+                const Vec& w1, const Vec& w2) {
+  std::string query = "exists R R' . (in(" + PointTerms(w1) + "; R) & in(" +
+                      PointTerms(w2) + "; R') & (" + formula + "))";
+  auto r = EvaluateSentenceText(ext, query);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << "\nquery: " << query;
+  return r.ok() && *r;
+}
+
+TEST(DefinabilityTest, Adjacency1D) {
+  ConstraintDatabase db = Db("(x > 0 & x < 1) | x = 3", {"x"});
+  auto ext = MakeArrangementExtension(db);
+  const std::string adj = AdjDefinitionText(1);
+  for (size_t a = 0; a < ext->num_regions(); ++a) {
+    for (size_t b = 0; b < ext->num_regions(); ++b) {
+      if (a == b) continue;  // the built-in is irreflexive by convention
+      EXPECT_EQ(EvalBinary(*ext, adj, ext->RegionWitness(a),
+                           ext->RegionWitness(b)),
+                ext->Adjacent(a, b))
+          << "regions " << a << ", " << b;
+    }
+  }
+}
+
+TEST(DefinabilityTest, Adjacency2DSpotChecks) {
+  ConstraintDatabase db = Db("x >= 0 & y >= 0 & x + y <= 4", {"x", "y"});
+  auto ext = MakeArrangementExtension(db);
+  const std::string adj = AdjDefinitionText(2);
+  // Sample pairs: every region against the interior cell and one vertex.
+  size_t interior = ext->num_regions(), vertex = ext->num_regions();
+  for (size_t r = 0; r < ext->num_regions(); ++r) {
+    if (ext->RegionSubsetOfS(r) && ext->RegionDim(r) == 2) interior = r;
+    if (ext->RegionDim(r) == 0 && vertex == ext->num_regions()) vertex = r;
+  }
+  ASSERT_LT(interior, ext->num_regions());
+  ASSERT_LT(vertex, ext->num_regions());
+  for (size_t r = 0; r < ext->num_regions(); ++r) {
+    for (size_t probe : {interior, vertex}) {
+      if (r == probe) continue;
+      EXPECT_EQ(EvalBinary(*ext, adj, ext->RegionWitness(r),
+                           ext->RegionWitness(probe)),
+                ext->Adjacent(r, probe))
+          << "regions " << r << ", " << probe;
+    }
+  }
+}
+
+TEST(DefinabilityTest, Boundedness) {
+  ConstraintDatabase db = Db("(x >= 0 & x <= 1) | x = 9", {"x"});
+  auto ext = MakeArrangementExtension(db);
+  const std::string bounded = BoundedDefinitionText(1);
+  for (size_t r = 0; r < ext->num_regions(); ++r) {
+    EXPECT_EQ(EvalUnary(*ext, bounded, ext->RegionWitness(r)),
+              ext->RegionBounded(r))
+        << "region " << r;
+  }
+}
+
+TEST(DefinabilityTest, Boundedness2D) {
+  ConstraintDatabase db = Db("x >= 0 & y >= 0 & x + y <= 4", {"x", "y"});
+  auto ext = MakeArrangementExtension(db);
+  const std::string bounded = BoundedDefinitionText(2);
+  for (size_t r = 0; r < ext->num_regions(); ++r) {
+    EXPECT_EQ(EvalUnary(*ext, bounded, ext->RegionWitness(r)),
+              ext->RegionBounded(r))
+        << "region " << r;
+  }
+}
+
+TEST(DefinabilityTest, ZeroDimensionality) {
+  ConstraintDatabase db = Db("(x > 0 & x < 1) | x = 3 | x = 5", {"x"});
+  auto ext = MakeArrangementExtension(db);
+  const std::string zero = ZeroDimDefinitionText(1);
+  for (size_t r = 0; r < ext->num_regions(); ++r) {
+    EXPECT_EQ(EvalUnary(*ext, zero, ext->RegionWitness(r)),
+              ext->RegionDim(r) == 0)
+        << "region " << r;
+  }
+}
+
+TEST(DefinabilityTest, LexOrderMatchesRbitRanks) {
+  ConstraintDatabase db = Db("x = 2 | x = -1 | x = 7", {"x"});
+  auto ext = MakeArrangementExtension(db);
+  const std::string less = ZeroDimLexLessText(1);
+  const auto& zeros = ext->ZeroDimRegions();
+  ASSERT_EQ(zeros.size(), 3u);
+  for (size_t i = 0; i < zeros.size(); ++i) {
+    for (size_t j = 0; j < zeros.size(); ++j) {
+      EXPECT_EQ(EvalBinary(*ext, less, ext->ZeroDimPoint(zeros[i]),
+                           ext->ZeroDimPoint(zeros[j])),
+                i < j)
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(DefinabilityTest, LexOrder2D) {
+  ConstraintDatabase db =
+      Db("(x = 0 & y = 1) | (x = 0 & y = 0) | (x = 1 & y = 0)", {"x", "y"});
+  auto ext = MakeArrangementExtension(db);
+  const std::string less = ZeroDimLexLessText(2);
+  const auto& zeros = ext->ZeroDimRegions();
+  // The arrangement of the three points' hyperplanes has more vertices than
+  // the three relation points; the ranks still order lexicographically.
+  for (size_t i = 0; i < zeros.size(); ++i) {
+    for (size_t j = 0; j < zeros.size(); ++j) {
+      EXPECT_EQ(EvalBinary(*ext, less, ext->ZeroDimPoint(zeros[i]),
+                           ext->ZeroDimPoint(zeros[j])),
+                i < j)
+          << i << " vs " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lcdb

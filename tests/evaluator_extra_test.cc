@@ -1,0 +1,162 @@
+// Additional evaluator coverage: nested fixed points, TC over tuple width
+// m = 2, the meets() predicate on the overlapping decomposition, iff/implies
+// in symbolic contexts, and operator interplay (hull under quantifiers, TC
+// of an LFP-guarded step relation).
+
+#include <gtest/gtest.h>
+
+#include "constraint/parser.h"
+#include "constraint/simplify.h"
+#include "core/evaluator.h"
+#include "core/parser.h"
+#include "db/region_extension.h"
+#include "db/workloads.h"
+
+namespace lcdb {
+namespace {
+
+ConstraintDatabase Db1(const std::string& formula) {
+  auto f = ParseDnf(formula, {"x"});
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  return ConstraintDatabase("S", *f, {"x"});
+}
+
+bool Sentence(const RegionExtension& ext, const std::string& text) {
+  auto r = EvaluateSentenceText(ext, text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for " << text;
+  return r.ok() && *r;
+}
+
+TEST(EvaluatorExtraTest, NestedFixedPoints) {
+  // Inner LFP: reachability within S. Outer LFP over single regions: the
+  // set of regions reachable from some 0-dimensional region of S — nested
+  // fixed points with distinct set variables.
+  ConstraintDatabase db = Db1("(x >= 0 & x <= 1) | (x >= 3 & x <= 4)");
+  auto ext = MakeArrangementExtension(db);
+  const std::string nested =
+      "exists A . (dim(A) = 1 & subset(A) & "
+      "[lfp N R : (dim(R) = 0 & subset(R)) | "
+      " (exists Z . (N(Z) & adj(Z, R) & subset(R) & "
+      "  [lfp M P P' : (P = P' & subset(P)) | (exists W . (M(P, W) & "
+      "adj(W, P') & subset(P')))](Z, R)))](A))";
+  EXPECT_TRUE(Sentence(*ext, nested));
+}
+
+TEST(EvaluatorExtraTest, TransitiveClosureOverPairs) {
+  // TC with m = 2: step relation on *pairs* of regions that moves both
+  // components along adjacency simultaneously; reachability of (B1,B2)
+  // from (A1,A2) then requires component-wise connectivity.
+  ConstraintDatabase db = Db1("x >= 0 & x <= 2");
+  auto ext = MakeArrangementExtension(db);
+  const std::string tc2 =
+      "forall A1 A2 B1 B2 . (subset(A1) & subset(A2) & subset(B1) & "
+      "subset(B2) -> "
+      "[tc R1, R2 ; Q1, Q2 : subset(Q1) & subset(Q2) & "
+      "(adj(R1, Q1) | R1 = Q1) & (adj(R2, Q2) | R2 = Q2)]"
+      "(A1, A2 ; B1, B2))";
+  EXPECT_TRUE(Sentence(*ext, tc2));
+  // Disconnect the database: pairs across components become unreachable.
+  ConstraintDatabase split = Db1("(x >= 0 & x <= 1) | (x >= 3 & x <= 4)");
+  auto ext2 = MakeArrangementExtension(split);
+  EXPECT_FALSE(Sentence(*ext2, tc2));
+}
+
+TEST(EvaluatorExtraTest, MeetsOnOverlappingDecomposition) {
+  // On the Section 7 decomposition of an open set, boundary regions meet
+  // the closure but not S; meets() distinguishes them from subset().
+  auto f = ParseDnf("x > 0 & x < 2", {"x"});
+  ASSERT_TRUE(f.ok());
+  ConstraintDatabase db("S", *f, {"x"});
+  auto ext = MakeDecompositionExtension(db);
+  EXPECT_TRUE(Sentence(*ext, "exists R . (meets(R) & subset(R))"));
+  EXPECT_TRUE(Sentence(*ext, "exists R . (!(meets(R)) & !(subset(R)))"));
+  // subset implies meets for nonempty regions.
+  EXPECT_TRUE(Sentence(*ext, "forall R . (subset(R) -> meets(R))"));
+}
+
+TEST(EvaluatorExtraTest, IffAndImpliesSymbolic) {
+  ConstraintDatabase db = Db1("x >= 0 & x <= 2");
+  auto ext = MakeArrangementExtension(db);
+  // iff with element variables on both sides.
+  auto r = EvaluateQueryText(*ext, "S(x) <-> (x >= 0 & x <= 2)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->formula.IsSyntacticallyTrue() ||
+              AreEquivalent(r->formula, DnfFormula::True(1)));
+  auto half = EvaluateQueryText(*ext, "S(x) <-> x >= 1");
+  ASSERT_TRUE(half.ok());
+  // True exactly where both hold or both fail: [1,2] union complement of
+  // [0,2] ∪ [1,inf) ... = [1,2] ∪ (-inf,0).
+  auto expected = ParseDnf("(x >= 1 & x <= 2) | x < 0", {"x"});
+  EXPECT_TRUE(AreEquivalent(half->formula, *expected));
+  // implies.
+  auto imp = EvaluateQueryText(*ext, "S(x) -> x >= 1");
+  ASSERT_TRUE(imp.ok());
+  auto expected2 = ParseDnf("x < 0 | x > 2 | x >= 1", {"x"});
+  EXPECT_TRUE(AreEquivalent(imp->formula, *expected2));
+}
+
+TEST(EvaluatorExtraTest, HullUnderQuantifiers) {
+  // The hull operator under an element quantifier: is there a point whose
+  // hull-membership certificate lies strictly inside?
+  ConstraintDatabase db = Db1("x = 0 | x = 4");
+  auto ext = MakeArrangementExtension(db);
+  EXPECT_TRUE(Sentence(
+      *ext, "exists y . ([hull u : S(u)](y) & y > 1 & y < 3)"));
+  EXPECT_FALSE(Sentence(*ext, "exists y . ([hull u : S(u)](y) & y > 5)"));
+  // Universal form: everything in the hull is within the bounding range.
+  EXPECT_TRUE(Sentence(
+      *ext, "forall y . ([hull u : S(u)](y) -> (y >= 0 & y <= 4))"));
+}
+
+TEST(EvaluatorExtraTest, RegionParameterizedHull) {
+  // Hull body referring to a region parameter: the hull of one region.
+  ConstraintDatabase db = Db1("(x > 0 & x < 1) | x = 3");
+  auto ext = MakeArrangementExtension(db);
+  // For the open-interval region, the hull adds its endpoints.
+  EXPECT_TRUE(Sentence(
+      *ext,
+      "exists R . (subset(R) & dim(R) = 1 & [hull u : in(u; R)](0) & "
+      "[hull u : in(u; R)](1) & [hull u : in(u; R)](1/2))"));
+  EXPECT_FALSE(Sentence(
+      *ext, "exists R . (subset(R) & [hull u : in(u; R)](7))"));
+}
+
+TEST(EvaluatorExtraTest, DimAtomNegativeCases) {
+  ConstraintDatabase db = Db1("x = 0");
+  auto ext = MakeArrangementExtension(db);
+  EXPECT_FALSE(Sentence(*ext, "exists R . dim(R) = 2"));  // 1-D database
+  EXPECT_TRUE(Sentence(*ext, "exists R . dim(R) = 1"));
+  EXPECT_TRUE(Sentence(*ext, "exists R . dim(R) = 0"));
+}
+
+TEST(EvaluatorExtraTest, CombTcPairAgreesWithConnectivity) {
+  for (bool connected : {true, false}) {
+    ConstraintDatabase db = MakeComb(2, connected);
+    auto ext = MakeArrangementExtension(db);
+    // TC of the adjacency step guarded by an LFP membership: operators
+    // compose (the TC body may not use set variables per Def. 7.2, so the
+    // guard is a nested *closed* LFP application).
+    const std::string q =
+        "forall A B . (subset(A) & subset(B) -> "
+        "[tc R ; Q : subset(R) & subset(Q) & adj(R, Q) & "
+        "[lfp M P P' : (P = P' & subset(P)) | (exists W . (M(P, W) & "
+        "adj(W, P') & subset(P')))](R, Q)](A ; B))";
+    auto r = EvaluateSentenceText(*ext, q);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(*r, connected);
+  }
+}
+
+TEST(EvaluatorExtraTest, EmptyRegionSortQuantifiers) {
+  // A database whose arrangement is just R^1 (no atoms => one region, not
+  // in S). Quantifiers behave sanely.
+  ConstraintDatabase db("S", DnfFormula::False(1), {"x"});
+  auto ext = MakeArrangementExtension(db);
+  EXPECT_EQ(ext->num_regions(), 1u);
+  EXPECT_FALSE(Sentence(*ext, "exists R . subset(R)"));
+  EXPECT_TRUE(Sentence(*ext, "forall R . !(subset(R))"));
+  EXPECT_TRUE(Sentence(*ext, "exists R . dim(R) = 1"));
+}
+
+}  // namespace
+}  // namespace lcdb

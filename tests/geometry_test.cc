@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "constraint/parser.h"
+#include "constraint/simplify.h"
+#include "geometry/generator_region.h"
+#include "geometry/hyperplane.h"
+#include "geometry/predicates.h"
+#include "geometry/vertex_enumeration.h"
+
+namespace lcdb {
+namespace {
+
+const std::vector<std::string> kXY = {"x", "y"};
+
+Vec V(std::initializer_list<int64_t> values) {
+  Vec out;
+  for (int64_t v : values) out.emplace_back(v);
+  return out;
+}
+
+Conjunction ParseConj(const std::string& text,
+                      const std::vector<std::string>& vars = kXY) {
+  auto r = ParseDnf(text, vars);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->disjuncts().size(), 1u);
+  return r->disjuncts()[0];
+}
+
+TEST(HyperplaneTest, CanonicalOrientationMergesAtoms) {
+  auto le = ParseAtom("x + y <= 1", kXY).value();
+  auto ge = ParseAtom("x + y >= 1", kXY).value();
+  auto scaled = ParseAtom("2x + 2y < 2", kXY).value();
+  Hyperplane h1 = Hyperplane::FromAtom(le);
+  Hyperplane h2 = Hyperplane::FromAtom(ge);
+  Hyperplane h3 = Hyperplane::FromAtom(scaled);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1, h3);
+  EXPECT_EQ(h1.Hash(), h2.Hash());
+}
+
+TEST(HyperplaneTest, SideOf) {
+  Hyperplane h = Hyperplane::FromAtom(ParseAtom("x + y = 1", kXY).value());
+  EXPECT_EQ(h.SideOf(V({2, 2})), 1);
+  EXPECT_EQ(h.SideOf(V({0, 0})), -1);
+  EXPECT_EQ(h.SideOf(V({0, 1})), 0);
+}
+
+TEST(HyperplaneTest, PositionVectorAndFormula) {
+  std::vector<Hyperplane> planes = {
+      Hyperplane::FromAtom(ParseAtom("x = 0", kXY).value()),
+      Hyperplane::FromAtom(ParseAtom("y = 0", kXY).value())};
+  SignVector sv = PositionVector(planes, V({3, -2}));
+  EXPECT_EQ(sv, (SignVector{1, -1}));
+  EXPECT_EQ(SignVectorToString(sv), "(+, -)");
+  Conjunction face = SignVectorConjunction(planes, sv);
+  EXPECT_TRUE(face.Satisfies(V({3, -2})));
+  EXPECT_TRUE(face.Satisfies(V({1, -5})));
+  EXPECT_FALSE(face.Satisfies(V({-1, -5})));
+  EXPECT_FALSE(face.Satisfies(V({0, -5})));
+}
+
+TEST(HyperplaneTest, ClosureSignVectorOrder) {
+  // Face on both planes is in the closure of every orthant.
+  EXPECT_TRUE(InClosureOf({0, 0}, {1, -1}));
+  EXPECT_TRUE(InClosureOf({1, 0}, {1, 1}));
+  EXPECT_FALSE(InClosureOf({1, 0}, {-1, 1}));
+  EXPECT_FALSE(InClosureOf({1, 1}, {1, 0}));
+  EXPECT_TRUE(InClosureOf({1, 1}, {1, 1}));
+}
+
+TEST(VertexEnumerationTest, UnitSquare) {
+  Conjunction square =
+      ParseConj("x >= 0 & x <= 1 & y >= 0 & y <= 1");
+  std::vector<Vec> vertices = VerticesOf(square);
+  ASSERT_EQ(vertices.size(), 4u);
+  EXPECT_EQ(vertices[0], V({0, 0}));  // lex sorted
+  EXPECT_EQ(vertices[1], V({0, 1}));
+  EXPECT_EQ(vertices[2], V({1, 0}));
+  EXPECT_EQ(vertices[3], V({1, 1}));
+}
+
+TEST(VertexEnumerationTest, TriangleDropsOutsideIntersections) {
+  // The paper's Appendix A point "p": intersections outside closure(psi) are
+  // not vertices.
+  Conjunction triangle = ParseConj("y >= 0 & y <= x & x <= 2");
+  std::vector<Vec> vertices = VerticesOf(triangle);
+  ASSERT_EQ(vertices.size(), 3u);
+  EXPECT_EQ(vertices[0], V({0, 0}));
+  EXPECT_EQ(vertices[1], V({2, 0}));
+  EXPECT_EQ(vertices[2], V({2, 2}));
+}
+
+TEST(VertexEnumerationTest, ParallelPlanesNoUniqueIntersection) {
+  std::vector<Hyperplane> planes = {
+      Hyperplane::FromAtom(ParseAtom("x = 0", kXY).value()),
+      Hyperplane::FromAtom(ParseAtom("x = 1", kXY).value())};
+  EXPECT_TRUE(EnumerateIntersectionPoints(planes, 2).empty());
+}
+
+TEST(VertexEnumerationTest, OpenPolyhedronVerticesOnClosure) {
+  // Open triangle still has the boundary vertices (they lie in the closure).
+  Conjunction open_triangle = ParseConj("y > 0 & y < x & x < 2");
+  EXPECT_EQ(VerticesOf(open_triangle).size(), 3u);
+}
+
+TEST(GeneratorRegionTest, OpenSegmentMembership) {
+  GeneratorRegion seg = GeneratorRegion::OpenSegment(V({0, 0}), V({2, 2}));
+  EXPECT_TRUE(seg.Contains(V({1, 1})));
+  EXPECT_FALSE(seg.Contains(V({0, 0})));  // endpoint excluded
+  EXPECT_FALSE(seg.Contains(V({2, 2})));
+  EXPECT_FALSE(seg.Contains(V({1, 0})));
+  EXPECT_FALSE(seg.Contains(V({3, 3})));
+  GeneratorRegion closed = seg.ClosureRegion();
+  EXPECT_TRUE(closed.Contains(V({0, 0})));
+  EXPECT_TRUE(closed.Contains(V({2, 2})));
+  EXPECT_EQ(seg.Dimension(), 1);
+}
+
+TEST(GeneratorRegionTest, OpenTriangleMembershipAndDimension) {
+  GeneratorRegion tri =
+      GeneratorRegion::OpenHull(2, {V({0, 0}), V({2, 0}), V({0, 2})});
+  EXPECT_EQ(tri.Dimension(), 2);
+  EXPECT_TRUE(tri.Contains({Rational(1, 2), Rational(1, 2)}));
+  EXPECT_FALSE(tri.Contains(V({1, 0})));  // boundary edge excluded
+  EXPECT_FALSE(tri.Contains(V({0, 0})));
+  EXPECT_TRUE(tri.ClosureRegion().Contains(V({1, 0})));
+  EXPECT_TRUE(tri.Contains(tri.Witness()));
+}
+
+TEST(GeneratorRegionTest, DegenerateHullDropsToLowerDimension) {
+  // Appendix A: generator points need not be distinct/affinely independent.
+  GeneratorRegion seg =
+      GeneratorRegion::OpenHull(2, {V({0, 0}), V({1, 1}), V({1, 1})});
+  EXPECT_EQ(seg.Dimension(), 1);
+  EXPECT_TRUE(seg.Contains({Rational(1, 2), Rational(1, 2)}));
+  GeneratorRegion pt = GeneratorRegion::OpenHull(2, {V({3, 4})});
+  EXPECT_EQ(pt.Dimension(), 0);
+  EXPECT_TRUE(pt.Contains(V({3, 4})));
+  EXPECT_FALSE(pt.Contains(V({3, 5})));
+}
+
+TEST(GeneratorRegionTest, OpenRay) {
+  GeneratorRegion ray = GeneratorRegion::OpenRay(V({1, 1}), V({1, 0}));
+  EXPECT_TRUE(ray.Contains(V({5, 1})));
+  EXPECT_FALSE(ray.Contains(V({1, 1})));  // apex excluded (a > 0)
+  EXPECT_FALSE(ray.Contains(V({0, 1})));  // behind the apex
+  EXPECT_TRUE(ray.ClosureRegion().Contains(V({1, 1})));
+  EXPECT_EQ(ray.Dimension(), 1);
+}
+
+TEST(GeneratorRegionTest, IntersectionTests) {
+  GeneratorRegion tri =
+      GeneratorRegion::OpenHull(2, {V({0, 0}), V({4, 0}), V({0, 4})});
+  GeneratorRegion seg_inside = GeneratorRegion::OpenSegment(V({1, 1}), V({2, 1}));
+  GeneratorRegion seg_outside =
+      GeneratorRegion::OpenSegment(V({5, 5}), V({6, 6}));
+  GeneratorRegion edge = GeneratorRegion::OpenSegment(V({0, 0}), V({4, 0}));
+  EXPECT_TRUE(tri.Intersects(seg_inside));
+  EXPECT_FALSE(tri.Intersects(seg_outside));
+  EXPECT_FALSE(tri.Intersects(edge));  // open triangle excludes its edge
+  EXPECT_TRUE(tri.ClosureRegion().Intersects(edge));
+  EXPECT_TRUE(tri.AdjacentTo(edge));
+  EXPECT_FALSE(tri.AdjacentTo(seg_outside));
+}
+
+TEST(GeneratorRegionTest, IntersectsConjunction) {
+  GeneratorRegion seg = GeneratorRegion::OpenSegment(V({-1, 0}), V({1, 0}));
+  Conjunction right = ParseConj("x > 0");
+  EXPECT_TRUE(seg.IntersectsConjunction(right));
+  Conjunction far_right = ParseConj("x > 1");
+  EXPECT_FALSE(seg.IntersectsConjunction(far_right));
+  Conjunction boundary = ParseConj("x >= 1");
+  EXPECT_FALSE(seg.IntersectsConjunction(boundary));  // endpoint not in seg
+}
+
+TEST(GeneratorRegionTest, ToConjunctionMatchesMembership) {
+  GeneratorRegion tri =
+      GeneratorRegion::OpenHull(2, {V({0, 0}), V({2, 0}), V({0, 2})});
+  Conjunction formula = tri.ToConjunction();
+  // Sample grid: formula satisfaction must equal membership.
+  for (int64_t x = -1; x <= 3; ++x) {
+    for (int64_t y = -1; y <= 3; ++y) {
+      for (int64_t den = 1; den <= 2; ++den) {
+        Vec p = {Rational(x, den), Rational(y, den)};
+        EXPECT_EQ(formula.Satisfies(p), tri.Contains(p))
+            << VecToString(p) << " formula=" << formula.ToString(kXY);
+      }
+    }
+  }
+}
+
+TEST(GeneratorRegionTest, RayToConjunction) {
+  GeneratorRegion ray = GeneratorRegion::OpenRay(V({0, 0}), V({1, 1}));
+  Conjunction formula = ray.ToConjunction();
+  EXPECT_TRUE(formula.Satisfies(V({2, 2})));
+  EXPECT_FALSE(formula.Satisfies(V({0, 0})));
+  EXPECT_FALSE(formula.Satisfies(V({2, 1})));
+  EXPECT_FALSE(formula.Satisfies(V({-1, -1})));
+}
+
+TEST(PredicatesTest, RelativeInteriorFullDim) {
+  Conjunction square = ParseConj("x >= 0 & x <= 1 & y >= 0 & y <= 1");
+  Conjunction interior = RelativeInterior(square);
+  EXPECT_TRUE(interior.Satisfies({Rational(1, 2), Rational(1, 2)}));
+  EXPECT_FALSE(interior.Satisfies(V({0, 0})));
+  EXPECT_FALSE(interior.Satisfies({Rational(0), Rational(1, 2)})) ;
+}
+
+TEST(PredicatesTest, RelativeInteriorDetectsImplicitEqualities) {
+  // {x <= 0, x >= 0} is the line x = 0; its *relative* interior is itself.
+  Conjunction line = ParseConj("x <= 0 & x >= 0");
+  Conjunction interior = RelativeInterior(line);
+  EXPECT_TRUE(interior.Satisfies(V({0, 7})));
+  EXPECT_FALSE(interior.Satisfies(V({1, 0})));
+}
+
+TEST(PredicatesTest, RayInClosure) {
+  Conjunction wedge = ParseConj("y >= 0 & y <= x");
+  EXPECT_TRUE(RayInClosure(V({0, 0}), V({1, 0}), wedge));
+  EXPECT_TRUE(RayInClosure(V({0, 0}), V({1, 1}), wedge));
+  EXPECT_TRUE(RayInClosure(V({2, 1}), V({1, 0}), wedge));
+  EXPECT_FALSE(RayInClosure(V({0, 0}), V({0, 1}), wedge));
+  EXPECT_FALSE(RayInClosure(V({0, 0}), V({-1, 0}), wedge));
+  EXPECT_FALSE(RayInClosure(V({0, 1}), V({1, 0}), wedge));  // start outside
+}
+
+TEST(PredicatesTest, CubeAndBoundedness) {
+  EXPECT_EQ(MaxAbsCoordinate({V({1, -3}), V({2, 2})}), Rational(3));
+  EXPECT_EQ(MaxAbsCoordinate({}), Rational(0));
+  auto cube = CubeAtoms(2, Rational(3));
+  EXPECT_EQ(cube.size(), 4u);  // x = ±8, y = ±8
+  Conjunction square = ParseConj("x >= 0 & x <= 1 & y >= 0 & y <= 1");
+  EXPECT_TRUE(IsBoundedPolyhedron(square));
+  Conjunction halfplane = ParseConj("x >= 0");
+  EXPECT_FALSE(IsBoundedPolyhedron(halfplane));
+  // Appendix A criterion: the bounded square misses all cube facets.
+  Rational c = MaxAbsCoordinate(VerticesOf(square));
+  for (const LinearAtom& facet : CubeAtoms(2, c)) {
+    std::vector<LinearAtom> atoms = square.atoms();
+    atoms.push_back(facet);
+    EXPECT_FALSE(Conjunction(2, atoms).IsFeasible());
+  }
+  // The unbounded polyhedron meets some facet.
+  Conjunction wedge = ParseConj("y >= 0 & y <= x");
+  Rational cw = MaxAbsCoordinate(VerticesOf(wedge));
+  bool meets = false;
+  for (const LinearAtom& facet : CubeAtoms(2, cw)) {
+    std::vector<LinearAtom> atoms = wedge.atoms();
+    atoms.push_back(facet);
+    if (Conjunction(2, atoms).IsFeasible()) meets = true;
+  }
+  EXPECT_TRUE(meets);
+}
+
+TEST(PredicatesTest, InnerCubeIsOpenBox) {
+  auto icube = InnerCubeAtoms(2, Rational(0));
+  Conjunction box(2, icube);
+  EXPECT_TRUE(box.Satisfies(V({0, 0})));
+  EXPECT_TRUE(box.Satisfies(V({1, -1})));
+  EXPECT_FALSE(box.Satisfies(V({2, 0})));
+  EXPECT_FALSE(box.Satisfies(V({0, -2})));
+}
+
+}  // namespace
+}  // namespace lcdb

@@ -1,0 +1,216 @@
+// Cross-cutting integration and property tests: the generic logic
+// evaluator, the transitive-closure logics, the geometric baselines and the
+// two region decompositions must all tell one consistent story on randomly
+// generated databases.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "capture/encoding.h"
+#include "capture/turing_machine.h"
+#include "constraint/parser.h"
+#include "constraint/simplify.h"
+#include "core/evaluator.h"
+#include "core/queries.h"
+#include "db/geometric_baselines.h"
+#include "db/region_extension.h"
+#include "db/workloads.h"
+
+namespace lcdb {
+namespace {
+
+/// A random 1-D database: a union of intervals/points with small bounds.
+ConstraintDatabase RandomDb1(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> pieces(1, 4);
+  std::uniform_int_distribution<int64_t> coord(-6, 6);
+  std::uniform_int_distribution<int> kind(0, 3);
+  std::vector<Conjunction> disjuncts;
+  const int n = pieces(rng);
+  for (int i = 0; i < n; ++i) {
+    int64_t a = coord(rng), b = coord(rng);
+    if (b < a) std::swap(a, b);
+    switch (kind(rng)) {
+      case 0:  // closed interval
+        disjuncts.push_back(
+            Conjunction(1, {LinearAtom({Rational(1)}, RelOp::kGe, Rational(a)),
+                            LinearAtom({Rational(1)}, RelOp::kLe, Rational(b))}));
+        break;
+      case 1:  // open interval (may be empty)
+        disjuncts.push_back(
+            Conjunction(1, {LinearAtom({Rational(1)}, RelOp::kGt, Rational(a)),
+                            LinearAtom({Rational(1)}, RelOp::kLt, Rational(b))}));
+        break;
+      case 2:  // point
+        disjuncts.push_back(Conjunction(
+            1, {LinearAtom({Rational(1)}, RelOp::kEq, Rational(a))}));
+        break;
+      default:  // half-open
+        disjuncts.push_back(
+            Conjunction(1, {LinearAtom({Rational(1)}, RelOp::kGe, Rational(a)),
+                            LinearAtom({Rational(1)}, RelOp::kLt,
+                                       Rational(b + 1))}));
+        break;
+    }
+  }
+  return ConstraintDatabase("S", DnfFormula(1, std::move(disjuncts)), {"x"});
+}
+
+class RandomDbTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomDbTest, ConnectivityConsensus) {
+  // LFP connectivity == TC connectivity == union-find baseline, on both the
+  // literal and region forms, over the arrangement extension.
+  ConstraintDatabase db = RandomDb1(GetParam());
+  auto ext = MakeArrangementExtension(db);
+  const bool baseline = SpatialConnectivityBaseline(*ext);
+  auto lfp = EvaluateSentenceText(*ext, RegionConnQueryText());
+  auto tc = EvaluateSentenceText(*ext, RegionConnTcQueryText(false));
+  auto literal = EvaluateSentenceText(*ext, ConnQueryText(1));
+  ASSERT_TRUE(lfp.ok() && tc.ok() && literal.ok());
+  EXPECT_EQ(*lfp, baseline) << db.ToString();
+  EXPECT_EQ(*tc, baseline) << db.ToString();
+  EXPECT_EQ(*literal, baseline) << db.ToString();
+}
+
+TEST_P(RandomDbTest, ProjectionAnswersMatchPinnedEmptiness) {
+  // The symbolic answer of `exists y (S(x+y...))`-style queries agrees with
+  // direct LP-decided membership for sampled x.
+  ConstraintDatabase db = RandomDb1(GetParam() * 31 + 5);
+  auto ext = MakeArrangementExtension(db);
+  auto shifted = EvaluateQueryText(*ext, "exists y . (S(y) & x = y + 2)");
+  ASSERT_TRUE(shifted.ok());
+  for (int64_t num = -16; num <= 16; ++num) {
+    Rational x(num, 2);
+    const bool expected = db.Contains({x - Rational(2)});
+    EXPECT_EQ(shifted->formula.Satisfies({x}), expected)
+        << "x=" << x.ToString() << " db=" << db.ToString();
+  }
+}
+
+TEST_P(RandomDbTest, RegionsClassifyMembership) {
+  // Arrangement faces are homogeneous: sampled points agree with the
+  // in-S flag of their face; decomposition regions in S are subsets of S.
+  ConstraintDatabase db = RandomDb1(GetParam() * 7 + 1);
+  auto arr = MakeArrangementExtension(db);
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int64_t> num(-20, 20);
+  for (int i = 0; i < 50; ++i) {
+    Vec p = {Rational(num(rng), 3)};
+    bool in_some_in_s_region = false;
+    for (size_t r = 0; r < arr->num_regions(); ++r) {
+      if (arr->ContainsPoint(r, p)) {
+        EXPECT_EQ(arr->RegionSubsetOfS(r), db.Contains(p));
+        in_some_in_s_region |= arr->RegionSubsetOfS(r);
+      }
+    }
+    EXPECT_EQ(in_some_in_s_region, db.Contains(p));
+  }
+}
+
+TEST_P(RandomDbTest, CaptureAgreesOnRandomDatabases) {
+  ConstraintDatabase db = RandomDb1(GetParam() * 13 + 3);
+  auto ext = MakeArrangementExtension(db);
+  auto direct = EvaluateSentenceText(*ext, "exists x . S(x)");
+  ASSERT_TRUE(direct.ok());
+  auto run = TuringMachine::SNonEmptyChecker().Run(EncodeDatabase(*ext));
+  ASSERT_TRUE(run.halted);
+  EXPECT_EQ(run.accepted, *direct) << db.ToString();
+}
+
+TEST_P(RandomDbTest, LfpIfpAgreeOnPositiveBodies) {
+  ConstraintDatabase db = RandomDb1(GetParam() * 17 + 11);
+  auto ext = MakeArrangementExtension(db);
+  const std::string lfp = RegionConnQueryText();
+  std::string ifp = lfp;
+  ifp.replace(ifp.find("[lfp"), 4, "[ifp");
+  std::string pfp = lfp;
+  pfp.replace(pfp.find("[lfp"), 4, "[pfp");
+  auto a = EvaluateSentenceText(*ext, lfp);
+  auto b = EvaluateSentenceText(*ext, ifp);
+  // PFP of a monotone body also converges to the same set.
+  auto c = EvaluateSentenceText(*ext, pfp);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(*a, *c);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDbTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(ExtensionConsensusTest, ArrangementAndDecompositionAgree) {
+  // Connectivity verdicts agree between the Section 3 and Section 7
+  // decompositions on closed databases (where decomposition regions are
+  // all inside S).
+  struct Case {
+    const char* formula;
+    bool connected;
+  };
+  const Case cases[] = {
+      {"x >= 0 & x <= 1 & y >= 0 & y <= 1", true},
+      {"(x >= 0 & x <= 1 & y >= 0 & y <= 1) | "
+       "(x >= 2 & x <= 3 & y >= 0 & y <= 1)",
+       false},
+      {"(x >= 0 & x <= 1 & y >= 0 & y <= 1) | "
+       "(x >= 1 & x <= 2 & y >= 0 & y <= 1)",
+       true},
+  };
+  for (const Case& c : cases) {
+    auto f = ParseDnf(c.formula, {"x", "y"});
+    ASSERT_TRUE(f.ok());
+    ConstraintDatabase db("S", *f, {"x", "y"});
+    for (auto make : {MakeArrangementExtension, MakeDecompositionExtension}) {
+      auto ext = make(db);
+      auto conn = EvaluateSentenceText(*ext, RegionConnQueryText());
+      ASSERT_TRUE(conn.ok()) << c.formula;
+      EXPECT_EQ(*conn, c.connected) << c.formula << " on " << ext->kind();
+    }
+  }
+}
+
+TEST(ClosureTest, AnswersAreClosedUnderFurtherQuerying) {
+  // Section 2's closure: a query answer is itself a valid representation —
+  // feed it back in as a database and query again.
+  ConstraintDatabase db = MakeComb(2, /*connected=*/false);
+  auto ext = MakeArrangementExtension(db);
+  auto shadow = EvaluateQueryText(*ext, "exists y . S(x, y)");
+  ASSERT_TRUE(shadow.ok());
+  ConstraintDatabase db2("S", shadow->formula, {"x"});
+  auto ext2 = MakeArrangementExtension(db2);
+  // The shadow of a 2-teeth comb is two disjoint intervals.
+  auto conn = EvaluateSentenceText(*ext2, RegionConnQueryText());
+  ASSERT_TRUE(conn.ok());
+  EXPECT_FALSE(*conn);
+  auto count = EvaluateSentenceText(
+      *ext2, "exists x . (S(x) & x > 1 & x < 2)");
+  ASSERT_TRUE(count.ok());
+  EXPECT_FALSE(*count);  // the gap between the teeth
+}
+
+TEST(ReachabilityConsensusTest, PointwiseReachability) {
+  ConstraintDatabase db = MakeComb(2, /*connected=*/false);
+  auto ext = MakeArrangementExtension(db);
+  Vec a = {Rational(1, 2), Rational(1, 2)};
+  Vec b = {Rational(1, 2), Rational(3, 2)};
+  Vec c = {Rational(5, 2), Rational(1, 2)};
+  EXPECT_TRUE(RegionReachabilityBaseline(*ext, a, b));
+  EXPECT_FALSE(RegionReachabilityBaseline(*ext, a, c));
+  // Same via the logic: points pinned with in(...) atoms.
+  auto reach = [&](const Vec& from, const Vec& to) {
+    std::string q =
+        "exists Rx Ry . (in(" + from[0].ToString() + ", " +
+        from[1].ToString() + "; Rx) & in(" + to[0].ToString() + ", " +
+        to[1].ToString() +
+        "; Ry) & [lfp M R R' : (R = R' & subset(R)) | (exists Z . (M(R, Z) & "
+        "adj(Z, R') & subset(R')))](Rx, Ry))";
+    auto r = EvaluateSentenceText(*ext, q);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() && *r;
+  };
+  EXPECT_TRUE(reach(a, b));
+  EXPECT_FALSE(reach(a, c));
+}
+
+}  // namespace
+}  // namespace lcdb

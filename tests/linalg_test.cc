@@ -1,0 +1,197 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "linalg/gauss.h"
+#include "linalg/matrix.h"
+
+namespace lcdb {
+namespace {
+
+Vec V(std::initializer_list<int64_t> values) {
+  Vec out;
+  for (int64_t v : values) out.emplace_back(v);
+  return out;
+}
+
+TEST(VecTest, Arithmetic) {
+  Vec a = V({1, 2, 3});
+  Vec b = V({4, 5, 6});
+  EXPECT_EQ(VecAdd(a, b), V({5, 7, 9}));
+  EXPECT_EQ(VecSub(b, a), V({3, 3, 3}));
+  EXPECT_EQ(VecScale(Rational(2), a), V({2, 4, 6}));
+  EXPECT_EQ(Dot(a, b), Rational(32));
+  EXPECT_TRUE(VecIsZero(V({0, 0})));
+  EXPECT_FALSE(VecIsZero(V({0, 1})));
+  EXPECT_EQ(VecToString(a), "(1, 2, 3)");
+}
+
+TEST(VecTest, LexCompare) {
+  EXPECT_LT(VecLexCompare(V({1, 2}), V({1, 3})), 0);
+  EXPECT_LT(VecLexCompare(V({0, 9}), V({1, 0})), 0);
+  EXPECT_EQ(VecLexCompare(V({1, 2}), V({1, 2})), 0);
+  EXPECT_GT(VecLexCompare(V({2, 0}), V({1, 9})), 0);
+}
+
+TEST(GaussTest, UniqueSolution2x2) {
+  // x + y = 3, x - y = 1  =>  x = 2, y = 1.
+  Matrix a;
+  a.AppendRow(V({1, 1}));
+  a.AppendRow(V({1, -1}));
+  SolveResult r = SolveLinearSystem(a, V({3, 1}));
+  ASSERT_EQ(r.outcome, SolveOutcome::kUnique);
+  EXPECT_EQ(r.solution, V({2, 1}));
+}
+
+TEST(GaussTest, RationalSolution) {
+  // 2x + 3y = 1, 4x + 9y = 2 => x = 1/2, y = 0.
+  Matrix a;
+  a.AppendRow(V({2, 3}));
+  a.AppendRow(V({4, 9}));
+  SolveResult r = SolveLinearSystem(a, V({1, 2}));
+  ASSERT_EQ(r.outcome, SolveOutcome::kUnique);
+  EXPECT_EQ(r.solution[0], Rational(1, 2));
+  EXPECT_EQ(r.solution[1], Rational(0));
+}
+
+TEST(GaussTest, InconsistentSystem) {
+  Matrix a;
+  a.AppendRow(V({1, 1}));
+  a.AppendRow(V({2, 2}));
+  SolveResult r = SolveLinearSystem(a, V({1, 3}));
+  EXPECT_EQ(r.outcome, SolveOutcome::kInconsistent);
+}
+
+TEST(GaussTest, UnderdeterminedSystem) {
+  Matrix a;
+  a.AppendRow(V({1, 1}));
+  SolveResult r = SolveLinearSystem(a, V({1}));
+  EXPECT_EQ(r.outcome, SolveOutcome::kUnderdetermined);
+}
+
+TEST(GaussTest, RedundantRowsStillUnique) {
+  Matrix a;
+  a.AppendRow(V({1, 0}));
+  a.AppendRow(V({0, 1}));
+  a.AppendRow(V({1, 1}));
+  SolveResult r = SolveLinearSystem(a, V({2, 3, 5}));
+  ASSERT_EQ(r.outcome, SolveOutcome::kUnique);
+  EXPECT_EQ(r.solution, V({2, 3}));
+}
+
+TEST(GaussTest, Rank) {
+  Matrix a;
+  a.AppendRow(V({1, 2, 3}));
+  a.AppendRow(V({2, 4, 6}));
+  a.AppendRow(V({1, 0, 1}));
+  EXPECT_EQ(Rank(a), 2u);
+  Matrix zero(3, 3);
+  EXPECT_EQ(Rank(zero), 0u);
+  Matrix id;
+  id.AppendRow(V({1, 0}));
+  id.AppendRow(V({0, 1}));
+  EXPECT_EQ(Rank(id), 2u);
+}
+
+TEST(GaussTest, Determinant) {
+  Matrix a;
+  a.AppendRow(V({1, 2}));
+  a.AppendRow(V({3, 4}));
+  EXPECT_EQ(Determinant(a), Rational(-2));
+  Matrix singular;
+  singular.AppendRow(V({1, 2}));
+  singular.AppendRow(V({2, 4}));
+  EXPECT_EQ(Determinant(singular), Rational(0));
+  Matrix perm;
+  perm.AppendRow(V({0, 1}));
+  perm.AppendRow(V({1, 0}));
+  EXPECT_EQ(Determinant(perm), Rational(-1));
+}
+
+TEST(GaussTest, NullSpace) {
+  Matrix a;
+  a.AppendRow(V({1, 1, 0}));
+  std::vector<Vec> basis = NullSpaceBasis(a);
+  ASSERT_EQ(basis.size(), 2u);
+  for (const Vec& v : basis) {
+    EXPECT_EQ(Dot(V({1, 1, 0}), v), Rational(0));
+  }
+  Matrix full;
+  full.AppendRow(V({1, 0}));
+  full.AppendRow(V({0, 1}));
+  EXPECT_TRUE(NullSpaceBasis(full).empty());
+}
+
+TEST(GaussTest, AffineDimension) {
+  EXPECT_EQ(AffineDimension({}), -1);
+  EXPECT_EQ(AffineDimension({V({1, 2})}), 0);
+  EXPECT_EQ(AffineDimension({V({0, 0}), V({1, 1})}), 1);
+  EXPECT_EQ(AffineDimension({V({0, 0}), V({1, 1}), V({2, 2})}), 1);
+  EXPECT_EQ(AffineDimension({V({0, 0}), V({1, 0}), V({0, 1})}), 2);
+  EXPECT_EQ(AffineDimension({V({0, 0, 0}), V({1, 0, 0}), V({0, 1, 0}),
+                             V({0, 0, 1})}),
+            3);
+}
+
+class GaussPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(GaussPropertyTest, SolveThenVerify) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int64_t> entry(-9, 9);
+  for (int iter = 0; iter < 25; ++iter) {
+    const size_t n = 1 + static_cast<size_t>(iter % 4);
+    Matrix a;
+    Vec x_true(n);
+    for (size_t i = 0; i < n; ++i) x_true[i] = Rational(entry(rng), 1 + (iter % 3));
+    for (size_t r = 0; r < n; ++r) {
+      Vec row(n);
+      for (size_t c = 0; c < n; ++c) row[c] = Rational(entry(rng));
+      a.AppendRow(row);
+    }
+    Vec b(n);
+    for (size_t r = 0; r < n; ++r) {
+      Vec row(n);
+      for (size_t c = 0; c < n; ++c) row[c] = a.at(r, c);
+      b[r] = Dot(row, x_true);
+    }
+    SolveResult res = SolveLinearSystem(a, b);
+    if (res.outcome == SolveOutcome::kUnique) {
+      EXPECT_EQ(res.solution, x_true);
+      EXPECT_NE(Determinant(a), Rational(0));
+    } else {
+      // The matrix must be singular for a square consistent system.
+      EXPECT_EQ(Determinant(a), Rational(0));
+      EXPECT_EQ(res.outcome, SolveOutcome::kUnderdetermined);
+    }
+  }
+}
+
+TEST_P(GaussPropertyTest, NullSpaceVectorsAnnihilate) {
+  std::mt19937_64 rng(GetParam() * 31 + 7);
+  std::uniform_int_distribution<int64_t> entry(-5, 5);
+  for (int iter = 0; iter < 20; ++iter) {
+    const size_t rows = 1 + (iter % 3);
+    const size_t cols = 2 + (iter % 4);
+    Matrix a;
+    for (size_t r = 0; r < rows; ++r) {
+      Vec row(cols);
+      for (size_t c = 0; c < cols; ++c) row[c] = Rational(entry(rng));
+      a.AppendRow(row);
+    }
+    std::vector<Vec> basis = NullSpaceBasis(a);
+    EXPECT_EQ(basis.size(), cols - Rank(a));
+    for (const Vec& v : basis) {
+      for (size_t r = 0; r < rows; ++r) {
+        Vec row(cols);
+        for (size_t c = 0; c < cols; ++c) row[c] = a.at(r, c);
+        EXPECT_EQ(Dot(row, v), Rational(0));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GaussPropertyTest,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+}  // namespace
+}  // namespace lcdb

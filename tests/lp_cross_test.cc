@@ -1,0 +1,110 @@
+// Cross-validation of the exact LP oracle against an independent decision
+// procedure: Fourier–Motzkin elimination of *all* variables reduces a
+// linear system to a variable-free formula whose truth is decidable by
+// constant folding. Both engines are exact, so they must agree everywhere.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "lp/feasibility.h"
+#include "qe/fourier_motzkin.h"
+
+namespace lcdb {
+namespace {
+
+/// Decides feasibility by full Fourier-Motzkin elimination (no LP).
+bool FeasibleByFourierMotzkin(size_t num_vars,
+                              const std::vector<LinearConstraint>& system) {
+  std::vector<LinearAtom> atoms;
+  for (const LinearConstraint& c : system) {
+    atoms.emplace_back(c.coeffs, c.rel, c.rhs);
+  }
+  DnfFormula f(num_vars, {Conjunction(num_vars, std::move(atoms))});
+  // Note: Conjunction normalization only folds *constant* atoms; all
+  // variable atoms survive to elimination.
+  std::vector<size_t> all;
+  for (size_t v = 0; v < num_vars; ++v) all.push_back(v);
+  DnfFormula eliminated = ExistsVariables(f, std::move(all));
+  return !eliminated.IsSyntacticallyFalse();
+}
+
+class LpCrossValidation : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(LpCrossValidation, FeasibilityAgreesWithFourierMotzkin) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int64_t> coeff(-4, 4);
+  std::uniform_int_distribution<int> rel_pick(0, 4);
+  std::uniform_int_distribution<size_t> nvars(1, 3);
+  std::uniform_int_distribution<size_t> nrows(1, 6);
+  const RelOp rels[] = {RelOp::kLt, RelOp::kLe, RelOp::kEq, RelOp::kGe,
+                        RelOp::kGt};
+  size_t feasible = 0, infeasible = 0;
+  for (int iter = 0; iter < 120; ++iter) {
+    const size_t n = nvars(rng);
+    const size_t m = nrows(rng);
+    std::vector<LinearConstraint> system;
+    for (size_t r = 0; r < m; ++r) {
+      Vec c(n);
+      for (size_t j = 0; j < n; ++j) c[j] = Rational(coeff(rng));
+      system.emplace_back(std::move(c), rels[rel_pick(rng)],
+                          Rational(coeff(rng)));
+    }
+    const FeasibilityResult lp = CheckFeasibility(n, system);
+    const bool fm = FeasibleByFourierMotzkin(n, system);
+    ASSERT_EQ(lp.feasible, fm) << "seed=" << GetParam() << " iter=" << iter;
+    if (lp.feasible) {
+      ++feasible;
+      for (const LinearConstraint& c : system) {
+        EXPECT_TRUE(c.Satisfies(lp.witness));
+      }
+    } else {
+      ++infeasible;
+    }
+  }
+  // Both outcomes must actually occur for the test to mean anything.
+  EXPECT_GT(feasible, 10u);
+  EXPECT_GT(infeasible, 10u);
+}
+
+TEST_P(LpCrossValidation, OptimumIsTightAgainstTheSystem) {
+  std::mt19937_64 rng(GetParam() * 97 + 3);
+  std::uniform_int_distribution<int64_t> coeff(-3, 3);
+  for (int iter = 0; iter < 40; ++iter) {
+    const size_t n = 2;
+    // A random box guarantees boundedness.
+    std::vector<LinearConstraint> system = {
+        {{Rational(1), Rational(0)}, RelOp::kLe, Rational(5)},
+        {{Rational(1), Rational(0)}, RelOp::kGe, Rational(-5)},
+        {{Rational(0), Rational(1)}, RelOp::kLe, Rational(5)},
+        {{Rational(0), Rational(1)}, RelOp::kGe, Rational(-5)},
+    };
+    // Plus a couple of random cuts (may make it infeasible).
+    for (int extra = 0; extra < 2; ++extra) {
+      Vec c = {Rational(coeff(rng)), Rational(coeff(rng))};
+      system.push_back({std::move(c), RelOp::kLe, Rational(coeff(rng))});
+    }
+    Vec objective = {Rational(coeff(rng)), Rational(coeff(rng))};
+    LpResult r = MaximizeLp(n, system, objective);
+    if (r.status == LpStatus::kInfeasible) {
+      EXPECT_FALSE(CheckFeasibility(n, system).feasible);
+      continue;
+    }
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    // (a) The optimum is attained.
+    EXPECT_EQ(Dot(objective, r.solution), r.objective);
+    for (const LinearConstraint& c : system) {
+      EXPECT_TRUE(c.Satisfies(r.solution));
+    }
+    // (b) Nothing beats it: system ∧ (obj > v) must be infeasible.
+    std::vector<LinearConstraint> better = system;
+    better.push_back({objective, RelOp::kGt, r.objective});
+    EXPECT_FALSE(CheckFeasibility(n, better).feasible);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpCrossValidation,
+                         ::testing::Values(101u, 211u, 307u, 401u, 503u));
+
+}  // namespace
+}  // namespace lcdb

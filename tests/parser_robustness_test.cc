@@ -1,0 +1,126 @@
+// Robustness of the two text parsers: malformed, truncated and shuffled
+// inputs must produce ParseError statuses — never crashes — and valid
+// inputs survive mutation-based round trips.
+
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "constraint/parser.h"
+#include "core/parser.h"
+#include "db/io.h"
+
+namespace lcdb {
+namespace {
+
+const std::vector<std::string> kXY = {"x", "y"};
+
+TEST(ParserRobustnessTest, TruncationsNeverCrash) {
+  const std::string query =
+      "forall x1 x2 y1 y2 . (S(x1, x2) & S(y1, y2) -> exists Rx Ry . ("
+      "in(x1, x2; Rx) & in(y1, y2; Ry) & [lfp M R R' : (R = R' & subset(R)) "
+      "| (exists Z . (M(R, Z) & adj(Z, R') & subset(R')))](Rx, Ry)))";
+  for (size_t cut = 0; cut <= query.size(); ++cut) {
+    auto r = ParseQuery(query.substr(0, cut), "S");
+    if (cut == query.size()) {
+      EXPECT_TRUE(r.ok());
+    }
+    // Every prefix either parses or reports a ParseError; no other outcome.
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kParseError) << cut;
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, RandomCharacterMutationsNeverCrash) {
+  const std::string base = "(x >= 0 & y >= 0 & x + y <= 4) | x = y";
+  const char kNoise[] = "()[]<>=!&|+-*/;:,.xyzRS0123456789 ";
+  std::mt19937_64 rng(321);
+  std::uniform_int_distribution<size_t> pos(0, base.size() - 1);
+  std::uniform_int_distribution<size_t> noise(0, sizeof(kNoise) - 2);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string mutated = base;
+    for (int hits = 0; hits < 3; ++hits) {
+      mutated[pos(rng)] = kNoise[noise(rng)];
+    }
+    auto formula = ParseDnf(mutated, kXY);
+    auto query = ParseQuery(mutated, "S");
+    if (!formula.ok()) {
+      EXPECT_EQ(formula.status().code(), StatusCode::kParseError);
+    }
+    // Queries that parse must also print and reparse.
+    if (query.ok()) {
+      auto again = ParseQuery((*query)->ToString(), "S");
+      EXPECT_TRUE(again.ok()) << mutated << " => " << (*query)->ToString();
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, RandomTokenSoupNeverCrashes) {
+  const char* kTokens[] = {"exists", "forall", "lfp",  "[",  "]", "(", ")",
+                           "x",      "R",      "M",    "&",  "|", "!", "<",
+                           "=",      "+",      "1",    "/",  ";", ":", ".",
+                           "in",     "adj",    "hull", "tc", ","};
+  std::mt19937_64 rng(654);
+  std::uniform_int_distribution<size_t> pick(0, std::size(kTokens) - 1);
+  std::uniform_int_distribution<int> len(1, 25);
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string soup;
+    const int n = len(rng);
+    for (int i = 0; i < n; ++i) {
+      soup += kTokens[pick(rng)];
+      soup += " ";
+    }
+    auto r = ParseQuery(soup, "S");
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kParseError) << soup;
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, DatabaseFilesMalformed) {
+  const char* kBad[] = {
+      "relation S(x)\nformula x < ",
+      "relation S(x\nformula x < 1",
+      "relation (x)\nformula x < 1",
+      "relation S()\nformula x < 1",
+      "relation S(x) extra\nformula x < 1",
+      "formula x < 1\nrelation S(x)",
+      "relation S(x)\nrelation T(y)\nformula x < 1",
+  };
+  for (const char* text : kBad) {
+    auto r = LoadDatabaseFromString(text);
+    EXPECT_FALSE(r.ok()) << text;
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError) << text;
+  }
+  // The duplicate-relation case: last header wins or error — either way no
+  // crash; currently the second header replaces... verify defined error.
+}
+
+TEST(ParserRobustnessTest, DeeplyNestedParensParse) {
+  std::string deep = "x < 1";
+  for (int i = 0; i < 200; ++i) deep = "(" + deep + ")";
+  auto f = ParseDnf(deep, kXY);
+  ASSERT_TRUE(f.ok());
+  auto q = ParseQuery(deep, "S");
+  EXPECT_TRUE(q.ok());
+  std::string unbalanced = "(" + deep;
+  EXPECT_FALSE(ParseDnf(unbalanced, kXY).ok());
+  EXPECT_FALSE(ParseQuery(unbalanced, "S").ok());
+}
+
+TEST(ParserRobustnessTest, HugeNumbersParseExactly) {
+  const std::string big =
+      "x <= 123456789012345678901234567890123456789/"
+      "98765432109876543210987654321";
+  auto f = ParseDnf(big, kXY);
+  ASSERT_TRUE(f.ok());
+  // Exactness: the atom survives the round trip unchanged semantically.
+  auto again = ParseDnf(f->ToString(kXY), kXY);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(f->ToString(kXY), again->ToString(kXY));
+}
+
+}  // namespace
+}  // namespace lcdb

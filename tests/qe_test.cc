@@ -1,0 +1,180 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "constraint/parser.h"
+#include "constraint/simplify.h"
+#include "qe/fourier_motzkin.h"
+
+namespace lcdb {
+namespace {
+
+const std::vector<std::string> kXY = {"x", "y"};
+const std::vector<std::string> kXYZ = {"x", "y", "z"};
+
+DnfFormula Parse(const std::string& text,
+                 const std::vector<std::string>& vars) {
+  auto r = ParseDnf(text, vars);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : DnfFormula::False(vars.size());
+}
+
+Vec V(std::initializer_list<int64_t> values) {
+  Vec out;
+  for (int64_t v : values) out.emplace_back(v);
+  return out;
+}
+
+TEST(FourierMotzkinTest, ProjectBandOntoAxis) {
+  // exists y (x <= y & y <= 1)  ==  x <= 1.
+  DnfFormula f = Parse("x <= y & y <= 1", kXY);
+  DnfFormula proj = ExistsVariable(f, 1);
+  EXPECT_FALSE(VariableOccurs(proj, 1));
+  EXPECT_TRUE(AreEquivalent(proj, Parse("x <= 1", kXY)));
+}
+
+TEST(FourierMotzkinTest, StrictnessPropagates) {
+  // exists y (x < y & y <= 1)  ==  x < 1.
+  DnfFormula f = Parse("x < y & y <= 1", kXY);
+  DnfFormula proj = ExistsVariable(f, 1);
+  EXPECT_TRUE(AreEquivalent(proj, Parse("x < 1", kXY)));
+  // exists y (x <= y & y <= 1) keeps <=.
+  DnfFormula g = Parse("x <= y & y <= 1", kXY);
+  EXPECT_TRUE(AreEquivalent(ExistsVariable(g, 1), Parse("x <= 1", kXY)));
+}
+
+TEST(FourierMotzkinTest, UnboundedVariableVanishes) {
+  // exists y (y >= x): always true.
+  DnfFormula f = Parse("y >= x", kXY);
+  EXPECT_TRUE(AreEquivalent(ExistsVariable(f, 1), DnfFormula::True(2)));
+}
+
+TEST(FourierMotzkinTest, EqualitySubstitution) {
+  // exists y (y = x + 1 & y <= 3)  ==  x <= 2.
+  DnfFormula f = Parse("y = x + 1 & y <= 3", kXY);
+  EXPECT_TRUE(AreEquivalent(ExistsVariable(f, 1), Parse("x <= 2", kXY)));
+}
+
+TEST(FourierMotzkinTest, TwoEqualities) {
+  // exists y (y = x & y = 1)  ==  x = 1.
+  DnfFormula f = Parse("y = x & y = 1", kXY);
+  EXPECT_TRUE(AreEquivalent(ExistsVariable(f, 1), Parse("x = 1", kXY)));
+}
+
+TEST(FourierMotzkinTest, EmptyProjection) {
+  // exists y (y < x & y > x) is empty.
+  DnfFormula f = Parse("y < x & y > x", kXY);
+  EXPECT_TRUE(ExistsVariable(f, 1).IsEmpty());
+}
+
+TEST(FourierMotzkinTest, ProjectTriangle) {
+  // Triangle 0 <= y <= x <= 1 projects to [0,1] on x.
+  DnfFormula f = Parse("y >= 0 & y <= x & x <= 1", kXY);
+  DnfFormula proj = ExistsVariable(f, 1);
+  EXPECT_TRUE(AreEquivalent(proj, Parse("x >= 0 & x <= 1", kXY)));
+}
+
+TEST(FourierMotzkinTest, DisjunctionProjectsPerDisjunct) {
+  DnfFormula f = Parse("(y = x & x < 0) | (y = -x & x > 2)", kXY);
+  DnfFormula proj = ExistsVariable(f, 1);
+  EXPECT_TRUE(AreEquivalent(proj, Parse("x < 0 | x > 2", kXY)));
+}
+
+TEST(FourierMotzkinTest, ForallViaDuality) {
+  // forall y (y > x | y < x) is false (y = x escapes); forall y (y >= x)
+  // is false; forall y (x <= 1) is x <= 1.
+  DnfFormula f = Parse("x <= 1", kXY);
+  EXPECT_TRUE(AreEquivalent(ForallVariable(f, 1), f));
+  DnfFormula g = Parse("y >= x", kXY);
+  EXPECT_TRUE(ForallVariable(g, 1).IsEmpty());
+  DnfFormula h = Parse("y > x | y < x | y = x", kXY);
+  EXPECT_TRUE(AreEquivalent(ForallVariable(h, 1), DnfFormula::True(2)));
+}
+
+TEST(FourierMotzkinTest, MultiVariableElimination) {
+  // exists y exists z (x = y + z & 0 <= y & y <= 1 & 0 <= z & z <= 1)
+  //   ==  0 <= x <= 2.
+  DnfFormula f =
+      Parse("x = y + z & 0 <= y & y <= 1 & 0 <= z & z <= 1", kXYZ);
+  DnfFormula proj = ExistsVariables(f, {1, 2});
+  EXPECT_FALSE(VariableOccurs(proj, 1));
+  EXPECT_FALSE(VariableOccurs(proj, 2));
+  EXPECT_TRUE(AreEquivalent(proj, Parse("x >= 0 & x <= 2", kXYZ)));
+}
+
+TEST(FourierMotzkinTest, DropVariableReindexes) {
+  DnfFormula f = Parse("x <= 1 & z >= 0", kXYZ);
+  DnfFormula dropped = DropVariable(f, 1);  // remove unused y
+  EXPECT_EQ(dropped.num_vars(), 2u);
+  EXPECT_TRUE(dropped.Satisfies(V({0, 1})));
+  EXPECT_FALSE(dropped.Satisfies(V({2, 1})));
+  EXPECT_FALSE(dropped.Satisfies(V({0, -1})));
+}
+
+// Definable-set sanity: the projection of a definable set is definable and
+// sampling agrees with a brute-force scan over candidate witnesses.
+class QePropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(QePropertyTest, ProjectionAgreesWithWitnessSearch) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int64_t> coeff(-3, 3);
+  std::uniform_int_distribution<int> rel_pick(0, 4);
+  std::uniform_int_distribution<int> natoms(1, 4);
+  const RelOp rels[] = {RelOp::kLt, RelOp::kLe, RelOp::kEq, RelOp::kGe,
+                        RelOp::kGt};
+  for (int iter = 0; iter < 25; ++iter) {
+    // Random conjunction over (x, y).
+    std::vector<LinearAtom> atoms;
+    const int m = natoms(rng);
+    for (int i = 0; i < m; ++i) {
+      Vec c = {Rational(coeff(rng)), Rational(coeff(rng))};
+      atoms.emplace_back(c, rels[rel_pick(rng)], Rational(coeff(rng)));
+    }
+    DnfFormula f(2, {Conjunction(2, std::move(atoms))});
+    DnfFormula proj = ExistsVariable(f, 1);
+    ASSERT_FALSE(VariableOccurs(proj, 1));
+    // For sample x values, "exists y" decided via LP on f with x pinned.
+    for (int64_t num = -6; num <= 6; ++num) {
+      Rational x(num, 2);
+      // Pin x in f and check emptiness.
+      std::vector<AffineExpr> pin = {AffineExpr::Constant(2, x),
+                                     AffineExpr::Variable(2, 1)};
+      DnfFormula pinned = f.Substitute(pin, 2);
+      const bool has_witness = !pinned.IsEmpty();
+      Vec probe = {x, Rational(0)};
+      EXPECT_EQ(proj.Satisfies(probe), has_witness)
+          << "x=" << x.ToString() << " f=" << f.ToString(kXY)
+          << " proj=" << proj.ToString(kXY);
+    }
+  }
+}
+
+TEST_P(QePropertyTest, ExistsForallDuality) {
+  std::mt19937_64 rng(GetParam() * 101 + 7);
+  std::uniform_int_distribution<int64_t> coeff(-2, 2);
+  std::uniform_int_distribution<int> rel_pick(0, 4);
+  const RelOp rels[] = {RelOp::kLt, RelOp::kLe, RelOp::kEq, RelOp::kGe,
+                        RelOp::kGt};
+  for (int iter = 0; iter < 10; ++iter) {
+    std::vector<Conjunction> disjuncts;
+    for (int dj = 0; dj < 2; ++dj) {
+      std::vector<LinearAtom> atoms;
+      for (int i = 0; i < 2; ++i) {
+        Vec c = {Rational(coeff(rng)), Rational(coeff(rng))};
+        atoms.emplace_back(c, rels[rel_pick(rng)], Rational(coeff(rng)));
+      }
+      disjuncts.emplace_back(2, std::move(atoms));
+    }
+    DnfFormula f(2, std::move(disjuncts));
+    // forall y f == !(exists y !f), checked semantically.
+    DnfFormula lhs = ForallVariable(f, 1);
+    DnfFormula rhs = ExistsVariable(f.Negate(), 1).Negate();
+    EXPECT_TRUE(AreEquivalent(lhs, rhs)) << f.ToString(kXY);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QePropertyTest,
+                         ::testing::Values(19u, 23u, 29u, 31u));
+
+}  // namespace
+}  // namespace lcdb

@@ -1,0 +1,122 @@
+#include "arith/rational.h"
+
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lcdb {
+namespace {
+
+TEST(RationalTest, NormalizationReducesAndFixesSign) {
+  EXPECT_EQ(Rational(2, 4).ToString(), "1/2");
+  EXPECT_EQ(Rational(-2, 4).ToString(), "-1/2");
+  EXPECT_EQ(Rational(2, -4).ToString(), "-1/2");
+  EXPECT_EQ(Rational(-2, -4).ToString(), "1/2");
+  EXPECT_EQ(Rational(0, 7).ToString(), "0");
+  EXPECT_EQ(Rational(0, -7).den().ToInt64(), 1);
+  EXPECT_EQ(Rational(6, 3).ToString(), "2");
+  EXPECT_TRUE(Rational(6, 3).IsInteger());
+  EXPECT_FALSE(Rational(1, 3).IsInteger());
+}
+
+TEST(RationalTest, FromString) {
+  EXPECT_EQ(Rational::FromString("3/4").value(), Rational(3, 4));
+  EXPECT_EQ(Rational::FromString("-3/4").value(), Rational(-3, 4));
+  EXPECT_EQ(Rational::FromString("3/-4").value(), Rational(-3, 4));
+  EXPECT_EQ(Rational::FromString(" 7 ").value(), Rational(7));
+  EXPECT_EQ(Rational::FromString("10/5").value(), Rational(2));
+  EXPECT_FALSE(Rational::FromString("1/0").ok());
+  EXPECT_FALSE(Rational::FromString("").ok());
+  EXPECT_FALSE(Rational::FromString("a/b").ok());
+}
+
+TEST(RationalTest, ArithmeticBasics) {
+  Rational half(1, 2), third(1, 3);
+  EXPECT_EQ(half + third, Rational(5, 6));
+  EXPECT_EQ(half - third, Rational(1, 6));
+  EXPECT_EQ(half * third, Rational(1, 6));
+  EXPECT_EQ(half / third, Rational(3, 2));
+  EXPECT_EQ(-half, Rational(-1, 2));
+  EXPECT_EQ(half.Abs(), half);
+  EXPECT_EQ((-half).Abs(), half);
+}
+
+TEST(RationalTest, ComparisonCrossMultiplies) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LT(Rational(-1, 2), Rational(0));
+  EXPECT_LT(Rational(2, 7), Rational(3, 10));  // 20/70 < 21/70
+  EXPECT_FALSE(Rational(1, 2) < Rational(1, 2));
+}
+
+TEST(RationalTest, Midpoint) {
+  EXPECT_EQ(Rational::Midpoint(Rational(0), Rational(1)), Rational(1, 2));
+  EXPECT_EQ(Rational::Midpoint(Rational(1, 3), Rational(2, 3)), Rational(1, 2));
+  Rational m = Rational::Midpoint(Rational(1, 7), Rational(1, 5));
+  EXPECT_LT(Rational(1, 7), m);
+  EXPECT_LT(m, Rational(1, 5));
+}
+
+TEST(RationalTest, SignAndZero) {
+  EXPECT_EQ(Rational(3, 4).Sign(), 1);
+  EXPECT_EQ(Rational(-3, 4).Sign(), -1);
+  EXPECT_EQ(Rational().Sign(), 0);
+  EXPECT_TRUE(Rational().IsZero());
+}
+
+class RationalPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(RationalPropertyTest, FieldAxioms) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int64_t> num(-1000, 1000);
+  std::uniform_int_distribution<int64_t> den(1, 1000);
+  for (int iter = 0; iter < 60; ++iter) {
+    Rational a(num(rng), den(rng));
+    Rational b(num(rng), den(rng));
+    Rational c(num(rng), den(rng));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + Rational(0), a);
+    EXPECT_EQ(a * Rational(1), a);
+    EXPECT_EQ(a - a, Rational(0));
+    if (!b.IsZero()) {
+      EXPECT_EQ((a / b) * b, a);
+    }
+    if (!a.IsZero()) {
+      EXPECT_EQ(a / a, Rational(1));
+    }
+    // Normalization invariant: gcd(num, den) == 1, den > 0.
+    Rational sum = a + b;
+    EXPECT_GT(sum.den().Sign(), 0);
+    EXPECT_TRUE(BigInt::Gcd(sum.num(), sum.den()).IsOne());
+    // Order compatible with addition.
+    if (a < b) {
+      EXPECT_LT(a + c, b + c);
+    }
+    // String round trip.
+    EXPECT_EQ(Rational::FromString(a.ToString()).value(), a);
+  }
+}
+
+TEST_P(RationalPropertyTest, OrderDensity) {
+  std::mt19937_64 rng(GetParam() + 99);
+  std::uniform_int_distribution<int64_t> num(-500, 500);
+  std::uniform_int_distribution<int64_t> den(1, 500);
+  for (int iter = 0; iter < 40; ++iter) {
+    Rational a(num(rng), den(rng));
+    Rational b(num(rng), den(rng));
+    if (b < a) std::swap(a, b);
+    if (a == b) continue;
+    Rational mid = Rational::Midpoint(a, b);
+    EXPECT_LT(a, mid);
+    EXPECT_LT(mid, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalPropertyTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace
+}  // namespace lcdb
