@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_arrangement"
+  "../bench/bench_arrangement.pdb"
+  "CMakeFiles/bench_arrangement.dir/bench_arrangement.cc.o"
+  "CMakeFiles/bench_arrangement.dir/bench_arrangement.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arrangement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

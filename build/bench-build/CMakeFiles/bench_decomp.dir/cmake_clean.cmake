@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_decomp"
+  "../bench/bench_decomp.pdb"
+  "CMakeFiles/bench_decomp.dir/bench_decomp.cc.o"
+  "CMakeFiles/bench_decomp.dir/bench_decomp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

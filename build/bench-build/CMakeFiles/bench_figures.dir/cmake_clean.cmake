@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figures"
+  "../bench/bench_figures.pdb"
+  "CMakeFiles/bench_figures.dir/bench_figures.cc.o"
+  "CMakeFiles/bench_figures.dir/bench_figures.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_qe"
+  "../bench/bench_qe.pdb"
+  "CMakeFiles/bench_qe.dir/bench_qe.cc.o"
+  "CMakeFiles/bench_qe.dir/bench_qe.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

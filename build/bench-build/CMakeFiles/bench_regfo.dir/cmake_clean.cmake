@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_regfo"
+  "../bench/bench_regfo.pdb"
+  "CMakeFiles/bench_regfo.dir/bench_regfo.cc.o"
+  "CMakeFiles/bench_regfo.dir/bench_regfo.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

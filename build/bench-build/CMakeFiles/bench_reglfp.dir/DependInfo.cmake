@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_reglfp.cc" "bench-build/CMakeFiles/bench_reglfp.dir/bench_reglfp.cc.o" "gcc" "bench-build/CMakeFiles/bench_reglfp.dir/bench_reglfp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcdb_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_arrangement.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_qe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

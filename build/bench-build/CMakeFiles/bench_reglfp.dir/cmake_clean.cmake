@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_reglfp"
+  "../bench/bench_reglfp.pdb"
+  "CMakeFiles/bench_reglfp.dir/bench_reglfp.cc.o"
+  "CMakeFiles/bench_reglfp.dir/bench_reglfp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reglfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tc"
+  "../bench/bench_tc.pdb"
+  "CMakeFiles/bench_tc.dir/bench_tc.cc.o"
+  "CMakeFiles/bench_tc.dir/bench_tc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcdbgen.dir/lcdbgen.cpp.o"
+  "CMakeFiles/lcdbgen.dir/lcdbgen.cpp.o.d"
+  "lcdbgen"
+  "lcdbgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcdbgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcdbq.dir/lcdbq.cpp.o"
+  "CMakeFiles/lcdbq.dir/lcdbq.cpp.o.d"
+  "lcdbq"
+  "lcdbq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcdbq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcdbsh.dir/lcdbsh.cpp.o"
+  "CMakeFiles/lcdbsh.dir/lcdbsh.cpp.o.d"
+  "lcdbsh"
+  "lcdbsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcdbsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

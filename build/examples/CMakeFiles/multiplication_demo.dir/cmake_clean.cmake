@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiplication_demo.dir/multiplication_demo.cpp.o"
+  "CMakeFiles/multiplication_demo.dir/multiplication_demo.cpp.o.d"
+  "multiplication_demo"
+  "multiplication_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiplication_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/river_pollution.dir/river_pollution.cpp.o"
+  "CMakeFiles/river_pollution.dir/river_pollution.cpp.o.d"
+  "river_pollution"
+  "river_pollution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/river_pollution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arith/bigint.cc" "src/CMakeFiles/lcdb_arith.dir/arith/bigint.cc.o" "gcc" "src/CMakeFiles/lcdb_arith.dir/arith/bigint.cc.o.d"
+  "/root/repo/src/arith/rational.cc" "src/CMakeFiles/lcdb_arith.dir/arith/rational.cc.o" "gcc" "src/CMakeFiles/lcdb_arith.dir/arith/rational.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcdb_arith.dir/arith/bigint.cc.o"
+  "CMakeFiles/lcdb_arith.dir/arith/bigint.cc.o.d"
+  "CMakeFiles/lcdb_arith.dir/arith/rational.cc.o"
+  "CMakeFiles/lcdb_arith.dir/arith/rational.cc.o.d"
+  "liblcdb_arith.a"
+  "liblcdb_arith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcdb_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcdb_arrangement.dir/arrangement/arrangement.cc.o"
+  "CMakeFiles/lcdb_arrangement.dir/arrangement/arrangement.cc.o.d"
+  "CMakeFiles/lcdb_arrangement.dir/arrangement/face.cc.o"
+  "CMakeFiles/lcdb_arrangement.dir/arrangement/face.cc.o.d"
+  "CMakeFiles/lcdb_arrangement.dir/arrangement/incidence_graph.cc.o"
+  "CMakeFiles/lcdb_arrangement.dir/arrangement/incidence_graph.cc.o.d"
+  "liblcdb_arrangement.a"
+  "liblcdb_arrangement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcdb_arrangement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcdb_capture.dir/capture/encoding.cc.o"
+  "CMakeFiles/lcdb_capture.dir/capture/encoding.cc.o.d"
+  "CMakeFiles/lcdb_capture.dir/capture/region_order.cc.o"
+  "CMakeFiles/lcdb_capture.dir/capture/region_order.cc.o.d"
+  "CMakeFiles/lcdb_capture.dir/capture/turing_machine.cc.o"
+  "CMakeFiles/lcdb_capture.dir/capture/turing_machine.cc.o.d"
+  "liblcdb_capture.a"
+  "liblcdb_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcdb_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

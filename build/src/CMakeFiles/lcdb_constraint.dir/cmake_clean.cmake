@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcdb_constraint.dir/constraint/conjunction.cc.o"
+  "CMakeFiles/lcdb_constraint.dir/constraint/conjunction.cc.o.d"
+  "CMakeFiles/lcdb_constraint.dir/constraint/dnf_formula.cc.o"
+  "CMakeFiles/lcdb_constraint.dir/constraint/dnf_formula.cc.o.d"
+  "CMakeFiles/lcdb_constraint.dir/constraint/linear_atom.cc.o"
+  "CMakeFiles/lcdb_constraint.dir/constraint/linear_atom.cc.o.d"
+  "CMakeFiles/lcdb_constraint.dir/constraint/parser.cc.o"
+  "CMakeFiles/lcdb_constraint.dir/constraint/parser.cc.o.d"
+  "CMakeFiles/lcdb_constraint.dir/constraint/simplify.cc.o"
+  "CMakeFiles/lcdb_constraint.dir/constraint/simplify.cc.o.d"
+  "liblcdb_constraint.a"
+  "liblcdb_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcdb_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

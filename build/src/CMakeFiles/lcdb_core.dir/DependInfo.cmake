@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ast.cc" "src/CMakeFiles/lcdb_core.dir/core/ast.cc.o" "gcc" "src/CMakeFiles/lcdb_core.dir/core/ast.cc.o.d"
+  "/root/repo/src/core/definability.cc" "src/CMakeFiles/lcdb_core.dir/core/definability.cc.o" "gcc" "src/CMakeFiles/lcdb_core.dir/core/definability.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "src/CMakeFiles/lcdb_core.dir/core/evaluator.cc.o" "gcc" "src/CMakeFiles/lcdb_core.dir/core/evaluator.cc.o.d"
+  "/root/repo/src/core/fixpoint.cc" "src/CMakeFiles/lcdb_core.dir/core/fixpoint.cc.o" "gcc" "src/CMakeFiles/lcdb_core.dir/core/fixpoint.cc.o.d"
+  "/root/repo/src/core/parser.cc" "src/CMakeFiles/lcdb_core.dir/core/parser.cc.o" "gcc" "src/CMakeFiles/lcdb_core.dir/core/parser.cc.o.d"
+  "/root/repo/src/core/queries.cc" "src/CMakeFiles/lcdb_core.dir/core/queries.cc.o" "gcc" "src/CMakeFiles/lcdb_core.dir/core/queries.cc.o.d"
+  "/root/repo/src/core/rbit.cc" "src/CMakeFiles/lcdb_core.dir/core/rbit.cc.o" "gcc" "src/CMakeFiles/lcdb_core.dir/core/rbit.cc.o.d"
+  "/root/repo/src/core/transitive_closure.cc" "src/CMakeFiles/lcdb_core.dir/core/transitive_closure.cc.o" "gcc" "src/CMakeFiles/lcdb_core.dir/core/transitive_closure.cc.o.d"
+  "/root/repo/src/core/typecheck.cc" "src/CMakeFiles/lcdb_core.dir/core/typecheck.cc.o" "gcc" "src/CMakeFiles/lcdb_core.dir/core/typecheck.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcdb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_arrangement.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_qe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcdb_core.dir/core/ast.cc.o"
+  "CMakeFiles/lcdb_core.dir/core/ast.cc.o.d"
+  "CMakeFiles/lcdb_core.dir/core/definability.cc.o"
+  "CMakeFiles/lcdb_core.dir/core/definability.cc.o.d"
+  "CMakeFiles/lcdb_core.dir/core/evaluator.cc.o"
+  "CMakeFiles/lcdb_core.dir/core/evaluator.cc.o.d"
+  "CMakeFiles/lcdb_core.dir/core/fixpoint.cc.o"
+  "CMakeFiles/lcdb_core.dir/core/fixpoint.cc.o.d"
+  "CMakeFiles/lcdb_core.dir/core/parser.cc.o"
+  "CMakeFiles/lcdb_core.dir/core/parser.cc.o.d"
+  "CMakeFiles/lcdb_core.dir/core/queries.cc.o"
+  "CMakeFiles/lcdb_core.dir/core/queries.cc.o.d"
+  "CMakeFiles/lcdb_core.dir/core/rbit.cc.o"
+  "CMakeFiles/lcdb_core.dir/core/rbit.cc.o.d"
+  "CMakeFiles/lcdb_core.dir/core/transitive_closure.cc.o"
+  "CMakeFiles/lcdb_core.dir/core/transitive_closure.cc.o.d"
+  "CMakeFiles/lcdb_core.dir/core/typecheck.cc.o"
+  "CMakeFiles/lcdb_core.dir/core/typecheck.cc.o.d"
+  "liblcdb_core.a"
+  "liblcdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcdb_datalog.dir/datalog/spatial_datalog.cc.o"
+  "CMakeFiles/lcdb_datalog.dir/datalog/spatial_datalog.cc.o.d"
+  "liblcdb_datalog.a"
+  "liblcdb_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcdb_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/arrangement_extension.cc" "src/CMakeFiles/lcdb_db.dir/db/arrangement_extension.cc.o" "gcc" "src/CMakeFiles/lcdb_db.dir/db/arrangement_extension.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/CMakeFiles/lcdb_db.dir/db/database.cc.o" "gcc" "src/CMakeFiles/lcdb_db.dir/db/database.cc.o.d"
+  "/root/repo/src/db/decomp_extension.cc" "src/CMakeFiles/lcdb_db.dir/db/decomp_extension.cc.o" "gcc" "src/CMakeFiles/lcdb_db.dir/db/decomp_extension.cc.o.d"
+  "/root/repo/src/db/geometric_baselines.cc" "src/CMakeFiles/lcdb_db.dir/db/geometric_baselines.cc.o" "gcc" "src/CMakeFiles/lcdb_db.dir/db/geometric_baselines.cc.o.d"
+  "/root/repo/src/db/io.cc" "src/CMakeFiles/lcdb_db.dir/db/io.cc.o" "gcc" "src/CMakeFiles/lcdb_db.dir/db/io.cc.o.d"
+  "/root/repo/src/db/region_extension.cc" "src/CMakeFiles/lcdb_db.dir/db/region_extension.cc.o" "gcc" "src/CMakeFiles/lcdb_db.dir/db/region_extension.cc.o.d"
+  "/root/repo/src/db/workloads.cc" "src/CMakeFiles/lcdb_db.dir/db/workloads.cc.o" "gcc" "src/CMakeFiles/lcdb_db.dir/db/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcdb_arrangement.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_qe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

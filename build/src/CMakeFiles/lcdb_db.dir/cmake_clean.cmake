@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcdb_db.dir/db/arrangement_extension.cc.o"
+  "CMakeFiles/lcdb_db.dir/db/arrangement_extension.cc.o.d"
+  "CMakeFiles/lcdb_db.dir/db/database.cc.o"
+  "CMakeFiles/lcdb_db.dir/db/database.cc.o.d"
+  "CMakeFiles/lcdb_db.dir/db/decomp_extension.cc.o"
+  "CMakeFiles/lcdb_db.dir/db/decomp_extension.cc.o.d"
+  "CMakeFiles/lcdb_db.dir/db/geometric_baselines.cc.o"
+  "CMakeFiles/lcdb_db.dir/db/geometric_baselines.cc.o.d"
+  "CMakeFiles/lcdb_db.dir/db/io.cc.o"
+  "CMakeFiles/lcdb_db.dir/db/io.cc.o.d"
+  "CMakeFiles/lcdb_db.dir/db/region_extension.cc.o"
+  "CMakeFiles/lcdb_db.dir/db/region_extension.cc.o.d"
+  "CMakeFiles/lcdb_db.dir/db/workloads.cc.o"
+  "CMakeFiles/lcdb_db.dir/db/workloads.cc.o.d"
+  "liblcdb_db.a"
+  "liblcdb_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcdb_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcdb_decomp.dir/decomp/decomposition.cc.o"
+  "CMakeFiles/lcdb_decomp.dir/decomp/decomposition.cc.o.d"
+  "liblcdb_decomp.a"
+  "liblcdb_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcdb_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

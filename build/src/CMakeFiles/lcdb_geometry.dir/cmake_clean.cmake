@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcdb_geometry.dir/geometry/convex_closure.cc.o"
+  "CMakeFiles/lcdb_geometry.dir/geometry/convex_closure.cc.o.d"
+  "CMakeFiles/lcdb_geometry.dir/geometry/generator_region.cc.o"
+  "CMakeFiles/lcdb_geometry.dir/geometry/generator_region.cc.o.d"
+  "CMakeFiles/lcdb_geometry.dir/geometry/hyperplane.cc.o"
+  "CMakeFiles/lcdb_geometry.dir/geometry/hyperplane.cc.o.d"
+  "CMakeFiles/lcdb_geometry.dir/geometry/predicates.cc.o"
+  "CMakeFiles/lcdb_geometry.dir/geometry/predicates.cc.o.d"
+  "CMakeFiles/lcdb_geometry.dir/geometry/vertex_enumeration.cc.o"
+  "CMakeFiles/lcdb_geometry.dir/geometry/vertex_enumeration.cc.o.d"
+  "liblcdb_geometry.a"
+  "liblcdb_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcdb_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcdb_linalg.dir/linalg/gauss.cc.o"
+  "CMakeFiles/lcdb_linalg.dir/linalg/gauss.cc.o.d"
+  "CMakeFiles/lcdb_linalg.dir/linalg/matrix.cc.o"
+  "CMakeFiles/lcdb_linalg.dir/linalg/matrix.cc.o.d"
+  "liblcdb_linalg.a"
+  "liblcdb_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcdb_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcdb_lp.dir/lp/feasibility.cc.o"
+  "CMakeFiles/lcdb_lp.dir/lp/feasibility.cc.o.d"
+  "CMakeFiles/lcdb_lp.dir/lp/simplex.cc.o"
+  "CMakeFiles/lcdb_lp.dir/lp/simplex.cc.o.d"
+  "liblcdb_lp.a"
+  "liblcdb_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcdb_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

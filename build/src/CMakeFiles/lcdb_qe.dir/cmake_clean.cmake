@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcdb_qe.dir/qe/fourier_motzkin.cc.o"
+  "CMakeFiles/lcdb_qe.dir/qe/fourier_motzkin.cc.o.d"
+  "liblcdb_qe.a"
+  "liblcdb_qe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcdb_qe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

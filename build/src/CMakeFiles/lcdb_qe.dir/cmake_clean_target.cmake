@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblcdb_qe.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcdb_util.dir/util/status.cc.o"
+  "CMakeFiles/lcdb_util.dir/util/status.cc.o.d"
+  "CMakeFiles/lcdb_util.dir/util/strings.cc.o"
+  "CMakeFiles/lcdb_util.dir/util/strings.cc.o.d"
+  "liblcdb_util.a"
+  "liblcdb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcdb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

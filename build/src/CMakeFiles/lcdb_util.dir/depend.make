@@ -1,0 +1,2 @@
+# Empty dependencies file for lcdb_util.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convex_closure_test.dir/convex_closure_test.cc.o"
+  "CMakeFiles/convex_closure_test.dir/convex_closure_test.cc.o.d"
+  "convex_closure_test"
+  "convex_closure_test.pdb"
+  "convex_closure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convex_closure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decomp3d_test.dir/decomp3d_test.cc.o"
+  "CMakeFiles/decomp3d_test.dir/decomp3d_test.cc.o.d"
+  "decomp3d_test"
+  "decomp3d_test.pdb"
+  "decomp3d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decomp3d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluator_extra_test.dir/evaluator_extra_test.cc.o"
+  "CMakeFiles/evaluator_extra_test.dir/evaluator_extra_test.cc.o.d"
+  "evaluator_extra_test"
+  "evaluator_extra_test.pdb"
+  "evaluator_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluator_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_cross_test.dir/lp_cross_test.cc.o"
+  "CMakeFiles/lp_cross_test.dir/lp_cross_test.cc.o.d"
+  "lp_cross_test"
+  "lp_cross_test.pdb"
+  "lp_cross_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_cross_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bigint_test[1]_include.cmake")
+include("/root/repo/build/tests/rational_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_test[1]_include.cmake")
+include("/root/repo/build/tests/constraint_test[1]_include.cmake")
+include("/root/repo/build/tests/qe_test[1]_include.cmake")
+include("/root/repo/build/tests/geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/arrangement_test[1]_include.cmake")
+include("/root/repo/build/tests/decomp_test[1]_include.cmake")
+include("/root/repo/build/tests/db_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/capture_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_cross_test[1]_include.cmake")
+include("/root/repo/build/tests/data_files_test[1]_include.cmake")
+include("/root/repo/build/tests/convex_closure_test[1]_include.cmake")
+include("/root/repo/build/tests/decomp3d_test[1]_include.cmake")
+include("/root/repo/build/tests/evaluator_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/datalog_test[1]_include.cmake")
+include("/root/repo/build/tests/definability_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_robustness_test[1]_include.cmake")
