@@ -4,7 +4,9 @@
 //      evaluator (Evaluator::Options::memoize),
 //  (b) the cheapest-first variable-ordering heuristic in multi-variable
 //      Fourier-Motzkin elimination,
-//  (c) redundant-atom removal in answer formulas (output size, not speed).
+//  (c) redundant-atom removal in answer formulas (output size, not speed),
+//  (d) the constraint kernel's feasibility/implication memoization
+//      (ConstraintKernel::Options::memoize).
 
 #include <random>
 
@@ -15,6 +17,7 @@
 #include "core/queries.h"
 #include "db/region_extension.h"
 #include "db/workloads.h"
+#include "engine/kernel.h"
 #include "qe/fourier_motzkin.h"
 
 namespace {
@@ -104,6 +107,40 @@ void BM_StrongSimplifyAblation(benchmark::State& state) {
 
 BENCHMARK(BM_StrongSimplifyAblation)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
+
+void BM_KernelCacheAblation(benchmark::State& state) {
+  // Ablation (d): the river query with the constraint kernel's caches on
+  // vs off. With caches off every feasibility/implication question pays a
+  // fresh simplex solve; the counters make the saving visible alongside
+  // the wall-clock difference.
+  const bool memoize = state.range(0) != 0;
+  lcdb::ConstraintDatabase db = lcdb::MakeRiverScenario(2, {}, {0}, {1});
+  auto ext = lcdb::MakeArrangementExtension(db);
+  auto query = lcdb::ParseQuery(lcdb::RiverPollutionQueryText(), "S");
+  // Warm the extension's lazy caches under the default kernel.
+  (void)lcdb::EvaluateSentenceText(*ext, lcdb::RiverPollutionQueryText());
+  lcdb::KernelStats stats;
+  for (auto _ : state) {
+    lcdb::ConstraintKernel kernel(
+        lcdb::ConstraintKernel::Options{memoize});
+    lcdb::ScopedKernel scope(kernel);
+    lcdb::Evaluator evaluator(*ext);
+    auto result = evaluator.EvaluateSentence(**query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    if (!*result) state.SkipWithError("river query must hold");
+    stats = kernel.stats();
+    benchmark::DoNotOptimize(*result);
+  }
+  state.counters["memo"] = memoize ? 1 : 0;
+  state.counters["oracle_calls"] = static_cast<double>(stats.oracle_calls);
+  state.counters["cache_hits"] = static_cast<double>(stats.cache_hits);
+  state.counters["simplex_invocations"] =
+      static_cast<double>(stats.simplex_invocations);
+}
+
+BENCHMARK(BM_KernelCacheAblation)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 }  // namespace
 

@@ -7,16 +7,35 @@
 
 #include <benchmark/benchmark.h>
 
+#include "constraint/simplify.h"
+#include "engine/kernel.h"
 #include "qe/fourier_motzkin.h"
 
 namespace {
 
 using lcdb::Conjunction;
+using lcdb::ConstraintKernel;
 using lcdb::DnfFormula;
+using lcdb::KernelStats;
 using lcdb::LinearAtom;
 using lcdb::Rational;
 using lcdb::RelOp;
+using lcdb::ScopedKernel;
 using lcdb::Vec;
+
+/// Emits the oracle-call columns shared by all benches (EXPERIMENTS.md,
+/// "Oracle-call telemetry"): how many feasibility/implication decisions the
+/// workload asked for, how many were served from the kernel cache, and how
+/// much simplex work the misses cost.
+void ReportKernelCounters(benchmark::State& state, const KernelStats& stats) {
+  state.counters["oracle_calls"] = static_cast<double>(stats.oracle_calls);
+  state.counters["cache_hits"] = static_cast<double>(stats.cache_hits);
+  state.counters["cache_misses"] = static_cast<double>(stats.cache_misses);
+  state.counters["simplex_invocations"] =
+      static_cast<double>(stats.simplex_invocations);
+  state.counters["simplex_pivots"] =
+      static_cast<double>(stats.simplex_pivots);
+}
 
 /// A random conjunction of `atoms` constraints over `vars` variables.
 DnfFormula RandomConjunction(size_t vars, size_t atoms, uint64_t seed) {
@@ -40,6 +59,8 @@ void BM_ExistsVariable(benchmark::State& state) {
   const size_t atoms = static_cast<size_t>(state.range(1));
   DnfFormula f = RandomConjunction(vars, atoms, 42 * vars + atoms);
   size_t out_atoms = 0;
+  ConstraintKernel kernel;
+  ScopedKernel scope(kernel);
   for (auto _ : state) {
     DnfFormula g = lcdb::ExistsVariable(f, 0);
     out_atoms = g.AtomCount();
@@ -47,6 +68,7 @@ void BM_ExistsVariable(benchmark::State& state) {
   }
   state.counters["atoms_in"] = static_cast<double>(atoms);
   state.counters["atoms_out"] = static_cast<double>(out_atoms);
+  ReportKernelCounters(state, kernel.stats());
 }
 
 BENCHMARK(BM_ExistsVariable)
@@ -64,10 +86,13 @@ void BM_EliminateAllVariables(benchmark::State& state) {
   DnfFormula f = RandomConjunction(vars, atoms, 7 * vars + atoms);
   std::vector<size_t> all;
   for (size_t v = 0; v < vars; ++v) all.push_back(v);
+  ConstraintKernel kernel;
+  ScopedKernel scope(kernel);
   for (auto _ : state) {
     DnfFormula g = lcdb::ExistsVariables(f, all);
     benchmark::DoNotOptimize(g.IsSyntacticallyTrue());
   }
+  ReportKernelCounters(state, kernel.stats());
 }
 
 BENCHMARK(BM_EliminateAllVariables)
@@ -113,6 +138,75 @@ void BM_ForallVariable(benchmark::State& state) {
 }
 
 BENCHMARK(BM_ForallVariable)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+/// The kernel-memoization acceptance experiment: the same two-variable
+/// elimination is run against a caching kernel and a cache-disabled kernel.
+/// QE's presimplify pass re-asks the oracle about systems (and subsystems)
+/// it has already decided, so the caching run must spend strictly fewer
+/// simplex invocations — and the two answers must be semantically
+/// equivalent. `answers_equivalent` is the AreEquivalent verdict (1 = yes);
+/// the equivalence check itself runs under the caching kernel *after* the
+/// counters are captured, so it does not pollute them.
+void BM_KernelMemoQe(benchmark::State& state) {
+  // A feasible inequality system (every atom holds at the origin), so the
+  // elimination actually walks the FM product and the redundancy pruning
+  // instead of exiting on an infeasible input.
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<int64_t> coeff(-4, 4);
+  std::uniform_int_distribution<int64_t> slack(0, 4);
+  std::vector<LinearAtom> list;
+  for (size_t i = 0; i < 14; ++i) {
+    Vec c(3);
+    for (size_t j = 0; j < 3; ++j) c[j] = Rational(coeff(rng));
+    if (lcdb::VecIsZero(c)) c[i % 3] = Rational(1);
+    const bool upper = i % 2 == 0;
+    list.emplace_back(c, upper ? RelOp::kLe : RelOp::kGe,
+                      Rational(upper ? slack(rng) : -slack(rng)));
+  }
+  DnfFormula f(3, {Conjunction(3, std::move(list))});
+  KernelStats with_memo, without_memo;
+  bool equivalent = false;
+  for (auto _ : state) {
+    ConstraintKernel on(ConstraintKernel::Options{/*memoize=*/true});
+    ConstraintKernel off(ConstraintKernel::Options{/*memoize=*/false});
+    DnfFormula g_on = DnfFormula::False(0);
+    DnfFormula g_off = DnfFormula::False(0);
+    // Each elimination runs twice — the fixed-point evaluator re-eliminates
+    // the same formulas across stages, and the repeat is where memoization
+    // pays: the caching kernel answers the second pass from cache while the
+    // ablated kernel pays the full LP bill again.
+    {
+      ScopedKernel scope(on);
+      g_on = lcdb::ExistsVariables(f, {0, 1});
+      benchmark::DoNotOptimize(lcdb::ExistsVariables(f, {0, 1}));
+    }
+    {
+      ScopedKernel scope(off);
+      g_off = lcdb::ExistsVariables(f, {0, 1});
+      benchmark::DoNotOptimize(lcdb::ExistsVariables(f, {0, 1}));
+    }
+    with_memo = on.stats();
+    without_memo = off.stats();
+    {
+      ScopedKernel scope(on);
+      equivalent = lcdb::AreEquivalent(g_on, g_off);
+    }
+    if (!equivalent) state.SkipWithError("cached answer diverged");
+    benchmark::DoNotOptimize(equivalent);
+  }
+  state.counters["oracle_calls_on"] =
+      static_cast<double>(with_memo.oracle_calls);
+  state.counters["oracle_calls_off"] =
+      static_cast<double>(without_memo.oracle_calls);
+  state.counters["simplex_invocations_on"] =
+      static_cast<double>(with_memo.simplex_invocations);
+  state.counters["simplex_invocations_off"] =
+      static_cast<double>(without_memo.simplex_invocations);
+  state.counters["cache_hits"] = static_cast<double>(with_memo.cache_hits);
+  state.counters["answers_equivalent"] = equivalent ? 1 : 0;
+}
+
+BENCHMARK(BM_KernelMemoQe)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -6,14 +6,31 @@
 
 #include <benchmark/benchmark.h>
 
+#include "constraint/simplify.h"
 #include "core/evaluator.h"
 #include "core/parser.h"
 #include "core/queries.h"
 #include "db/geometric_baselines.h"
 #include "db/region_extension.h"
 #include "db/workloads.h"
+#include "engine/kernel.h"
 
 namespace {
+
+/// Oracle-call columns (EXPERIMENTS.md, "Oracle-call telemetry"): the
+/// kernel counters an evaluator attributed to its own run, including the
+/// share spent inside fixed-point iteration.
+void ReportKernelCounters(benchmark::State& state,
+                          const lcdb::Evaluator::Stats& stats) {
+  state.counters["oracle_calls"] =
+      static_cast<double>(stats.kernel.oracle_calls);
+  state.counters["cache_hits"] =
+      static_cast<double>(stats.kernel.cache_hits);
+  state.counters["simplex_invocations"] =
+      static_cast<double>(stats.kernel.simplex_invocations);
+  state.counters["fixpoint_oracle_calls"] =
+      static_cast<double>(stats.fixpoint_feasibility_queries);
+}
 
 void BM_RegLfpConnectivity(benchmark::State& state) {
   const size_t teeth = static_cast<size_t>(state.range(0));
@@ -22,16 +39,19 @@ void BM_RegLfpConnectivity(benchmark::State& state) {
   auto ext = lcdb::MakeArrangementExtension(db);
   auto query = lcdb::ParseQuery(lcdb::RegionConnQueryText(), "S");
   size_t iterations = 0;
+  lcdb::Evaluator::Stats last_stats;
   for (auto _ : state) {
     lcdb::Evaluator evaluator(*ext);
     auto result = evaluator.EvaluateSentence(**query);
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
     if (*result != connected) state.SkipWithError("wrong connectivity");
     iterations = evaluator.stats().fixpoint_iterations;
+    last_stats = evaluator.stats();
     benchmark::DoNotOptimize(*result);
   }
   state.counters["regions"] = static_cast<double>(ext->num_regions());
   state.counters["lfp_iterations"] = static_cast<double>(iterations);
+  ReportKernelCounters(state, last_stats);
 }
 
 BENCHMARK(BM_RegLfpConnectivity)
@@ -42,6 +62,81 @@ BENCHMARK(BM_RegLfpConnectivity)
     ->Args({2, 0})
     ->Args({3, 0})
     ->Unit(benchmark::kMillisecond);
+
+/// Kernel-memoization acceptance experiment on a full fixed-point workload:
+/// the river-pollution sentence (Figure 6 — LFP with element-sort side
+/// conditions, so its stages lean hard on the feasibility oracle) plus an
+/// open connectivity query, evaluated against a caching kernel and a
+/// cache-disabled kernel. The caching run must spend strictly fewer simplex
+/// invocations, while both runs must agree — the sentence boolean exactly,
+/// the open answer up to AreEquivalent. (The pure region-quantified
+/// connectivity sentence is a poor subject here: the evaluator's own
+/// subformula memo already removes its repeated oracle questions.)
+void BM_KernelMemoRiver(benchmark::State& state) {
+  lcdb::ConstraintDatabase db = lcdb::MakeRiverScenario(2, {}, {0}, {1});
+  auto ext = lcdb::MakeArrangementExtension(db);
+  // Warm the extension's lazy predicate caches under the default kernel so
+  // neither measured run pays for (or gets credited with) that work.
+  (void)lcdb::EvaluateSentenceText(*ext, lcdb::RiverPollutionQueryText());
+  lcdb::KernelStats with_memo, without_memo;
+  bool equivalent = false;
+  for (auto _ : state) {
+    lcdb::ConstraintKernel on(
+        lcdb::ConstraintKernel::Options{/*memoize=*/true});
+    lcdb::ConstraintKernel off(
+        lcdb::ConstraintKernel::Options{/*memoize=*/false});
+    bool sentence_on = false, sentence_off = false;
+    lcdb::DnfFormula open_on = lcdb::DnfFormula::False(0);
+    lcdb::DnfFormula open_off = lcdb::DnfFormula::False(0);
+    {
+      lcdb::ScopedKernel scope(on);
+      auto sentence =
+          lcdb::EvaluateSentenceText(*ext, lcdb::RiverPollutionQueryText());
+      auto open = lcdb::EvaluateQueryText(*ext, "exists y . S(x, y)");
+      if (!sentence.ok() || !open.ok()) {
+        state.SkipWithError("evaluation failed");
+        break;
+      }
+      sentence_on = *sentence;
+      open_on = open->formula;
+    }
+    {
+      lcdb::ScopedKernel scope(off);
+      auto sentence =
+          lcdb::EvaluateSentenceText(*ext, lcdb::RiverPollutionQueryText());
+      auto open = lcdb::EvaluateQueryText(*ext, "exists y . S(x, y)");
+      if (!sentence.ok() || !open.ok()) {
+        state.SkipWithError("evaluation failed");
+        break;
+      }
+      sentence_off = *sentence;
+      open_off = open->formula;
+    }
+    with_memo = on.stats();
+    without_memo = off.stats();
+    {
+      lcdb::ScopedKernel scope(on);
+      equivalent = sentence_on == sentence_off &&
+                   lcdb::AreEquivalent(open_on, open_off);
+    }
+    if (!equivalent) state.SkipWithError("cached answer diverged");
+    benchmark::DoNotOptimize(equivalent);
+  }
+  state.counters["oracle_calls_on"] =
+      static_cast<double>(with_memo.oracle_calls);
+  state.counters["oracle_calls_off"] =
+      static_cast<double>(without_memo.oracle_calls);
+  state.counters["simplex_invocations_on"] =
+      static_cast<double>(with_memo.simplex_invocations);
+  state.counters["simplex_invocations_off"] =
+      static_cast<double>(without_memo.simplex_invocations);
+  state.counters["cache_hits"] = static_cast<double>(with_memo.cache_hits);
+  state.counters["answers_equivalent"] = equivalent ? 1 : 0;
+}
+
+BENCHMARK(BM_KernelMemoRiver)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 void BM_RegLfpStaircase(benchmark::State& state) {
   const size_t steps = static_cast<size_t>(state.range(0));

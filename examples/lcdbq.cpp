@@ -83,6 +83,7 @@ int main(int argc, char** argv) {
                  ext->kind().c_str(), ext->num_regions(),
                  s.node_evaluations, s.bool_evaluations, s.memo_hits,
                  s.fixpoint_iterations, s.qe_eliminations);
+    std::fprintf(stderr, "# kernel: %s\n", s.kernel.ToString().c_str());
   }
   return 0;
 }

@@ -1,6 +1,6 @@
 #include "arrangement/arrangement.h"
 
-#include "lp/simplex.h"
+#include "engine/kernel.h"
 
 #include <algorithm>
 #include <string>
@@ -114,7 +114,7 @@ void Arrangement::BuildFaces() {
         // Witness already on h; probe one strict side.
         std::vector<LinearConstraint> probe = face_constraints;
         probe.push_back(h.ToAtom(RelOp::kGt).ToLinearConstraint());
-        FeasibilityResult above = CheckFeasibility(dim_, probe);
+        FeasibilityResult above = CurrentKernel().CheckFeasibility(dim_, probe);
         if (!above.feasible) {
           // Convexity: with the witness on h in the relative interior, an
           // empty upper part forces an empty lower part too, i.e. F ⊆ h.
@@ -135,7 +135,7 @@ void Arrangement::BuildFaces() {
       }
       std::vector<LinearConstraint> probe = face_constraints;
       probe.push_back(h.ToAtom(RelOp::kEq).ToLinearConstraint());
-      FeasibilityResult on = CheckFeasibility(dim_, probe);
+      FeasibilityResult on = CurrentKernel().CheckFeasibility(dim_, probe);
       if (!on.feasible) {
         // h misses the face: unsplit.
         keep_side(side, std::move(face.witness), false);
@@ -227,7 +227,7 @@ void Arrangement::FinalizeFaceData() {
       face.bounded = true;
     } else {
       const Conjunction conj = FaceFormulaFor(face);
-      face.bounded = IsBoundedSystem(dim_, conj.ToConstraints());
+      face.bounded = CurrentKernel().IsBoundedSystem(dim_, conj.ToConstraints());
     }
   }
 }

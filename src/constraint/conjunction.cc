@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "lp/feasibility.h"
+#include "engine/kernel.h"
 #include "util/status.h"
 
 namespace lcdb {
@@ -62,12 +62,12 @@ std::vector<LinearConstraint> Conjunction::ToConstraints() const {
 bool Conjunction::IsFeasible() const {
   if (IsSyntacticallyFalse()) return false;
   if (atoms_.empty()) return true;
-  return CheckFeasibility(num_vars_, ToConstraints()).feasible;
+  return CurrentKernel().IsFeasible(*this);
 }
 
 Vec Conjunction::FindWitness() const {
   if (IsSyntacticallyFalse()) return {};
-  FeasibilityResult r = CheckFeasibility(num_vars_, ToConstraints());
+  FeasibilityResult r = CurrentKernel().Feasibility(*this);
   return r.feasible ? r.witness : Vec{};
 }
 
@@ -96,14 +96,15 @@ bool Conjunction::SyntacticallySubsumes(const Conjunction& other) const {
 
 void Conjunction::RemoveRedundantAtoms() {
   if (atoms_.size() <= 1) return;
+  ConstraintKernel& kernel = CurrentKernel();
   for (size_t i = 0; i < atoms_.size();) {
-    std::vector<LinearConstraint> rest;
+    std::vector<LinearAtom> rest;
     rest.reserve(atoms_.size() - 1);
     for (size_t j = 0; j < atoms_.size(); ++j) {
-      if (j != i) rest.push_back(atoms_[j].ToLinearConstraint());
+      if (j != i) rest.push_back(atoms_[j]);
     }
-    if (!IsConsistentWithNegation(num_vars_, rest,
-                                  atoms_[i].ToLinearConstraint())) {
+    if (kernel.ImpliesAtom(Conjunction(num_vars_, std::move(rest)),
+                           atoms_[i])) {
       atoms_.erase(atoms_.begin() + i);
     } else {
       ++i;

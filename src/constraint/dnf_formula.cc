@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/kernel.h"
 #include "util/status.h"
 
 namespace lcdb {
@@ -154,6 +155,36 @@ void DnfFormula::SimplifyStrong() {
   Simplify();
   for (Conjunction& c : disjuncts_) c.RemoveRedundantAtoms();
   Simplify();
+  // Semantic subsumption through the kernel's implication cache: disjunct D
+  // is dropped when some other surviving disjunct C contains it, i.e. D
+  // implies every atom of C. Simplify's syntactic pass only catches
+  // atom-subset containment; this catches e.g. a strict slab inside a wider
+  // closed one. Dead disjuncts never kill others, so of a semantically
+  // equal pair exactly one survives.
+  if (disjuncts_.size() > 1) {
+    ConstraintKernel& kernel = CurrentKernel();
+    std::vector<bool> dead(disjuncts_.size(), false);
+    for (size_t j = 0; j < disjuncts_.size(); ++j) {
+      for (size_t i = 0; i < disjuncts_.size() && !dead[j]; ++i) {
+        if (i == j || dead[i]) continue;
+        bool contained = true;
+        for (const LinearAtom& atom : disjuncts_[i].atoms()) {
+          if (!kernel.ImpliesAtom(disjuncts_[j], atom)) {
+            contained = false;
+            break;
+          }
+        }
+        if (contained) dead[j] = true;
+      }
+    }
+    size_t keep = 0;
+    for (size_t j = 0; j < disjuncts_.size(); ++j) {
+      if (dead[j]) continue;
+      if (keep != j) disjuncts_[keep] = std::move(disjuncts_[j]);
+      ++keep;
+    }
+    disjuncts_.erase(disjuncts_.begin() + keep, disjuncts_.end());
+  }
 }
 
 size_t DnfFormula::AtomCount() const {

@@ -1,5 +1,8 @@
 #include "constraint/simplify.h"
 
+#include "engine/kernel.h"
+#include "util/status.h"
+
 namespace lcdb {
 
 DnfFormula Difference(const DnfFormula& lhs, const DnfFormula& rhs) {
@@ -7,6 +10,21 @@ DnfFormula Difference(const DnfFormula& lhs, const DnfFormula& rhs) {
 }
 
 bool Implies(const DnfFormula& lhs, const DnfFormula& rhs) {
+  LCDB_CHECK(lhs.num_vars() == rhs.num_vars());
+  // Single-conjunct rhs: lhs ⊨ rhs iff every (nonempty) disjunct of lhs
+  // implies every atom of the conjunct. Decided atom-by-atom in the
+  // kernel's implication cache without materializing NOT(rhs) in DNF —
+  // the common shape for redundancy and containment questions.
+  if (rhs.disjuncts().size() == 1) {
+    ConstraintKernel& kernel = CurrentKernel();
+    for (const Conjunction& disjunct : lhs.disjuncts()) {
+      if (!disjunct.IsFeasible()) continue;
+      for (const LinearAtom& atom : rhs.disjuncts()[0].atoms()) {
+        if (!kernel.ImpliesAtom(disjunct, atom)) return false;
+      }
+    }
+    return true;
+  }
   return Difference(lhs, rhs).IsEmpty();
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/parser.h"
+#include "engine/kernel.h"
 #include "geometry/convex_closure.h"
 #include "util/status.h"
 
@@ -68,9 +69,14 @@ Result<QueryAnswer> Evaluator::Evaluate(const FormulaNode& query) {
   fixpoint_cache_.clear();
   closure_cache_.clear();
 
+  // Attribute the kernel's oracle work to this evaluation: everything the
+  // recursion spends (DNF algebra, QE, region tests) lands between these
+  // two snapshots of the ambient kernel.
+  const KernelStats kernel_before = CurrentKernel().stats();
   RegionEnv renv;
   SetEnv senv;
   DnfFormula result = Eval(query, renv, senv);
+  stats_.kernel += CurrentKernel().stats() - kernel_before;
   info_ = nullptr;
 
   // Keep only the free-variable columns (bound ones were eliminated; the
@@ -95,7 +101,10 @@ Result<bool> Evaluator::EvaluateSentence(const FormulaNode& query) {
   if (!answer.free_vars.empty()) {
     return Status::InvalidArgument("sentence has free element variables");
   }
-  return !answer.formula.IsEmpty();
+  const KernelStats kernel_before = CurrentKernel().stats();
+  const bool truth = !answer.formula.IsEmpty();
+  stats_.kernel += CurrentKernel().stats() - kernel_before;
+  return truth;
 }
 
 size_t Evaluator::Column(const std::string& name) const {

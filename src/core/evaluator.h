@@ -10,6 +10,7 @@
 #include "core/ast.h"
 #include "core/typecheck.h"
 #include "db/region_extension.h"
+#include "engine/kernel_stats.h"
 #include "qe/fourier_motzkin.h"
 
 namespace lcdb {
@@ -65,6 +66,15 @@ class Evaluator {
     size_t closures_computed = 0;
     size_t qe_eliminations = 0;
     size_t region_expansions = 0;
+    /// Constraint-kernel telemetry attributed to this evaluator: the delta
+    /// of CurrentKernel()'s counters accumulated over Evaluate /
+    /// EvaluateSentence calls (oracle decisions, cache hits, simplex work).
+    KernelStats kernel;
+    /// Feasibility questions issued while computing fixpoint sets and
+    /// TC/DTC closure matrices (subsets of `kernel.feasibility_queries`) —
+    /// the oracle-decision counts Theorems 6.1/7.3 bound.
+    size_t fixpoint_feasibility_queries = 0;
+    size_t closure_feasibility_queries = 0;
   };
 
   explicit Evaluator(const RegionExtension& extension);

@@ -2,6 +2,7 @@
 #include <unordered_set>
 
 #include "core/evaluator.h"
+#include "engine/kernel.h"
 #include "util/status.h"
 
 namespace lcdb {
@@ -39,6 +40,10 @@ const Evaluator::TupleSet& Evaluator::FixpointSet(const FormulaNode& node) {
   if (cached != fixpoint_cache_.end()) return cached->second;
 
   ++stats_.fixpoints_computed;
+  // How many oracle decisions the Kleene iteration spends — the quantity
+  // Theorem 6.1's PTIME bound controls (iterations × |Reg|^k body tests).
+  const uint64_t kernel_queries_before =
+      CurrentKernel().stats().feasibility_queries;
   const size_t k = node.bound_vars.size();
   const size_t n = ext_.num_regions();
   // Tuple-space size guard (n^k).
@@ -61,6 +66,9 @@ const Evaluator::TupleSet& Evaluator::FixpointSet(const FormulaNode& node) {
                      "PFP exceeded Options::max_pfp_iterations");
       if (!seen_states.insert(SerializeState(current)).second) {
         // Revisited a state without reaching a fixed point: diverges.
+        stats_.fixpoint_feasibility_queries +=
+            CurrentKernel().stats().feasibility_queries -
+            kernel_queries_before;
         return fixpoint_cache_.emplace(&node, TupleSet{}).first->second;
       }
     }
@@ -97,6 +105,8 @@ const Evaluator::TupleSet& Evaluator::FixpointSet(const FormulaNode& node) {
     current = std::move(next);
   }
   (void)is_lfp;
+  stats_.fixpoint_feasibility_queries +=
+      CurrentKernel().stats().feasibility_queries - kernel_queries_before;
   return fixpoint_cache_.emplace(&node, std::move(current)).first->second;
 }
 

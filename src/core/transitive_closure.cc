@@ -1,6 +1,7 @@
 #include <deque>
 
 #include "core/evaluator.h"
+#include "engine/kernel.h"
 #include "util/status.h"
 
 namespace lcdb {
@@ -32,6 +33,11 @@ const std::vector<std::vector<bool>>& Evaluator::ClosureMatrix(
   if (cached != closure_cache_.end()) return cached->second;
 
   ++stats_.closures_computed;
+  // Oracle decisions spent building the edge relation — the NLOGSPACE /
+  // LOGSPACE results (Theorems 7.3/7.4) bound the closure, not this edge
+  // construction, which is where all the LP work sits.
+  const uint64_t kernel_queries_before =
+      CurrentKernel().stats().feasibility_queries;
   const size_t m = node.bound_vars.size() / 2;
   const size_t n = ext_.num_regions();
   size_t space = 1;
@@ -108,6 +114,8 @@ const std::vector<std::vector<bool>>& Evaluator::ClosureMatrix(
       }
     }
   }
+  stats_.closure_feasibility_queries +=
+      CurrentKernel().stats().feasibility_queries - kernel_queries_before;
   return closure_cache_.emplace(&node, std::move(closure)).first->second;
 }
 

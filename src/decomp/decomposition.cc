@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/kernel.h"
 #include "geometry/predicates.h"
 #include "geometry/vertex_enumeration.h"
 #include "util/status.h"
@@ -113,7 +114,8 @@ bool CubeBounded(const Conjunction& poly, const Rational& c) {
   for (const LinearAtom& facet : CubeAtoms(poly.num_vars(), c)) {
     std::vector<LinearAtom> atoms = poly.atoms();
     atoms.push_back(facet);
-    if (Conjunction(poly.num_vars(), std::move(atoms)).IsFeasible()) {
+    if (CurrentKernel().IsFeasible(
+            Conjunction(poly.num_vars(), std::move(atoms)))) {
       return false;
     }
   }
@@ -145,7 +147,7 @@ std::string DecompRegion::ToString() const {
 std::vector<DecompRegion> DecomposeDisjunct(const Conjunction& poly,
                                             size_t disjunct_index) {
   std::vector<DecompRegion> out;
-  if (!poly.IsFeasible()) return out;
+  if (!CurrentKernel().IsFeasible(poly)) return out;
   const size_t d = poly.num_vars();
   const std::vector<Vec> vertices = VerticesOf(poly);
   const Rational c = CoordinateBound(poly, vertices);

@@ -1,0 +1,203 @@
+#ifndef LCDB_ENGINE_KERNEL_H_
+#define LCDB_ENGINE_KERNEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "constraint/canonical.h"
+#include "constraint/conjunction.h"
+#include "engine/kernel_stats.h"
+#include "lp/feasibility.h"
+
+namespace lcdb {
+
+namespace internal {
+
+/// Least-recently-used cache keyed by (stable hash, canonical encoding).
+/// The 64-bit hash is the bucket key; the full encoding resolves collisions
+/// exactly, and every collision observation is reported through the
+/// out-counter. Not thread-safe; the kernel serializes access.
+template <typename Value>
+class CanonicalLruCache {
+ public:
+  explicit CanonicalLruCache(size_t max_entries)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+  /// Returns the cached value (refreshing its LRU position) or nullptr.
+  const Value* Lookup(uint64_t hash, const std::string& encoding,
+                      uint64_t* collisions) {
+    auto bucket = index_.find(hash);
+    if (bucket == index_.end()) return nullptr;
+    for (auto node_it : bucket->second) {
+      if (node_it->encoding == encoding) {
+        nodes_.splice(nodes_.begin(), nodes_, node_it);
+        return &nodes_.front().value;
+      }
+    }
+    ++*collisions;
+    return nullptr;
+  }
+
+  void Insert(uint64_t hash, std::string encoding, Value value,
+              uint64_t* evictions) {
+    nodes_.push_front(Node{hash, std::move(encoding), std::move(value)});
+    index_[hash].push_back(nodes_.begin());
+    while (nodes_.size() > max_entries_) {
+      auto last = std::prev(nodes_.end());
+      auto bucket = index_.find(last->hash);
+      auto& chain = bucket->second;
+      chain.erase(std::remove(chain.begin(), chain.end(), last), chain.end());
+      if (chain.empty()) index_.erase(bucket);
+      nodes_.pop_back();
+      ++*evictions;
+    }
+  }
+
+  size_t size() const { return nodes_.size(); }
+
+  void Clear() {
+    nodes_.clear();
+    index_.clear();
+  }
+
+ private:
+  struct Node {
+    uint64_t hash;
+    std::string encoding;
+    Value value;
+  };
+  using NodeList = std::list<Node>;
+
+  size_t max_entries_;
+  NodeList nodes_;  ///< front = most recently used
+  std::unordered_map<uint64_t, std::vector<typename NodeList::iterator>>
+      index_;
+};
+
+}  // namespace internal
+
+/// Memoizing front-end for the LP feasibility oracle — the single choke
+/// point every expensive decision in the system flows through (DNF pruning,
+/// Fourier-Motzkin redundancy elimination, arrangement probes,
+/// decomposition cell tests, semantic implication/equivalence).
+///
+/// Systems are canonicalized (constraint/canonical.h) before lookup, so the
+/// same conjunction reaching the oracle from different layers, in different
+/// atom orders or scalings, is decided once and served from cache after.
+/// Two caches are kept, both LRU-bounded by Options::max_entries:
+///
+///  * the feasibility cache:  canonical system -> FeasibilityResult
+///    (decision plus rational witness);
+///  * the implication cache:  (canonical system, canonical atom) ->
+///    whether `system AND NOT(atom)` is satisfiable, the redundancy /
+///    implication primitive.
+///
+/// All state is guarded by a mutex so a later PR can fan region-quantifier
+/// expansion out across threads against one shared kernel; the underlying
+/// LP solve runs outside the lock.
+///
+/// Options::memoize turns both caches off (every query pays an oracle
+/// call); canonicalization, trivial-answer short-circuits and telemetry
+/// stay active, which is exactly what the cache ablation measures.
+class ConstraintKernel {
+ public:
+  struct Options {
+    /// Off switch for both caches (ablation).
+    bool memoize = true;
+    /// LRU bound, applied to each cache separately.
+    size_t max_entries = 1u << 18;
+  };
+
+  ConstraintKernel() : ConstraintKernel(Options()) {}
+  explicit ConstraintKernel(Options options)
+      : options_(options),
+        feasibility_cache_(options.max_entries),
+        implication_cache_(options.max_entries) {}
+
+  ConstraintKernel(const ConstraintKernel&) = delete;
+  ConstraintKernel& operator=(const ConstraintKernel&) = delete;
+
+  // --- LP-level entry points (drop-in for lp/feasibility.h) ---
+
+  /// Memoized CheckFeasibility: decision plus witness point.
+  FeasibilityResult CheckFeasibility(
+      size_t num_vars, const std::vector<LinearConstraint>& constraints);
+
+  /// Memoized IsConsistentWithNegation: is `constraints AND NOT(c)`
+  /// satisfiable? The per-branch systems of the negation are themselves
+  /// routed through the feasibility cache.
+  bool IsConsistentWithNegation(size_t num_vars,
+                                const std::vector<LinearConstraint>& constraints,
+                                const LinearConstraint& c);
+
+  /// Boundedness passthrough: counted in the telemetry (one oracle call)
+  /// but not cached — callers cache at a higher level.
+  bool IsBoundedSystem(size_t num_vars,
+                       const std::vector<LinearConstraint>& constraints);
+
+  // --- Conjunction-level entry points (atoms already canonical) ---
+
+  FeasibilityResult Feasibility(const Conjunction& conj);
+  bool IsFeasible(const Conjunction& conj) {
+    return Feasibility(conj).feasible;
+  }
+
+  /// Is `conj AND NOT(atom)` satisfiable?
+  bool IsConsistentWithNegation(const Conjunction& conj,
+                                const LinearAtom& atom);
+
+  /// Exact semantic implication: every point of `conj` satisfies `atom`.
+  bool ImpliesAtom(const Conjunction& conj, const LinearAtom& atom) {
+    return !IsConsistentWithNegation(conj, atom);
+  }
+
+  const Options& options() const { return options_; }
+
+  KernelStats stats() const;
+  void ResetStats();
+  /// Drops all cached entries (stats are kept).
+  void ClearCache();
+
+ private:
+  FeasibilityResult CachedFeasibility(const CanonicalSystem& canon);
+  bool DecideConsistentWithNegation(const CanonicalSystem& canon,
+                                    const LinearAtom& atom);
+
+  const Options options_;
+  mutable std::mutex mu_;
+  KernelStats stats_;
+  internal::CanonicalLruCache<FeasibilityResult> feasibility_cache_;
+  internal::CanonicalLruCache<bool> implication_cache_;
+};
+
+/// The process-wide default kernel (memoizing, default LRU bound).
+ConstraintKernel& DefaultKernel();
+
+/// The kernel all oracle consumers route through: the innermost
+/// ScopedKernel override on the current thread, or the process default.
+ConstraintKernel& CurrentKernel();
+
+/// RAII override installing `kernel` as CurrentKernel() on this thread for
+/// the scope's lifetime — how benchmarks and tests run a workload against a
+/// fresh or cache-disabled kernel without plumbing a handle through every
+/// layer.
+class ScopedKernel {
+ public:
+  explicit ScopedKernel(ConstraintKernel& kernel);
+  ~ScopedKernel();
+
+  ScopedKernel(const ScopedKernel&) = delete;
+  ScopedKernel& operator=(const ScopedKernel&) = delete;
+
+ private:
+  ConstraintKernel* previous_;
+};
+
+}  // namespace lcdb
+
+#endif  // LCDB_ENGINE_KERNEL_H_

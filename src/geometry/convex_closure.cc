@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/kernel.h"
 #include "geometry/predicates.h"
 #include "geometry/vertex_enumeration.h"
 #include "util/status.h"
@@ -117,8 +118,9 @@ void PruneGenerators(size_t d, Generators* g) {
 Result<GeneratorRegion> ConvexClosureGenerators(const DnfFormula& f) {
   const size_t d = f.num_vars();
   Generators pooled;
+  ConstraintKernel& kernel = CurrentKernel();
   for (const Conjunction& disjunct : f.disjuncts()) {
-    if (!disjunct.IsFeasible()) continue;
+    if (!kernel.IsFeasible(disjunct)) continue;
     Generators g = DisjunctGenerators(disjunct);
     pooled.points.insert(pooled.points.end(), g.points.begin(),
                          g.points.end());

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "linalg/gauss.h"
-#include "lp/feasibility.h"
+#include "engine/kernel.h"
 #include "qe/fourier_motzkin.h"
 #include "util/status.h"
 
@@ -97,7 +97,7 @@ bool GeneratorRegion::Contains(const Vec& point) const {
     for (size_t l = 0; l < m; ++l) row[k + l] = rays_[l][i];
     system.emplace_back(std::move(row), RelOp::kEq, point[i]);
   }
-  return CheckFeasibility(total, system).feasible;
+  return CurrentKernel().CheckFeasibility(total, system).feasible;
 }
 
 bool GeneratorRegion::Intersects(const GeneratorRegion& other) const {
@@ -122,7 +122,7 @@ bool GeneratorRegion::Intersects(const GeneratorRegion& other) const {
     for (size_t l = 0; l < m2; ++l) row[k1 + m1 + k2 + l] = -other.rays_[l][i];
     system.emplace_back(std::move(row), RelOp::kEq, Rational(0));
   }
-  return CheckFeasibility(total, system).feasible;
+  return CurrentKernel().CheckFeasibility(total, system).feasible;
 }
 
 bool GeneratorRegion::IntersectsConjunction(const Conjunction& conj) const {
@@ -145,7 +145,7 @@ bool GeneratorRegion::IntersectsConjunction(const Conjunction& conj) const {
     c.coeffs.resize(total, Rational(0));
     system.push_back(std::move(c));
   }
-  return CheckFeasibility(total, system).feasible;
+  return CurrentKernel().CheckFeasibility(total, system).feasible;
 }
 
 bool GeneratorRegion::AdjacentTo(const GeneratorRegion& other) const {

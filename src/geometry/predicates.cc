@@ -1,6 +1,6 @@
 #include "geometry/predicates.h"
 
-#include "lp/feasibility.h"
+#include "engine/kernel.h"
 #include "util/status.h"
 
 namespace lcdb {
@@ -25,7 +25,7 @@ Conjunction RelativeInterior(const Conjunction& poly) {
                      ? RelOp::kLt
                      : RelOp::kGt;
     system.push_back(strict);
-    if (CheckFeasibility(n, system).feasible) {
+    if (CurrentKernel().CheckFeasibility(n, system).feasible) {
       // Regular inequality: strictify for the relative interior.
       Vec coeffs(n);
       for (size_t i = 0; i < n; ++i) coeffs[i] = Rational(atom.coeffs()[i]);
@@ -100,7 +100,7 @@ std::vector<LinearAtom> InnerCubeAtoms(size_t dim, const Rational& c) {
 }
 
 bool IsBoundedPolyhedron(const Conjunction& poly) {
-  return IsBoundedSystem(poly.num_vars(), poly.ToConstraints());
+  return CurrentKernel().IsBoundedSystem(poly.num_vars(), poly.ToConstraints());
 }
 
 }  // namespace lcdb

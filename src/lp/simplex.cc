@@ -1,11 +1,24 @@
 #include "lp/simplex.h"
 
+#include <atomic>
 #include <optional>
 #include <utility>
 
 #include "util/status.h"
 
 namespace lcdb {
+
+namespace {
+std::atomic<uint64_t> g_simplex_invocations{0};
+std::atomic<uint64_t> g_simplex_pivots{0};
+}  // namespace
+
+SimplexCounters GetSimplexCounters() {
+  SimplexCounters out;
+  out.invocations = g_simplex_invocations.load(std::memory_order_relaxed);
+  out.pivots = g_simplex_pivots.load(std::memory_order_relaxed);
+  return out;
+}
 
 bool LinearConstraint::Satisfies(const Vec& point) const {
   const Rational lhs = Dot(coeffs, point);
@@ -95,6 +108,7 @@ class Tableau {
 
   void Pivot(size_t row, size_t col) {
     LCDB_CHECK(rows_[row][col].Sign() != 0);
+    g_simplex_pivots.fetch_add(1, std::memory_order_relaxed);
     const Rational inv = Rational(1) / rows_[row][col];
     for (size_t c = 0; c < num_cols_; ++c) rows_[row][c] *= inv;
     rhs_[row] *= inv;
@@ -141,6 +155,7 @@ LpResult MaximizeLp(size_t num_vars,
                     const std::vector<LinearConstraint>& constraints,
                     const Vec& objective) {
   LCDB_CHECK(objective.size() == num_vars);
+  g_simplex_invocations.fetch_add(1, std::memory_order_relaxed);
   // Normalize constraints to `a . x <= b` form rows; equalities become two
   // inequalities. Strict relations are rejected (feasibility.h handles them).
   struct Row {

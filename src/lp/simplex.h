@@ -1,6 +1,7 @@
 #ifndef LCDB_LP_SIMPLEX_H_
 #define LCDB_LP_SIMPLEX_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "linalg/matrix.h"
@@ -40,6 +41,18 @@ struct LpResult {
 LpResult MaximizeLp(size_t num_vars,
                     const std::vector<LinearConstraint>& constraints,
                     const Vec& objective);
+
+/// Process-wide monotone counters of simplex work, maintained atomically.
+/// The constraint kernel (engine/kernel.h) attributes oracle cost by taking
+/// deltas around each underlying solve; with concurrent solvers a delta may
+/// include another thread's pivots, so the totals are exact while the
+/// attribution is approximate.
+struct SimplexCounters {
+  uint64_t invocations = 0;  ///< completed MaximizeLp calls
+  uint64_t pivots = 0;       ///< tableau pivot steps across all calls
+};
+
+SimplexCounters GetSimplexCounters();
 
 }  // namespace lcdb
 

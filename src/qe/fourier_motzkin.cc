@@ -117,10 +117,25 @@ Conjunction EliminateFromConjunct(const Conjunction& conj, size_t var) {
 
 }  // namespace
 
-DnfFormula ExistsVariable(const DnfFormula& f, size_t var) {
+DnfFormula ExistsVariable(const DnfFormula& f, size_t var,
+                          const QeOptions& options) {
   std::vector<Conjunction> out;
   out.reserve(f.disjuncts().size());
   for (const Conjunction& conj : f.disjuncts()) {
+    // Redundancy elimination BEFORE projection: every redundant bound on
+    // `var` would otherwise multiply into the lower×upper product and
+    // compound over later variables. The implication tests all go through
+    // the kernel, so re-asking about the same (sub)system later is a cache
+    // hit. The feasibility pre-test doubles as correctness guard: removing
+    // "redundant" atoms from an infeasible conjunct would erase it.
+    if (options.presimplify && conj.atoms().size() >= 3) {
+      if (!conj.IsFeasible()) continue;
+      Conjunction pruned = conj;
+      pruned.RemoveRedundantAtoms();
+      Conjunction reduced = EliminateFromConjunct(pruned, var);
+      if (!reduced.IsSyntacticallyFalse()) out.push_back(std::move(reduced));
+      continue;
+    }
     Conjunction reduced = EliminateFromConjunct(conj, var);
     if (!reduced.IsSyntacticallyFalse()) out.push_back(std::move(reduced));
   }
@@ -129,8 +144,9 @@ DnfFormula ExistsVariable(const DnfFormula& f, size_t var) {
   return result;
 }
 
-DnfFormula ForallVariable(const DnfFormula& f, size_t var) {
-  return ExistsVariable(f.Negate(), var).Negate();
+DnfFormula ForallVariable(const DnfFormula& f, size_t var,
+                          const QeOptions& options) {
+  return ExistsVariable(f.Negate(), var, options).Negate();
 }
 
 bool VariableOccurs(const DnfFormula& f, size_t var) {
@@ -142,7 +158,8 @@ bool VariableOccurs(const DnfFormula& f, size_t var) {
   return false;
 }
 
-DnfFormula ExistsVariables(const DnfFormula& f, std::vector<size_t> vars) {
+DnfFormula ExistsVariables(const DnfFormula& f, std::vector<size_t> vars,
+                           const QeOptions& options) {
   DnfFormula current = f;
   while (!vars.empty()) {
     // Pick the variable with the smallest lower*upper product estimate.
@@ -171,7 +188,7 @@ DnfFormula ExistsVariables(const DnfFormula& f, std::vector<size_t> vars) {
         best_index = k;
       }
     }
-    current = ExistsVariable(current, vars[best_index]);
+    current = ExistsVariable(current, vars[best_index], options);
     vars.erase(vars.begin() + best_index);
   }
   return current;

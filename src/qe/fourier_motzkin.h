@@ -13,6 +13,18 @@ namespace lcdb {
 /// by a quantifier-free formula) and behind the element-variable quantifier
 /// cases in the proof of Theorem 4.3.
 ///
+/// Tuning knobs for quantifier elimination.
+struct QeOptions {
+  /// Remove per-disjunct redundant atoms (kernel-cached implication tests)
+  /// and skip infeasible disjuncts *before* each variable projection, so
+  /// Fourier–Motzkin only pairs irredundant bounds. Redundant bounds enter
+  /// the lower×upper product quadratically, and the product compounds
+  /// across variables — pruning first is the difference between projecting
+  /// the polyhedron and projecting its syntactic description. Off only for
+  /// the ablation/equivalence tests.
+  bool presimplify = true;
+};
+
 /// `ExistsVariable(f, var)` returns a quantifier-free DNF formula over the
 /// same variable space (with `var` no longer occurring) equivalent to
 /// `exists x_var . f`. Per disjunct it first substitutes out equalities
@@ -20,14 +32,17 @@ namespace lcdb {
 /// upper bounds pairwise (Fourier–Motzkin), with strictness propagated:
 /// a lower bound L <(=) x and an upper bound x <(=) U combine to L REL U
 /// where REL is strict iff either input was strict.
-DnfFormula ExistsVariable(const DnfFormula& f, size_t var);
+DnfFormula ExistsVariable(const DnfFormula& f, size_t var,
+                          const QeOptions& options = {});
 
 /// `forall x_var . f`, computed as NOT exists NOT.
-DnfFormula ForallVariable(const DnfFormula& f, size_t var);
+DnfFormula ForallVariable(const DnfFormula& f, size_t var,
+                          const QeOptions& options = {});
 
 /// Eliminates several variables existentially, cheapest-first (the variable
 /// whose elimination produces the fewest product atoms is chosen next).
-DnfFormula ExistsVariables(const DnfFormula& f, std::vector<size_t> vars);
+DnfFormula ExistsVariables(const DnfFormula& f, std::vector<size_t> vars,
+                           const QeOptions& options = {});
 
 /// True iff `var` occurs with nonzero coefficient anywhere in `f`.
 bool VariableOccurs(const DnfFormula& f, size_t var);
