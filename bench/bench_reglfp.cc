@@ -138,6 +138,54 @@ BENCHMARK(BM_KernelMemoRiver)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+/// Optimizer-ablation acceptance experiment (EXPERIMENTS.md, "Plan
+/// optimizer telemetry"): the connectivity sentence through the plan
+/// pipeline with the pass pipeline on vs off. The optimized run must spend
+/// strictly fewer Stats::node_evaluations — the win comes from narrowing
+/// the region-pure sentence to boolean mode and from cache marking
+/// (optimize=false also runs without any subformula caching).
+void BM_PlanOptimizerAblation(benchmark::State& state) {
+  const size_t teeth = static_cast<size_t>(state.range(0));
+  lcdb::ConstraintDatabase db = lcdb::MakeComb(teeth, /*connected=*/true);
+  auto ext = lcdb::MakeArrangementExtension(db);
+  auto query = lcdb::ParseQuery(lcdb::RegionConnQueryText(), "S");
+  lcdb::Evaluator::Stats optimized, raw;
+  for (auto _ : state) {
+    for (bool optimize : {true, false}) {
+      lcdb::Evaluator::Options options;
+      options.optimize = optimize;
+      lcdb::Evaluator evaluator(*ext, options);
+      auto result = evaluator.EvaluateSentence(**query);
+      if (!result.ok() || !*result) {
+        state.SkipWithError("connectivity sentence broken");
+        break;
+      }
+      (optimize ? optimized : raw) = evaluator.stats();
+    }
+    benchmark::DoNotOptimize(optimized.node_evaluations);
+  }
+  state.counters["regions"] = static_cast<double>(ext->num_regions());
+  state.counters["node_evals_optimized"] =
+      static_cast<double>(optimized.node_evaluations);
+  state.counters["node_evals_raw"] =
+      static_cast<double>(raw.node_evaluations);
+  state.counters["bool_evals_optimized"] =
+      static_cast<double>(optimized.bool_evaluations);
+  state.counters["bool_evals_raw"] =
+      static_cast<double>(raw.bool_evaluations);
+  state.counters["memo_hits_optimized"] =
+      static_cast<double>(optimized.memo_hits);
+  state.counters["narrowed_subtrees"] =
+      static_cast<double>(optimized.plan.narrowed_subtrees);
+  state.counters["hoisted_invariants"] =
+      static_cast<double>(optimized.plan.hoisted_invariants);
+  state.counters["strictly_lower"] =
+      optimized.node_evaluations < raw.node_evaluations ? 1 : 0;
+}
+
+BENCHMARK(BM_PlanOptimizerAblation)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_RegLfpStaircase(benchmark::State& state) {
   const size_t steps = static_cast<size_t>(state.range(0));
   lcdb::ConstraintDatabase db = lcdb::MakeStaircase(steps);

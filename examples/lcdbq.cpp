@@ -9,6 +9,8 @@
 //                     arrangement)
 //   --conn            shorthand for the region connectivity query
 //   --stats           print evaluator statistics
+//   --explain         print the optimized query plan instead of evaluating
+//   --no-optimize     with --explain, print the raw (unoptimized) plan
 //
 // Exit code: 0 = query evaluated (sentences print true/false), 1 = error.
 
@@ -27,11 +29,17 @@ int main(int argc, char** argv) {
   std::string query;
   bool use_decomposition = false;
   bool show_stats = false;
+  bool explain = false;
+  bool optimize = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--decomposition") == 0) {
       use_decomposition = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       show_stats = true;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
+    } else if (std::strcmp(argv[i], "--no-optimize") == 0) {
+      optimize = false;
     } else if (std::strcmp(argv[i], "--conn") == 0) {
       query = lcdb::RegionConnQueryText();
     } else if (db_path.empty()) {
@@ -46,7 +54,7 @@ int main(int argc, char** argv) {
   if (db_path.empty() || query.empty()) {
     std::fprintf(stderr,
                  "usage: lcdbq <database-file> <query> "
-                 "[--decomposition] [--stats]\n"
+                 "[--decomposition] [--stats] [--explain] [--no-optimize]\n"
                  "       lcdbq <database-file> --conn\n");
     return 1;
   }
@@ -64,7 +72,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
     return 1;
   }
-  lcdb::Evaluator evaluator(*ext);
+  lcdb::Evaluator::Options options;
+  options.optimize = optimize;
+  lcdb::Evaluator evaluator(*ext, options);
+  if (explain) {
+    auto plan = evaluator.Explain(**parsed);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "error: %s\n", plan.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", plan->c_str());
+    return 0;
+  }
   auto answer = evaluator.Evaluate(**parsed);
   if (!answer.ok()) {
     std::fprintf(stderr, "error: %s\n", answer.status().ToString().c_str());

@@ -5,6 +5,9 @@
 #include "core/parser.h"
 #include "engine/kernel.h"
 #include "geometry/convex_closure.h"
+#include "plan/executor.h"
+#include "plan/optimizer.h"
+#include "plan/planner.h"
 #include "util/status.h"
 
 namespace lcdb {
@@ -70,12 +73,28 @@ Result<QueryAnswer> Evaluator::Evaluate(const FormulaNode& query) {
   closure_cache_.clear();
 
   // Attribute the kernel's oracle work to this evaluation: everything the
-  // recursion spends (DNF algebra, QE, region tests) lands between these
-  // two snapshots of the ambient kernel.
+  // pipeline spends (DNF algebra, constant folding, QE, region tests) lands
+  // between these two snapshots of the ambient kernel. Plan compilation
+  // happens inside the window because the optimizer's folding pass issues
+  // feasibility queries of its own.
   const KernelStats kernel_before = CurrentKernel().stats();
-  RegionEnv renv;
-  SetEnv senv;
-  DnfFormula result = Eval(query, renv, senv);
+  DnfFormula result = DnfFormula::False(num_columns_);
+  if (options_.use_plan) {
+    CompiledPlan plan = BuildPlan(query, info, ext_);
+    if (options_.optimize) {
+      stats_.plan = PlanPassStats();
+      OptimizePlan(&plan, &stats_.plan);
+    } else {
+      stats_.plan = PlanPassStats();
+      stats_.plan.plan_nodes = CountPlanNodes(*plan.root);
+    }
+    PlanExecutor executor(plan, ext_, options_, &stats_);
+    result = executor.Run();
+  } else {
+    RegionEnv renv;
+    SetEnv senv;
+    result = Eval(query, renv, senv);
+  }
   stats_.kernel += CurrentKernel().stats() - kernel_before;
   info_ = nullptr;
 
@@ -94,6 +113,22 @@ Result<QueryAnswer> Evaluator::Evaluate(const FormulaNode& query) {
   }
   QueryAnswer answer{std::move(result), info.free_element_order};
   return answer;
+}
+
+Result<std::string> Evaluator::Explain(const FormulaNode& query) {
+  LCDB_ASSIGN_OR_RETURN(TypeInfo info, TypeCheck(query, ext_.database()));
+  LCDB_RETURN_IF_ERROR(CheckTupleSpaces(query, ext_.num_regions(),
+                                        options_.max_tuple_space));
+  CompiledPlan plan = BuildPlan(query, info, ext_);
+  PlanPassStats passes;
+  if (options_.optimize) {
+    OptimizePlan(&plan, &passes);
+  } else {
+    passes.plan_nodes = CountPlanNodes(*plan.root);
+  }
+  std::string out = PrintPlan(plan);
+  out += "-- " + passes.ToString() + "\n";
+  return out;
 }
 
 Result<bool> Evaluator::EvaluateSentence(const FormulaNode& query) {

@@ -11,6 +11,7 @@
 #include "core/typecheck.h"
 #include "db/region_extension.h"
 #include "engine/kernel_stats.h"
+#include "plan/plan_stats.h"
 #include "qe/fourier_motzkin.h"
 
 namespace lcdb {
@@ -55,6 +56,18 @@ class Evaluator {
     size_t max_pfp_iterations = 1u << 16;
     /// Cap on n^m tuple-space size for fixed points and TC.
     size_t max_tuple_space = 1u << 22;
+    /// Evaluate through the compile -> optimize -> execute pipeline
+    /// (plan/planner.h, plan/optimizer.h, plan/executor.h). When false the
+    /// legacy single-pass tree walk is used instead; the two produce
+    /// byte-identical answer formulas. The legacy walk is kept for one
+    /// release as an oracle for the equivalence tests and will then be
+    /// removed.
+    bool use_plan = true;
+    /// Run the optimizer's pass pipeline over the compiled plan. Only
+    /// meaningful with use_plan; disabling it also disables all subformula
+    /// caching, because caching decisions are a pass (MarkCacheable) — this
+    /// is the ablation EXPERIMENTS.md's optimizer-telemetry row measures.
+    bool optimize = true;
   };
 
   struct Stats {
@@ -75,6 +88,12 @@ class Evaluator {
     /// the oracle-decision counts Theorems 6.1/7.3 bound.
     size_t fixpoint_feasibility_queries = 0;
     size_t closure_feasibility_queries = 0;
+    /// Optimizer pass counters of the most recent compilation (plan mode).
+    PlanPassStats plan;
+    /// Wall-clock per-operator timings of plan executions (expensive
+    /// operators only: QE, region expansion, hull, fixpoints, closures,
+    /// rBIT), keyed by PlanOpName.
+    OpTimings op_timings;
   };
 
   explicit Evaluator(const RegionExtension& extension);
@@ -87,6 +106,11 @@ class Evaluator {
 
   /// Evaluates a sentence (no free variables at all) to its truth value.
   Result<bool> EvaluateSentence(const FormulaNode& query);
+
+  /// Compiles (and, per Options::optimize, optimizes) the query and returns
+  /// the plan rendered as an annotated tree plus the optimizer's pass
+  /// counters, without executing it (`lcdbq --explain`).
+  Result<std::string> Explain(const FormulaNode& query);
 
   const Stats& stats() const { return stats_; }
   const RegionExtension& extension() const { return ext_; }

@@ -1,0 +1,66 @@
+#ifndef LCDB_PLAN_PLAN_STATS_H_
+#define LCDB_PLAN_PLAN_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace lcdb {
+
+/// Per-pass telemetry of the plan optimizer (plan/optimizer.h). Each counter
+/// is the number of rewrites one pass performed while compiling one query;
+/// together they explain *why* an optimized execution visits fewer nodes
+/// than the raw lowering (EXPERIMENTS.md, "Optimizer-counter telemetry").
+struct PlanPassStats {
+  /// Nodes in the final (optimized, shared) plan DAG.
+  size_t plan_nodes = 0;
+  /// Constant subplans folded at compile time (dead-branch pruning; the
+  /// folds use the kernel's feasibility oracle through DnfFormula algebra).
+  size_t folded_constants = 0;
+  /// Branches of and/or/implies nodes discarded because a sibling folded to
+  /// a dominating constant.
+  size_t pruned_branches = 0;
+  /// Region-pure symbolic subtrees narrowed to boolean evaluation mode.
+  size_t narrowed_subtrees = 0;
+  /// Same-polarity region-quantifier chains whose loop order was changed
+  /// by the estimated-fan-out heuristic.
+  size_t reordered_quantifiers = 0;
+  /// Loop-invariant conjuncts hoisted out of region-quantifier loops.
+  size_t hoisted_invariants = 0;
+  /// and/or chains whose operands were re-ordered cheapest-first.
+  size_t reordered_conjuncts = 0;
+  /// Structurally identical subplans merged by common-subplan elimination.
+  size_t cse_merged = 0;
+  /// Nodes the hoisting pass marked cacheable (replaces the legacy
+  /// evaluator's ad-hoc WorthCaching/MemoKey test).
+  size_t cacheable_marked = 0;
+
+  std::string ToString() const {
+    std::string out = "plan_nodes=" + std::to_string(plan_nodes);
+    out += " folded=" + std::to_string(folded_constants);
+    out += " pruned=" + std::to_string(pruned_branches);
+    out += " narrowed=" + std::to_string(narrowed_subtrees);
+    out += " reordered_quantifiers=" + std::to_string(reordered_quantifiers);
+    out += " hoisted=" + std::to_string(hoisted_invariants);
+    out += " reordered_conjuncts=" + std::to_string(reordered_conjuncts);
+    out += " cse_merged=" + std::to_string(cse_merged);
+    out += " cacheable=" + std::to_string(cacheable_marked);
+    return out;
+  }
+};
+
+/// Wall-clock attribution of one evaluation to coarse plan operators
+/// (fixpoint iteration, closure construction, QE, region expansion, hull,
+/// rBIT). Only the expensive operators are timed; cheap connective visits
+/// are counted but not clocked.
+struct OpTiming {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+};
+
+using OpTimings = std::map<std::string, OpTiming>;
+
+}  // namespace lcdb
+
+#endif  // LCDB_PLAN_PLAN_STATS_H_

@@ -1,0 +1,170 @@
+// Equivalence harness for the compile -> optimize -> execute pipeline: every
+// seed database in data/ and every canned query from core/queries.h must
+// produce *byte-identical* QueryAnswer formulas through
+//   (a) the legacy single-pass tree walk (Options::use_plan = false, kept
+//       for one release as the oracle),
+//   (b) the raw plan (use_plan = true, optimize = false), and
+//   (c) the optimized plan (use_plan = true, optimize = true).
+// The optimizer's contract is representation preservation, not mere logical
+// equivalence, so the comparison is on ToString() output.
+// LCDB_TEST_DATA_DIR is injected by CMake.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "constraint/parser.h"
+#include "core/evaluator.h"
+#include "core/parser.h"
+#include "core/queries.h"
+#include "db/io.h"
+#include "db/region_extension.h"
+#include "db/workloads.h"
+
+namespace lcdb {
+namespace {
+
+#ifndef LCDB_TEST_DATA_DIR
+#define LCDB_TEST_DATA_DIR "data"
+#endif
+
+ConstraintDatabase Load(const std::string& name) {
+  auto db = LoadDatabaseFromFile(std::string(LCDB_TEST_DATA_DIR) + "/" + name);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return *db;
+}
+
+std::string AnswerVia(const RegionExtension& ext, const FormulaNode& query,
+                      bool use_plan, bool optimize) {
+  Evaluator::Options options;
+  options.use_plan = use_plan;
+  options.optimize = optimize;
+  Evaluator evaluator(ext, options);
+  auto answer = evaluator.Evaluate(query);
+  EXPECT_TRUE(answer.ok()) << answer.status().ToString();
+  if (!answer.ok()) return "<error>";
+  return answer->ToString();
+}
+
+/// `check_raw` additionally runs the unoptimized plan, which executes with
+/// no subformula caching at all — skipped for the workloads where that
+/// ablation is minutes-expensive (it is still covered on the cheap ones).
+void ExpectAllModesAgree(const RegionExtension& ext, const std::string& text,
+                         bool check_raw = true) {
+  auto query = ParseQuery(text, ext.database().relation_name());
+  ASSERT_TRUE(query.ok()) << text << "\n" << query.status().ToString();
+  const std::string legacy = AnswerVia(ext, **query, false, true);
+  if (check_raw) {
+    EXPECT_EQ(legacy, AnswerVia(ext, **query, true, false))
+        << "raw plan diverges on: " << text;
+  }
+  EXPECT_EQ(legacy, AnswerVia(ext, **query, true, true))
+      << "optimized plan diverges on: " << text;
+}
+
+/// Queries exercising every operator family, parameterized on the
+/// database's arity (element tuples must match it).
+std::vector<std::string> QueriesForArity(size_t arity) {
+  std::vector<std::string> queries = {
+      RegionConnQueryText(),
+      RegionConnTcQueryText(false),
+      RegionConnTcQueryText(true),
+      "exists R . (subset(R) & !(bounded(R)))",
+      "forall R . (subset(R) -> exists R' . (adj(R, R') | R = R'))",
+      "exists R R' . [rbit x : x > 0](R, R')",
+  };
+  if (arity == 1) {
+    queries.push_back("exists R . (subset(R) & in(x; R))");
+    queries.push_back("forall y . ([hull u : S(u)](y) -> y = y)");
+    queries.push_back("exists y . (S(y) & y >= 0)");
+  } else if (arity == 2) {
+    queries.push_back("exists R . (subset(R) & in(x, y; R))");
+    queries.push_back("exists x . S(x, y)");
+    queries.push_back(
+        "forall x y . (S(x, y) -> exists R . (in(x, y; R) & subset(R)))");
+  }
+  return queries;
+}
+
+TEST(PlanEquivalenceTest, DataFiles) {
+  for (const char* name : {"triangle.lcdb", "comb.lcdb", "intervals.lcdb",
+                           "pentagon.lcdb", "wedge.lcdb"}) {
+    SCOPED_TRACE(name);
+    ConstraintDatabase db = Load(name);
+    auto ext = MakeArrangementExtension(db);
+    for (const std::string& text : QueriesForArity(db.arity())) {
+      ExpectAllModesAgree(*ext, text);
+    }
+  }
+}
+
+TEST(PlanEquivalenceTest, LiteralConnQuery) {
+  // The paper's literal Conn query (element quantifiers + LFP) on small
+  // box instances, connected and disconnected.
+  for (bool connected : {true, false}) {
+    SCOPED_TRACE(connected ? "connected" : "disconnected");
+    auto f = ParseDnf(connected
+                          ? "x >= 0 & x <= 1 & y >= 0 & y <= 1"
+                          : "(x >= 0 & x <= 1 & y >= 0 & y <= 1) | "
+                            "(x >= 3 & x <= 4 & y >= 0 & y <= 1)",
+                      {"x", "y"});
+    ASSERT_TRUE(f.ok()) << f.status().ToString();
+    ConstraintDatabase db("S", *f, {"x", "y"});
+    auto ext = MakeArrangementExtension(db);
+    ExpectAllModesAgree(*ext, ConnQueryText(2), /*check_raw=*/false);
+  }
+}
+
+TEST(PlanEquivalenceTest, RiverScenario) {
+  // Fixpoint with set-dependent body over the Figure 6 encoding, in both
+  // the polluted and clean configurations.
+  for (bool polluted : {true, false}) {
+    SCOPED_TRACE(polluted ? "polluted" : "clean");
+    ConstraintDatabase db = polluted
+                                ? MakeRiverScenario(3, {1}, {0}, {2})
+                                : MakeRiverScenario(3, {1}, {0}, {});
+    auto ext = MakeArrangementExtension(db);
+    ExpectAllModesAgree(*ext, RiverPollutionQueryText(),
+                        /*check_raw=*/false);
+  }
+}
+
+TEST(PlanEquivalenceTest, FixpointFlavours) {
+  // LFP / IFP / PFP variants of reachability plus a diverging PFP.
+  ConstraintDatabase db = MakeComb(2, true);
+  auto ext = MakeArrangementExtension(db);
+  std::string lfp = RegionConnQueryText();
+  std::string ifp = lfp;
+  ifp.replace(ifp.find("[lfp"), 4, "[ifp");
+  std::string pfp = lfp;
+  pfp.replace(pfp.find("[lfp"), 4, "[pfp");
+  for (const std::string& text :
+       {lfp, ifp, pfp,
+        std::string("exists A . [pfp M R : !(M(R))](A)")}) {
+    ExpectAllModesAgree(*ext, text);
+  }
+}
+
+TEST(PlanEquivalenceTest, MemoizationOffAgrees) {
+  // The ablation configuration (no caching anywhere) must also agree.
+  ConstraintDatabase db = MakeComb(2, true);
+  auto ext = MakeArrangementExtension(db);
+  auto query = ParseQuery(RegionConnQueryText(), db.relation_name());
+  ASSERT_TRUE(query.ok());
+  Evaluator::Options legacy_opts;
+  legacy_opts.use_plan = false;
+  legacy_opts.memoize = false;
+  Evaluator legacy(*ext, legacy_opts);
+  auto oracle = legacy.Evaluate(**query);
+  ASSERT_TRUE(oracle.ok());
+  Evaluator::Options plan_opts;
+  plan_opts.memoize = false;
+  Evaluator plan(*ext, plan_opts);
+  auto answer = plan.Evaluate(**query);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(oracle->ToString(), answer->ToString());
+}
+
+}  // namespace
+}  // namespace lcdb

@@ -1,0 +1,187 @@
+// One negative test per diagnostic the type checker (core/typecheck.cc) can
+// emit: each asserts both the rejection and the message, pinning the
+// diagnostics as API. Constructs the parser cannot produce (wrong-length
+// operator tuples, foreign relation names) are built through the AST
+// factories directly.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/ast.h"
+#include "core/parser.h"
+#include "core/typecheck.h"
+#include "db/workloads.h"
+
+namespace lcdb {
+namespace {
+
+const ConstraintDatabase& Db() {
+  static const ConstraintDatabase db = MakeComb(1, true);  // "S", arity 2
+  return db;
+}
+
+void ExpectRejected(const FormulaNode& query, const std::string& message) {
+  auto info = TypeCheck(query, Db());
+  ASSERT_FALSE(info.ok()) << "accepted: " << query.ToString();
+  EXPECT_NE(info.status().ToString().find(message), std::string::npos)
+      << "wrong diagnostic for: " << query.ToString() << "\n  got: "
+      << info.status().ToString() << "\n  want substring: " << message;
+}
+
+void ExpectRejectedText(const std::string& text, const std::string& message) {
+  auto query = ParseQuery(text, "S");
+  ASSERT_TRUE(query.ok()) << text << "\n" << query.status().ToString();
+  ExpectRejected(**query, message);
+}
+
+ElementTerm Var(const std::string& name) {
+  ElementTerm t;
+  t.coeffs[name] = Rational(1);
+  return t;
+}
+
+TEST(TypeCheckDiagnosticsTest, FreeRegionVariableAtRoot) {
+  ExpectRejectedText("subset(R)", "query has free region variable 'R'");
+}
+
+TEST(TypeCheckDiagnosticsTest, RegionVariableInElementTerm) {
+  // The parser already refuses a region variable in element-term position,
+  // so the construct has to come from the factories.
+  FormulaPtr query = MakeExistsRegion(
+      "R", MakeAnd(MakeSubsetS("R"),
+                   MakeCompare(Var("R"), RelOp::kLt,
+                               ElementTerm::Constant(Rational(1)))));
+  ExpectRejected(*query, "variable 'R' is not element-sorted");
+}
+
+TEST(TypeCheckDiagnosticsTest, ElementVariableAsRegionArgument) {
+  ExpectRejectedText("exists x . (S(x, x) & subset(x))",
+                     "variable 'x' is not region-sorted");
+}
+
+TEST(TypeCheckDiagnosticsTest, ShadowedBinding) {
+  ExpectRejectedText("exists x . exists x . S(x, x)",
+                     "variable 'x' shadows an outer binding");
+}
+
+TEST(TypeCheckDiagnosticsTest, UnknownRelation) {
+  // The parser only produces atoms of the database's relation; a foreign
+  // name can only arrive through the factories.
+  FormulaPtr query = MakeRelationAtom("T", {Var("x"), Var("y")});
+  ExpectRejected(*query, "unknown relation 'T'");
+}
+
+TEST(TypeCheckDiagnosticsTest, RelationArityMismatch) {
+  ExpectRejectedText("S(x)", "relation arity mismatch (expected 2)");
+}
+
+TEST(TypeCheckDiagnosticsTest, InRegionArityMismatch) {
+  ExpectRejectedText("exists R . in(x; R)",
+                     "in(...) arity mismatch (expected 2)");
+}
+
+TEST(TypeCheckDiagnosticsTest, UnboundSetVariable) {
+  FormulaPtr query = MakeExistsRegion("A", MakeSetAtom("M", {"A"}));
+  ExpectRejected(*query, "unbound set variable 'M'");
+}
+
+TEST(TypeCheckDiagnosticsTest, SetVariableArityMismatch) {
+  ExpectRejectedText("exists A . [lfp M R R' : M(R, R) | M(R, R', R)](A, A)",
+                     "set variable arity mismatch for 'M'");
+}
+
+TEST(TypeCheckDiagnosticsTest, FixpointWithoutBoundVariables) {
+  FormulaPtr query = MakeFixpoint(NodeKind::kLfp, "M", {}, MakeTrue(), {});
+  ExpectRejected(*query, "fixed point needs bound region variables");
+}
+
+TEST(TypeCheckDiagnosticsTest, FixpointWrongLengthTuple) {
+  FormulaPtr query = MakeExistsRegion(
+      "A", MakeFixpoint(NodeKind::kLfp, "M", {"R", "R'"},
+                        MakeSetAtom("M", {"R", "R'"}), {"A"}));
+  ExpectRejected(*query, "fixed point applied to wrong-length tuple");
+}
+
+TEST(TypeCheckDiagnosticsTest, FixpointBodyWithFreeElementVariable) {
+  ExpectRejectedText("exists x A . ([lfp M R : M(R) | x = x](A) & x = x)",
+                     "fixed-point body has free element variable 'x'");
+}
+
+TEST(TypeCheckDiagnosticsTest, FixpointBodyUsesOuterRegion) {
+  ExpectRejectedText(
+      "exists Q A B . [lfp M R R' : M(R, R') | adj(R, Q)](A, B)",
+      "fixed-point body uses outer region 'Q'");
+}
+
+TEST(TypeCheckDiagnosticsTest, FixpointBodyUsesOuterSetVariable) {
+  ExpectRejectedText(
+      "exists A . [lfp M R : M(R) | [ifp N Q : N(Q) | M(Q)](R)](A)",
+      "fixed-point body uses outer set variable 'M'");
+}
+
+TEST(TypeCheckDiagnosticsTest, LfpBodyMustBePositive) {
+  ExpectRejectedText("exists A . [lfp M R : !(M(R))](A)",
+                     "LFP body must be positive in M");
+}
+
+TEST(TypeCheckDiagnosticsTest, TcOddBoundTuple) {
+  FormulaPtr query = MakeTransitiveClosure(
+      NodeKind::kTc, {"R"}, MakeSubsetS("R"), {"A"}, {"B"});
+  ExpectRejected(*query, "TC needs a 2m-tuple of bound region variables");
+}
+
+TEST(TypeCheckDiagnosticsTest, TcWrongLengthTuples) {
+  FormulaPtr query = MakeTransitiveClosure(
+      NodeKind::kTc, {"R", "Q"}, MakeAdjacent("R", "Q"), {"A"}, {"B", "C"});
+  ExpectRejected(*query, "TC applied to wrong-length tuples");
+}
+
+TEST(TypeCheckDiagnosticsTest, TcBodyWithFreeElementVariable) {
+  ExpectRejectedText(
+      "exists x A B . ([tc R ; R' : adj(R, R') & x = x](A ; B) & x = x)",
+      "TC body has free element variable 'x'");
+}
+
+TEST(TypeCheckDiagnosticsTest, TcBodyUsesSetVariable) {
+  ExpectRejectedText("exists A . [ifp M R : [tc Q ; Q2 : M(Q)](R ; R)](A)",
+                     "TC body uses a set variable");
+}
+
+TEST(TypeCheckDiagnosticsTest, TcBodyUsesOuterRegion) {
+  ExpectRejectedText("exists Q A B . [tc R ; R' : adj(R, Q)](A ; B)",
+                     "TC body uses outer region 'Q'");
+}
+
+TEST(TypeCheckDiagnosticsTest, HullBodyWithExtraElementVariable) {
+  ExpectRejectedText(
+      "exists y x . ([hull u : S(u, y)](x) & y = 0 & x = 0)",
+      "hull body has extra free element variable 'y'");
+}
+
+TEST(TypeCheckDiagnosticsTest, HullWrongLengthTermTuple) {
+  FormulaPtr query =
+      MakeHull({"u", "v"}, MakeRelationAtom("S", {Var("u"), Var("v")}),
+               {Var("x")});
+  ExpectRejected(*query, "hull applied to wrong-length term tuple");
+}
+
+TEST(TypeCheckDiagnosticsTest, RbitBodyUsesSetVariable) {
+  ExpectRejectedText(
+      "exists A . [ifp M R : [rbit x : (x = 1 & M(R))](R, R)](A)",
+      "rBIT body uses a set variable");
+}
+
+TEST(TypeCheckDiagnosticsTest, RbitBodyWithExtraElementVariable) {
+  ExpectRejectedText("exists y A B . ([rbit x : x = y](A, B) & y = y)",
+                     "rBIT body has extra free element variable 'y'");
+}
+
+// The remaining diagnostic, "query has free set variable", is defensive:
+// a set atom whose variable is not bound by an enclosing fixed point is
+// already rejected as "unbound set variable", and fixed points erase their
+// set variable from the free set they expose, so no well-formed tree can
+// carry a free set variable to the root.
+
+}  // namespace
+}  // namespace lcdb
