@@ -13,6 +13,7 @@
 #include "db/geometric_baselines.h"
 #include "db/region_extension.h"
 #include "db/workloads.h"
+#include "engine/governor.h"
 #include "engine/kernel.h"
 
 namespace {
@@ -61,6 +62,41 @@ BENCHMARK(BM_RegLfpConnectivity)
     ->Args({4, 1})
     ->Args({2, 0})
     ->Args({3, 0})
+    ->Unit(benchmark::kMillisecond);
+
+/// Governor overhead experiment (EXPERIMENTS.md, "Governor telemetry"):
+/// the same connectivity run with a QueryGovernor installed whose budgets
+/// are all unlimited — every checkpoint is paid for, none trips. Compare
+/// this timing against BM_RegLfpConnectivity at the same arity to bound
+/// the governed-path tax (goal: under 2%). The counters expose how many
+/// checkpoints and strided deadline reads the run actually performed.
+void BM_GovernedConnectivity(benchmark::State& state) {
+  const size_t teeth = static_cast<size_t>(state.range(0));
+  lcdb::ConstraintDatabase db = lcdb::MakeComb(teeth, /*connected=*/true);
+  auto ext = lcdb::MakeArrangementExtension(db);
+  auto query = lcdb::ParseQuery(lcdb::RegionConnQueryText(), "S");
+  lcdb::GovernorStats gstats;
+  for (auto _ : state) {
+    lcdb::GovernorLimits limits;  // everything unlimited, nothing trips
+    limits.wall_clock_ms = 600000;  // but the deadline clock is live
+    lcdb::QueryGovernor governor(limits);
+    lcdb::ScopedGovernor scoped(governor);
+    lcdb::Evaluator evaluator(*ext);
+    auto result = evaluator.EvaluateSentence(**query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    if (!*result) state.SkipWithError("comb should be connected");
+    gstats = governor.stats();
+    benchmark::DoNotOptimize(*result);
+  }
+  state.counters["regions"] = static_cast<double>(ext->num_regions());
+  state.counters["governor_checkpoints"] =
+      static_cast<double>(gstats.checkpoints);
+  state.counters["deadline_checks"] =
+      static_cast<double>(gstats.deadline_checks);
+  state.counters["budget_trips"] = static_cast<double>(gstats.budget_trips);
+}
+
+BENCHMARK(BM_GovernedConnectivity)->Arg(2)->Arg(3)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 /// Kernel-memoization acceptance experiment on a full fixed-point workload:

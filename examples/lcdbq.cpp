@@ -11,11 +11,17 @@
 //   --stats           print evaluator statistics
 //   --explain         print the optimized query plan instead of evaluating
 //   --no-optimize     with --explain, print the raw (unoptimized) plan
+//   --timeout <ms>    run under a QueryGovernor with a wall-clock deadline;
+//                     a tripped deadline is a clean error, not a hang
 //
-// Exit code: 0 = query evaluated (sentences print true/false), 1 = error.
+// Exit code: 0 = query evaluated (sentences print true/false), 1 = error
+// (including a tripped budget — the message names it).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "core/evaluator.h"
@@ -23,6 +29,7 @@
 #include "core/queries.h"
 #include "db/io.h"
 #include "db/region_extension.h"
+#include "engine/governor.h"
 
 int main(int argc, char** argv) {
   std::string db_path;
@@ -31,6 +38,7 @@ int main(int argc, char** argv) {
   bool show_stats = false;
   bool explain = false;
   bool optimize = true;
+  std::optional<uint64_t> timeout_ms;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--decomposition") == 0) {
       use_decomposition = true;
@@ -40,6 +48,12 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (std::strcmp(argv[i], "--no-optimize") == 0) {
       optimize = false;
+    } else if (std::strcmp(argv[i], "--timeout") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--timeout requires a millisecond value\n");
+        return 1;
+      }
+      timeout_ms = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--conn") == 0) {
       query = lcdb::RegionConnQueryText();
     } else if (db_path.empty()) {
@@ -75,6 +89,16 @@ int main(int argc, char** argv) {
   lcdb::Evaluator::Options options;
   options.optimize = optimize;
   lcdb::Evaluator evaluator(*ext, options);
+  // Governed run: the evaluator sees the deadline through the thread-local
+  // governor and returns kDeadlineExceeded instead of running away.
+  std::unique_ptr<lcdb::QueryGovernor> governor;
+  std::unique_ptr<lcdb::ScopedGovernor> scoped;
+  if (timeout_ms.has_value()) {
+    lcdb::GovernorLimits limits;
+    limits.wall_clock_ms = *timeout_ms;
+    governor = std::make_unique<lcdb::QueryGovernor>(limits);
+    scoped = std::make_unique<lcdb::ScopedGovernor>(*governor);
+  }
   if (explain) {
     auto plan = evaluator.Explain(**parsed);
     if (!plan.ok()) {
@@ -87,6 +111,10 @@ int main(int argc, char** argv) {
   auto answer = evaluator.Evaluate(**parsed);
   if (!answer.ok()) {
     std::fprintf(stderr, "error: %s\n", answer.status().ToString().c_str());
+    if (show_stats) {
+      std::fprintf(stderr, "# governor: %s\n",
+                   evaluator.stats().governor.ToString().c_str());
+    }
     return 1;
   }
   if (answer->free_vars.empty()) {
@@ -103,6 +131,7 @@ int main(int argc, char** argv) {
                  s.node_evaluations, s.bool_evaluations, s.memo_hits,
                  s.fixpoint_iterations, s.qe_eliminations);
     std::fprintf(stderr, "# kernel: %s\n", s.kernel.ToString().c_str());
+    std::fprintf(stderr, "# governor: %s\n", s.governor.ToString().c_str());
   }
   return 0;
 }

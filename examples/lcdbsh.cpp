@@ -7,7 +7,17 @@
 //   encode                         print the Theorem 6.4 encoding
 //   query <text>                   evaluate a query (boolean or symbolic)
 //   use arr|dec                    switch region extension
+//   \set timeout <ms>              per-query wall-clock deadline (0 = off)
+//   \set budget <name> <n>         per-query resource budget; <name> is one
+//                                  of the GovernorLimits fields, <n> a count
+//                                  or 'unlimited'
+//   \show limits                   print the budgets in effect
 //   help, quit
+//
+// Every query runs under its own QueryGovernor built from the session's
+// limits; a failure of any kind (parse error, type error, tripped budget,
+// injected fault) prints a one-line diagnostic — naming the tripped budget
+// when there is one — and the shell keeps going.
 //
 // Example session:
 //   db S(x) : (x > 0 & x < 1) | x = 5
@@ -17,6 +27,7 @@
 //         adj(Z, R') & subset(R')))](A, A)   -- needs bound A, use Conn
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -29,6 +40,8 @@
 #include "core/queries.h"
 #include "db/io.h"
 #include "db/region_extension.h"
+#include "engine/governor.h"
+#include "util/interrupt.h"
 #include "util/strings.h"
 
 namespace {
@@ -37,6 +50,7 @@ struct Session {
   std::optional<lcdb::ConstraintDatabase> db;
   std::unique_ptr<lcdb::RegionExtension> ext;
   bool use_decomposition = false;
+  lcdb::GovernorLimits limits;  // applied to every query via ScopedGovernor
 
   bool RebuildExtension() {
     if (!db.has_value()) {
@@ -99,10 +113,28 @@ void CmdRegions(Session& session) {
 }
 
 void CmdQuery(Session& session, const std::string& text) {
-  if (!session.RebuildExtension()) return;
+  // One governor per query: budgets reset each time, so a tripped query
+  // does not poison the next one.
+  lcdb::QueryGovernor governor(session.limits);
+  lcdb::ScopedGovernor scoped(governor);
+  try {
+    if (!session.RebuildExtension()) return;
+  } catch (const lcdb::QueryInterrupt& interrupt) {
+    // The extension builds eagerly (outside Evaluate's recovery boundary),
+    // so a budget can trip here; nothing was assigned to session.ext.
+    std::printf("!! extension build failed: %s\n",
+                interrupt.status().ToString().c_str());
+    return;
+  }
   auto answer = lcdb::EvaluateQueryText(*session.ext, text);
   if (!answer.ok()) {
-    std::printf("%s\n", answer.status().ToString().c_str());
+    const lcdb::GovernorStats gstats = governor.stats();
+    if (answer.status().IsResourceFailure() && !gstats.tripped_budget.empty()) {
+      std::printf("!! query stopped [%s] %s\n", gstats.tripped_budget.c_str(),
+                  answer.status().ToString().c_str());
+    } else {
+      std::printf("!! %s\n", answer.status().ToString().c_str());
+    }
     return;
   }
   if (answer->free_vars.empty()) {
@@ -110,6 +142,84 @@ void CmdQuery(Session& session, const std::string& text) {
   } else {
     std::printf("=> %s\n", answer->ToString().c_str());
   }
+}
+
+/// \set timeout <ms> | \set budget <name> <n|unlimited>
+void CmdSet(Session& session, const std::string& args) {
+  std::istringstream in(args);
+  std::string what;
+  in >> what;
+  auto parse_count = [&](uint64_t* out) {
+    std::string value;
+    if (!(in >> value)) return false;
+    if (value == "unlimited" || value == "off") {
+      *out = lcdb::GovernorLimits::kUnlimited;
+      return true;
+    }
+    *out = std::strtoull(value.c_str(), nullptr, 10);
+    return true;
+  };
+  if (what == "timeout") {
+    uint64_t ms = 0;
+    if (!parse_count(&ms)) {
+      std::printf("usage: \\set timeout <ms>   (0 or 'off' disables)\n");
+      return;
+    }
+    session.limits.wall_clock_ms =
+        ms == 0 ? lcdb::GovernorLimits::kUnlimited : ms;
+    std::printf("ok\n");
+    return;
+  }
+  if (what == "budget") {
+    std::string name;
+    uint64_t value = 0;
+    if (!(in >> name) || !parse_count(&value)) {
+      std::printf("usage: \\set budget <name> <n|unlimited>\n");
+      return;
+    }
+    lcdb::GovernorLimits& l = session.limits;
+    if (name == "max_feasibility_queries") {
+      l.max_feasibility_queries = value;
+    } else if (name == "max_simplex_pivots") {
+      l.max_simplex_pivots = value;
+    } else if (name == "max_fixpoint_iterations") {
+      l.max_fixpoint_iterations = value;
+    } else if (name == "max_tuple_space") {
+      l.max_tuple_space = value;
+    } else if (name == "max_dnf_disjuncts") {
+      l.max_dnf_disjuncts = value;
+    } else if (name == "max_bigint_bits") {
+      l.max_bigint_bits = value;
+    } else {
+      std::printf(
+          "unknown budget '%s'; one of: max_feasibility_queries, "
+          "max_simplex_pivots, max_fixpoint_iterations, max_tuple_space, "
+          "max_dnf_disjuncts, max_bigint_bits\n",
+          name.c_str());
+      return;
+    }
+    std::printf("ok\n");
+    return;
+  }
+  std::printf("usage: \\set timeout <ms> | \\set budget <name> <n>\n");
+}
+
+void CmdShowLimits(const Session& session) {
+  const lcdb::GovernorLimits& l = session.limits;
+  auto show = [](const char* name, uint64_t v) {
+    if (v == lcdb::GovernorLimits::kUnlimited) {
+      std::printf("  %-24s unlimited\n", name);
+    } else {
+      std::printf("  %-24s %llu\n", name, static_cast<unsigned long long>(v));
+    }
+  };
+  show("timeout (ms)", l.wall_clock_ms);
+  show("max_feasibility_queries", l.max_feasibility_queries);
+  show("max_simplex_pivots", l.max_simplex_pivots);
+  show("max_fixpoint_iterations", l.max_fixpoint_iterations);
+  show("max_tuple_space", l.max_tuple_space);
+  show("max_dnf_disjuncts", l.max_dnf_disjuncts);
+  show("max_bigint_bits", l.max_bigint_bits);
 }
 
 }  // namespace
@@ -126,37 +236,53 @@ int main() {
                          ? stripped.substr(cmd.size() + 1)
                          : std::string_view{});
     if (cmd == "quit" || cmd == "exit") break;
-    if (cmd == "help") {
-      std::printf(
-          "  db S(x, y) : <formula>  define a database inline\n"
-          "  load <path>             load a database file\n"
-          "  use arr|dec             choose arrangement/decomposition\n"
-          "  regions                 list regions of the extension\n"
-          "  encode                  print the Theorem 6.4 word encoding\n"
-          "  conn                    run the region connectivity query\n"
-          "  query <text>            evaluate a query\n"
-          "  quit\n");
-    } else if (cmd == "db") {
-      CmdDb(session, rest);
-    } else if (cmd == "load") {
-      CmdLoad(session, rest);
-    } else if (cmd == "use") {
-      session.use_decomposition = lcdb::StripWhitespace(rest) == "dec";
-      session.ext.reset();
-      std::printf("using %s extension\n",
-                  session.use_decomposition ? "decomposition" : "arrangement");
-    } else if (cmd == "regions") {
-      CmdRegions(session);
-    } else if (cmd == "encode") {
-      if (session.RebuildExtension()) {
-        std::printf("%s\n", lcdb::EncodeDatabase(*session.ext).c_str());
+    // Last-resort net: no command may take the shell down. CmdQuery handles
+    // its own failures with budget attribution; anything escaping another
+    // command (e.g. an interrupt during an ungoverned extension build)
+    // lands here as a one-line diagnostic.
+    try {
+      if (cmd == "help") {
+        std::printf(
+            "  db S(x, y) : <formula>  define a database inline\n"
+            "  load <path>             load a database file\n"
+            "  use arr|dec             choose arrangement/decomposition\n"
+            "  regions                 list regions of the extension\n"
+            "  encode                  print the Theorem 6.4 word encoding\n"
+            "  conn                    run the region connectivity query\n"
+            "  query <text>            evaluate a query\n"
+            "  \\set timeout <ms>       per-query deadline (0/'off' disables)\n"
+            "  \\set budget <name> <n>  per-query resource budget\n"
+            "  \\show limits            print the budgets in effect\n"
+            "  quit\n");
+      } else if (cmd == "db") {
+        CmdDb(session, rest);
+      } else if (cmd == "load") {
+        CmdLoad(session, rest);
+      } else if (cmd == "use") {
+        session.use_decomposition = lcdb::StripWhitespace(rest) == "dec";
+        session.ext.reset();
+        std::printf("using %s extension\n",
+                    session.use_decomposition ? "decomposition"
+                                              : "arrangement");
+      } else if (cmd == "regions") {
+        CmdRegions(session);
+      } else if (cmd == "encode") {
+        if (session.RebuildExtension()) {
+          std::printf("%s\n", lcdb::EncodeDatabase(*session.ext).c_str());
+        }
+      } else if (cmd == "conn") {
+        CmdQuery(session, lcdb::RegionConnQueryText());
+      } else if (cmd == "query") {
+        CmdQuery(session, rest);
+      } else if (cmd == "\\set") {
+        CmdSet(session, rest);
+      } else if (cmd == "\\show") {
+        CmdShowLimits(session);
+      } else {
+        std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
       }
-    } else if (cmd == "conn") {
-      CmdQuery(session, lcdb::RegionConnQueryText());
-    } else if (cmd == "query") {
-      CmdQuery(session, rest);
-    } else {
-      std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+    } catch (const lcdb::QueryInterrupt& interrupt) {
+      std::printf("!! %s\n", interrupt.status().ToString().c_str());
     }
   }
   std::printf("\n");

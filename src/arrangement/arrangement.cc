@@ -5,9 +5,11 @@
 #include <algorithm>
 #include <string>
 
+#include "engine/governor.h"
 #include "geometry/vertex_enumeration.h"
 #include "linalg/gauss.h"
 #include "lp/feasibility.h"
+#include "util/failpoint.h"
 #include "util/status.h"
 
 namespace lcdb {
@@ -78,6 +80,13 @@ void Arrangement::BuildFaces() {
     std::vector<PendingFace> next;
     next.reserve(faces.size() + faces.size() / 2);
     for (PendingFace& face : faces) {
+      // Arrangement construction is the other input-sensitive hot spot
+      // besides QE (face count is worst-case exponential in dim), so each
+      // split step is a cancellation + injection site. An unwind here
+      // abandons only the local `faces`/`next` vectors; the caller simply
+      // never receives a half-built arrangement.
+      LCDB_FAILPOINT("arrangement.split");
+      GovernorCheckpoint();
       const int side = h.SideOf(face.witness);
       // The part on the witness's side always exists.
       auto keep_side = [&](int sign_value, Vec witness, bool is_point) {

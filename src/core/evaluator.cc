@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "core/parser.h"
+#include "engine/governor.h"
 #include "engine/kernel.h"
 #include "geometry/convex_closure.h"
 #include "plan/executor.h"
 #include "plan/optimizer.h"
 #include "plan/planner.h"
+#include "util/interrupt.h"
 #include "util/status.h"
 
 namespace lcdb {
@@ -44,8 +46,9 @@ Status CheckTupleSpaces(const FormulaNode& node, size_t num_regions,
     size_t space = 1;
     for (size_t i = 0; i < k; ++i) {
       if (space > max_tuple_space / num_regions) {
-        return Status::Unsupported(
-            "operator tuple space exceeds Options::max_tuple_space in: " +
+        return Status::ResourceExhausted(
+            "operator tuple space exceeds max_tuple_space (" +
+            std::to_string(max_tuple_space) + ") in: " +
             node.ToString().substr(0, 120));
       }
       space *= num_regions;
@@ -78,25 +81,41 @@ Result<QueryAnswer> Evaluator::Evaluate(const FormulaNode& query) {
   // happens inside the window because the optimizer's folding pass issues
   // feasibility queries of its own.
   const KernelStats kernel_before = CurrentKernel().stats();
+  stats_.governor = GovernorStats();
+  // Bookkeeping shared by the success and interrupt exits. Every cache the
+  // unwind can cross inserts complete entries only, and the per-query memos
+  // above are cleared on entry, so a tripped query leaves the evaluator
+  // ready for the next one with no residue.
+  auto settle = [&] {
+    stats_.kernel += CurrentKernel().stats() - kernel_before;
+    if (QueryGovernor* g = CurrentGovernorOrNull()) stats_.governor = g->stats();
+    info_ = nullptr;
+  };
   DnfFormula result = DnfFormula::False(num_columns_);
-  if (options_.use_plan) {
-    CompiledPlan plan = BuildPlan(query, info, ext_);
-    if (options_.optimize) {
-      stats_.plan = PlanPassStats();
-      OptimizePlan(&plan, &stats_.plan);
+  try {
+    if (options_.use_plan) {
+      CompiledPlan plan = BuildPlan(query, info, ext_);
+      if (options_.optimize) {
+        stats_.plan = PlanPassStats();
+        OptimizePlan(&plan, &stats_.plan);
+      } else {
+        stats_.plan = PlanPassStats();
+        stats_.plan.plan_nodes = CountPlanNodes(*plan.root);
+      }
+      PlanExecutor executor(plan, ext_, options_, &stats_);
+      result = executor.Run();
     } else {
-      stats_.plan = PlanPassStats();
-      stats_.plan.plan_nodes = CountPlanNodes(*plan.root);
+      RegionEnv renv;
+      SetEnv senv;
+      result = Eval(query, renv, senv);
     }
-    PlanExecutor executor(plan, ext_, options_, &stats_);
-    result = executor.Run();
-  } else {
-    RegionEnv renv;
-    SetEnv senv;
-    result = Eval(query, renv, senv);
+  } catch (const QueryInterrupt& interrupt) {
+    // Recovery boundary: budget trips, cancellation and injected faults all
+    // surface here as the Status naming what went wrong.
+    settle();
+    return interrupt.status();
   }
-  stats_.kernel += CurrentKernel().stats() - kernel_before;
-  info_ = nullptr;
+  settle();
 
   // Keep only the free-variable columns (bound ones were eliminated; the
   // remaining order matches free_element_order by construction).
@@ -119,16 +138,22 @@ Result<std::string> Evaluator::Explain(const FormulaNode& query) {
   LCDB_ASSIGN_OR_RETURN(TypeInfo info, TypeCheck(query, ext_.database()));
   LCDB_RETURN_IF_ERROR(CheckTupleSpaces(query, ext_.num_regions(),
                                         options_.max_tuple_space));
-  CompiledPlan plan = BuildPlan(query, info, ext_);
-  PlanPassStats passes;
-  if (options_.optimize) {
-    OptimizePlan(&plan, &passes);
-  } else {
-    passes.plan_nodes = CountPlanNodes(*plan.root);
+  try {
+    CompiledPlan plan = BuildPlan(query, info, ext_);
+    PlanPassStats passes;
+    if (options_.optimize) {
+      OptimizePlan(&plan, &passes);
+    } else {
+      passes.plan_nodes = CountPlanNodes(*plan.root);
+    }
+    std::string out = PrintPlan(plan);
+    out += "-- " + passes.ToString() + "\n";
+    return out;
+  } catch (const QueryInterrupt& interrupt) {
+    // The optimizer's folding pass asks the kernel questions, so a budget
+    // or injected fault can fire during Explain too.
+    return interrupt.status();
   }
-  std::string out = PrintPlan(plan);
-  out += "-- " + passes.ToString() + "\n";
-  return out;
 }
 
 Result<bool> Evaluator::EvaluateSentence(const FormulaNode& query) {
@@ -137,9 +162,16 @@ Result<bool> Evaluator::EvaluateSentence(const FormulaNode& query) {
     return Status::InvalidArgument("sentence has free element variables");
   }
   const KernelStats kernel_before = CurrentKernel().stats();
-  const bool truth = !answer.formula.IsEmpty();
-  stats_.kernel += CurrentKernel().stats() - kernel_before;
-  return truth;
+  try {
+    // The emptiness test asks the kernel, so it is itself interruptible.
+    const bool truth = !answer.formula.IsEmpty();
+    stats_.kernel += CurrentKernel().stats() - kernel_before;
+    return truth;
+  } catch (const QueryInterrupt& interrupt) {
+    stats_.kernel += CurrentKernel().stats() - kernel_before;
+    if (QueryGovernor* g = CurrentGovernorOrNull()) stats_.governor = g->stats();
+    return interrupt.status();
+  }
 }
 
 size_t Evaluator::Column(const std::string& name) const {
@@ -238,6 +270,9 @@ bool Evaluator::EvalRegionAtom(const FormulaNode& node, RegionEnv& renv,
 
 DnfFormula Evaluator::Eval(const FormulaNode& node, RegionEnv& renv,
                            SetEnv& senv) {
+  // Cancellation point per node of the legacy walk — in particular one per
+  // region-quantifier expansion step, the walk's widest loops.
+  GovernorCheckpoint();
   ++stats_.node_evaluations;
   Tuple key;
   const bool cacheable = options_.memoize && info_->WorthCaching(node) &&
@@ -385,6 +420,7 @@ DnfFormula Evaluator::EvalUncached(const FormulaNode& node, RegionEnv& renv,
 
 bool Evaluator::EvalBool(const FormulaNode& node, RegionEnv& renv,
                          SetEnv& senv) {
+  GovernorCheckpoint();
   ++stats_.bool_evaluations;
   Tuple key;
   const bool cacheable = options_.memoize && info_->WorthCaching(node) &&

@@ -10,6 +10,7 @@
 #include "core/ast.h"
 #include "core/typecheck.h"
 #include "db/region_extension.h"
+#include "engine/governor.h"
 #include "engine/kernel_stats.h"
 #include "plan/plan_stats.h"
 #include "qe/fourier_motzkin.h"
@@ -88,6 +89,10 @@ class Evaluator {
     /// the oracle-decision counts Theorems 6.1/7.3 bound.
     size_t fixpoint_feasibility_queries = 0;
     size_t closure_feasibility_queries = 0;
+    /// Resource-governance telemetry of the most recent Evaluate call:
+    /// checkpoints passed, deadline reads, and — after a failed query —
+    /// which budget tripped. All zeros when the query ran ungoverned.
+    GovernorStats governor;
     /// Optimizer pass counters of the most recent compilation (plan mode).
     PlanPassStats plan;
     /// Wall-clock per-operator timings of plan executions (expensive

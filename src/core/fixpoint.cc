@@ -1,28 +1,14 @@
 #include <string>
-#include <unordered_set>
 
 #include "core/evaluator.h"
+#include "core/pfp_cycle.h"
+#include "engine/governor.h"
 #include "engine/kernel.h"
+#include "util/failpoint.h"
+#include "util/interrupt.h"
 #include "util/status.h"
 
 namespace lcdb {
-
-namespace {
-
-/// Serializes a tuple set for PFP cycle detection.
-std::string SerializeState(const std::set<std::vector<size_t>>& state) {
-  std::string out;
-  for (const auto& tuple : state) {
-    for (size_t v : tuple) {
-      out += std::to_string(v);
-      out += ',';
-    }
-    out += ';';
-  }
-  return out;
-}
-
-}  // namespace
 
 /// Computes the semantics of [LFP/IFP/PFP_{M, X̄} body] as a set of region
 /// tuples (Definition 5.1). The set is independent of the outer environment
@@ -35,6 +21,11 @@ std::string SerializeState(const std::set<std::vector<size_t>>& state) {
 ///  * PFP: stages iterate f exactly; if a fixed point is reached it is the
 ///    result, and if the sequence cycles without reaching one the result is
 ///    the empty set (standard PFP semantics on finite structures).
+///
+/// Resource limits (Options::max_* and any installed QueryGovernor budget)
+/// surface as QueryInterrupt, caught at the Evaluate boundary; the cache
+/// insert happens only after the full set is computed, so an interrupt
+/// leaves fixpoint_cache_ without a (possibly partial) entry.
 const Evaluator::TupleSet& Evaluator::FixpointSet(const FormulaNode& node) {
   auto cached = fixpoint_cache_.find(&node);
   if (cached != fixpoint_cache_.end()) return cached->second;
@@ -49,37 +40,27 @@ const Evaluator::TupleSet& Evaluator::FixpointSet(const FormulaNode& node) {
   // Tuple-space size guard (n^k).
   size_t space = 1;
   for (size_t i = 0; i < k; ++i) {
-    LCDB_CHECK_MSG(space <= options_.max_tuple_space / std::max<size_t>(n, 1),
-                   "fixed-point tuple space exceeds Options::max_tuple_space");
+    if (space > options_.max_tuple_space / std::max<size_t>(n, 1)) {
+      throw QueryInterrupt(Status::ResourceExhausted(
+          "fixed-point tuple space exceeds max_tuple_space (" +
+          std::to_string(options_.max_tuple_space) + ")"));
+    }
     space *= n;
   }
+  GovernorCheckTupleSpace(space, "fixed-point");
 
   const FormulaNode& body = *node.children[0];
-  TupleSet current;
-  std::unordered_set<std::string> seen_states;  // PFP cycle detection
   const bool is_pfp = node.kind == NodeKind::kPfp;
-  const bool is_lfp = node.kind == NodeKind::kLfp;
 
-  for (size_t iteration = 0;; ++iteration) {
-    if (is_pfp) {
-      LCDB_CHECK_MSG(iteration <= options_.max_pfp_iterations,
-                     "PFP exceeded Options::max_pfp_iterations");
-      if (!seen_states.insert(SerializeState(current)).second) {
-        // Revisited a state without reaching a fixed point: diverges.
-        stats_.fixpoint_feasibility_queries +=
-            CurrentKernel().stats().feasibility_queries -
-            kernel_queries_before;
-        return fixpoint_cache_.emplace(&node, TupleSet{}).first->second;
-      }
-    }
-    ++stats_.fixpoint_iterations;
-
+  // One Kleene stage: the next tuple set from the current one. Pure in the
+  // set binding (memo entries are keyed by a fresh version each call), so
+  // PfpCycleDetector may replay it to verify hash hits exactly.
+  auto kleene_stage = [&](const TupleSet& cur) {
     TupleSet next;
-    if (!is_pfp) next = current;  // LFP (monotone) / IFP keep prior stage
+    if (!is_pfp) next = cur;  // LFP (monotone) / IFP keep prior stage
     RegionEnv body_env;
     SetEnv body_senv;
-    body_senv.emplace(node.set_var,
-                      SetBinding{&current, ++set_version_counter_});
+    body_senv.emplace(node.set_var, SetBinding{&cur, ++set_version_counter_});
     Tuple tuple(k, 0);
     bool done_tuples = (n == 0);
     while (!done_tuples) {
@@ -100,13 +81,37 @@ const Evaluator::TupleSet& Evaluator::FixpointSet(const FormulaNode& node) {
       }
       if (k == 0) done_tuples = true;
     }
+    return next;
+  };
 
+  auto account = [&] {
+    stats_.fixpoint_feasibility_queries +=
+        CurrentKernel().stats().feasibility_queries - kernel_queries_before;
+  };
+
+  TupleSet current;
+  PfpCycleDetector cycle;  // PFP only; stores 8 bytes per stage
+  for (size_t iteration = 0;; ++iteration) {
+    LCDB_FAILPOINT("fixpoint.stage");
+    GovernorOnFixpointIteration();
+    if (is_pfp) {
+      if (iteration > options_.max_pfp_iterations) {
+        throw QueryInterrupt(Status::ResourceExhausted(
+            "PFP exceeded max_pfp_iterations (" +
+            std::to_string(options_.max_pfp_iterations) + ")"));
+      }
+      if (cycle.SeenBefore(current, iteration, kleene_stage)) {
+        // Revisited a state without reaching a fixed point: diverges.
+        account();
+        return fixpoint_cache_.emplace(&node, TupleSet{}).first->second;
+      }
+    }
+    ++stats_.fixpoint_iterations;
+    TupleSet next = kleene_stage(current);
     if (next == current) break;
     current = std::move(next);
   }
-  (void)is_lfp;
-  stats_.fixpoint_feasibility_queries +=
-      CurrentKernel().stats().feasibility_queries - kernel_queries_before;
+  account();
   return fixpoint_cache_.emplace(&node, std::move(current)).first->second;
 }
 

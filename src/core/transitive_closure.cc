@@ -1,7 +1,11 @@
 #include <deque>
+#include <string>
 
 #include "core/evaluator.h"
+#include "engine/governor.h"
 #include "engine/kernel.h"
+#include "util/failpoint.h"
+#include "util/interrupt.h"
 #include "util/status.h"
 
 namespace lcdb {
@@ -42,10 +46,14 @@ const std::vector<std::vector<bool>>& Evaluator::ClosureMatrix(
   const size_t n = ext_.num_regions();
   size_t space = 1;
   for (size_t i = 0; i < m; ++i) {
-    LCDB_CHECK_MSG(space <= options_.max_tuple_space / std::max<size_t>(n, 1),
-                   "TC tuple space exceeds Options::max_tuple_space");
+    if (space > options_.max_tuple_space / std::max<size_t>(n, 1)) {
+      throw QueryInterrupt(Status::ResourceExhausted(
+          "TC tuple space exceeds max_tuple_space (" +
+          std::to_string(options_.max_tuple_space) + ")"));
+    }
     space *= n;
   }
+  GovernorCheckTupleSpace(space, "closure");
 
   // Enumerate all m-tuples once.
   std::vector<Tuple> tuples;
@@ -75,6 +83,11 @@ const std::vector<std::vector<bool>>& Evaluator::ClosureMatrix(
   SetEnv senv;
   std::vector<std::vector<bool>> edges(total, std::vector<bool>(total, false));
   for (size_t u = 0; u < total; ++u) {
+    // Edge construction is the LP-heavy phase (total^2 body evaluations),
+    // so it gets the per-row injection + cancellation point. An unwind
+    // abandons only the local `edges` matrix; closure_cache_ is untouched.
+    LCDB_FAILPOINT("closure.build");
+    GovernorCheckpoint();
     for (size_t v = 0; v < total; ++v) {
       for (size_t i = 0; i < m; ++i) {
         env[node.bound_vars[i]] = tuples[u][i];

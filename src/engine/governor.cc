@@ -1,0 +1,129 @@
+#include "engine/governor.h"
+
+#include <utility>
+
+namespace lcdb {
+
+namespace {
+thread_local QueryGovernor* t_current_governor = nullptr;
+}  // namespace
+
+QueryGovernor* CurrentGovernorOrNull() { return t_current_governor; }
+
+ScopedGovernor::ScopedGovernor(QueryGovernor& governor)
+    : previous_(t_current_governor) {
+  t_current_governor = &governor;
+}
+
+ScopedGovernor::~ScopedGovernor() { t_current_governor = previous_; }
+
+QueryGovernor::QueryGovernor(const GovernorLimits& limits)
+    : limits_(limits),
+      has_deadline_(limits.wall_clock_ms != GovernorLimits::kUnlimited),
+      deadline_(has_deadline_
+                    ? std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(limits.wall_clock_ms)
+                    : std::chrono::steady_clock::time_point::max()) {}
+
+void QueryGovernor::Trip(StatusCode code, const char* budget,
+                         std::string detail) {
+  budget_trips_.fetch_add(1, std::memory_order_relaxed);
+  bool expected = false;
+  if (tripped_.compare_exchange_strong(expected, true,
+                                       std::memory_order_relaxed)) {
+    // First trip names the culprit; repeats (a retried query on the same
+    // spent governor) keep the original attribution.
+    tripped_budget_ = budget;
+  }
+  throw QueryInterrupt(Status(code, std::move(detail)));
+}
+
+void QueryGovernor::CheckDeadline() {
+  deadline_checks_.fetch_add(1, std::memory_order_relaxed);
+  if (std::chrono::steady_clock::now() >= deadline_) {
+    Trip(StatusCode::kDeadlineExceeded, "wall_clock_ms",
+         "query exceeded its wall-clock budget of " +
+             std::to_string(limits_.wall_clock_ms) + "ms");
+  }
+}
+
+void QueryGovernor::Checkpoint() {
+  const uint64_t n = checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  if (cancel_.load(std::memory_order_relaxed)) {
+    Trip(StatusCode::kCancelled, "cancel", "query cancelled by caller");
+  }
+  if (has_deadline_ && n % kDeadlineStride == 0) CheckDeadline();
+}
+
+void QueryGovernor::OnFeasibilityQuery() {
+  const uint64_t used =
+      feasibility_queries_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (used > limits_.max_feasibility_queries) {
+    Trip(StatusCode::kResourceExhausted, "max_feasibility_queries",
+         "query exceeded its kernel feasibility-query budget of " +
+             std::to_string(limits_.max_feasibility_queries));
+  }
+  Checkpoint();
+}
+
+void QueryGovernor::OnSimplexPivot() {
+  const uint64_t used =
+      simplex_pivots_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (used > limits_.max_simplex_pivots) {
+    Trip(StatusCode::kResourceExhausted, "max_simplex_pivots",
+         "query exceeded its simplex pivot budget of " +
+             std::to_string(limits_.max_simplex_pivots));
+  }
+  Checkpoint();
+}
+
+void QueryGovernor::OnFixpointIteration() {
+  const uint64_t used =
+      fixpoint_iterations_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (used > limits_.max_fixpoint_iterations) {
+    Trip(StatusCode::kResourceExhausted, "max_fixpoint_iterations",
+         "query exceeded its fixpoint-iteration budget of " +
+             std::to_string(limits_.max_fixpoint_iterations));
+  }
+  Checkpoint();
+}
+
+void QueryGovernor::CheckTupleSpace(uint64_t space, const char* op) {
+  if (space > limits_.max_tuple_space) {
+    Trip(StatusCode::kResourceExhausted, "max_tuple_space",
+         std::string(op) + " tuple space " + std::to_string(space) +
+             " exceeds the governor budget of " +
+             std::to_string(limits_.max_tuple_space));
+  }
+}
+
+void QueryGovernor::CheckDnfDisjuncts(uint64_t disjuncts) {
+  if (disjuncts > limits_.max_dnf_disjuncts) {
+    Trip(StatusCode::kResourceExhausted, "max_dnf_disjuncts",
+         "intermediate formula grew to " + std::to_string(disjuncts) +
+             " disjuncts, over the budget of " +
+             std::to_string(limits_.max_dnf_disjuncts));
+  }
+}
+
+void QueryGovernor::CheckBigIntBits(uint64_t bits) {
+  if (bits > limits_.max_bigint_bits) {
+    Trip(StatusCode::kResourceExhausted, "max_bigint_bits",
+         "a coefficient grew to " + std::to_string(bits) +
+             " bits, over the budget of " +
+             std::to_string(limits_.max_bigint_bits));
+  }
+}
+
+GovernorStats QueryGovernor::stats() const {
+  GovernorStats out;
+  out.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  out.deadline_checks = deadline_checks_.load(std::memory_order_relaxed);
+  out.budget_trips = budget_trips_.load(std::memory_order_relaxed);
+  if (tripped_.load(std::memory_order_relaxed)) {
+    out.tripped_budget = tripped_budget_;
+  }
+  return out;
+}
+
+}  // namespace lcdb

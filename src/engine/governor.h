@@ -1,0 +1,182 @@
+#ifndef LCDB_ENGINE_GOVERNOR_H_
+#define LCDB_ENGINE_GOVERNOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/interrupt.h"
+#include "util/status.h"
+
+namespace lcdb {
+
+/// Per-query resource budgets. kUnlimited disables a budget; an explicit 0
+/// is a real budget that trips on the first unit consumed (the zero-budget
+/// edge case governor_test.cc pins down). `wall_clock_ms` becomes an
+/// absolute steady-clock deadline when the governor is constructed.
+struct GovernorLimits {
+  static constexpr uint64_t kUnlimited =
+      std::numeric_limits<uint64_t>::max();
+
+  uint64_t wall_clock_ms = kUnlimited;           ///< per-query deadline
+  uint64_t max_feasibility_queries = kUnlimited; ///< kernel decisions asked
+  uint64_t max_simplex_pivots = kUnlimited;      ///< tableau pivot steps
+  uint64_t max_fixpoint_iterations = kUnlimited; ///< Kleene stages, all ops
+  uint64_t max_tuple_space = kUnlimited;         ///< n^k per fixpoint/TC op
+  uint64_t max_dnf_disjuncts = kUnlimited;       ///< widest formula allowed
+  uint64_t max_bigint_bits = kUnlimited;         ///< widest QE coefficient
+};
+
+/// Counters of governance work, surfaced through Evaluator::Stats, `lcdbq
+/// --stats` and the bench JSON so the cancellation-check overhead is a
+/// measured quantity rather than folklore.
+struct GovernorStats {
+  uint64_t checkpoints = 0;      ///< cooperative cancellation points passed
+  uint64_t deadline_checks = 0;  ///< steady_clock reads among those
+  uint64_t budget_trips = 0;     ///< trips raised (1 per failed query)
+  /// Which budget tripped ("max_feasibility_queries", "wall_clock_ms",
+  /// "cancel", ...); empty while the query is within budget.
+  std::string tripped_budget;
+
+  std::string ToString() const {
+    std::string out = "checkpoints=" + std::to_string(checkpoints);
+    out += " deadline_checks=" + std::to_string(deadline_checks);
+    out += " budget_trips=" + std::to_string(budget_trips);
+    if (!tripped_budget.empty()) out += " tripped=" + tripped_budget;
+    return out;
+  }
+};
+
+/// The resource governor of one query: carries the budgets, the consumption
+/// counters and an externally settable cancel flag. Long-running loops call
+/// the On*/Check* entry points; when a budget is exceeded the governor
+/// records which one and throws a QueryInterrupt, which unwinds to the
+/// nearest recovery boundary (Evaluator::Evaluate converts it to a Status
+/// naming the budget). The governor itself is left fully usable for
+/// inspection after a trip — `stats().tripped_budget` names the culprit.
+///
+/// Install with ScopedGovernor, mirroring ScopedKernel: consumers reach the
+/// innermost override on the current thread via CurrentGovernorOrNull(),
+/// and a thread with no governor installed pays one thread-local load per
+/// checkpoint and nothing else.
+///
+/// Thread safety: RequestCancel() may be called from any thread; the
+/// consumption counters are relaxed atomics so a future parallel executor
+/// can share one governor across worker threads.
+class QueryGovernor {
+ public:
+  QueryGovernor() : QueryGovernor(GovernorLimits{}) {}
+  explicit QueryGovernor(const GovernorLimits& limits);
+
+  QueryGovernor(const QueryGovernor&) = delete;
+  QueryGovernor& operator=(const QueryGovernor&) = delete;
+
+  /// Cooperative cancellation from outside the evaluating thread: the next
+  /// checkpoint throws kCancelled.
+  void RequestCancel() { cancel_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+
+  /// The plain cancellation point: cancel flag on every call, deadline
+  /// every kDeadlineStride-th call (a steady_clock read is ~20ns; the
+  /// stride keeps governed evaluation within the <2% overhead target).
+  void Checkpoint();
+
+  // --- Budget consumption entry points ---
+
+  /// One kernel feasibility/implication decision (engine/kernel.cc).
+  void OnFeasibilityQuery();
+  /// One tableau pivot (lp/simplex.cc); also serves as the cancellation
+  /// point inside a single long LP solve.
+  void OnSimplexPivot();
+  /// One Kleene stage of any fixed-point operator.
+  void OnFixpointIteration();
+  /// `space` = n^k tuple-space size of a fixpoint/TC operator; `op` names
+  /// the operator for the diagnostic.
+  void CheckTupleSpace(uint64_t space, const char* op);
+  /// Width of a freshly produced DNF formula (QE, region expansion).
+  void CheckDnfDisjuncts(uint64_t disjuncts);
+  /// Bit length of the widest coefficient a QE combination produced.
+  void CheckBigIntBits(uint64_t bits);
+
+  GovernorStats stats() const;
+  const GovernorLimits& limits() const { return limits_; }
+
+ private:
+  static constexpr uint64_t kDeadlineStride = 64;
+
+  void CheckDeadline();
+  [[noreturn]] void Trip(StatusCode code, const char* budget,
+                         std::string detail);
+
+  const GovernorLimits limits_;
+  const bool has_deadline_;
+  std::chrono::steady_clock::time_point deadline_;
+
+  std::atomic<bool> cancel_{false};
+  std::atomic<uint64_t> feasibility_queries_{0};
+  std::atomic<uint64_t> simplex_pivots_{0};
+  std::atomic<uint64_t> fixpoint_iterations_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> deadline_checks_{0};
+  std::atomic<uint64_t> budget_trips_{0};
+  mutable std::atomic<bool> tripped_{false};
+  std::string tripped_budget_;  ///< written once, on the tripping thread
+};
+
+/// The innermost ScopedGovernor on this thread, or nullptr when the query
+/// runs ungoverned (the default: zero bookkeeping).
+QueryGovernor* CurrentGovernorOrNull();
+
+/// RAII install, mirroring ScopedKernel.
+class ScopedGovernor {
+ public:
+  explicit ScopedGovernor(QueryGovernor& governor);
+  ~ScopedGovernor();
+
+  ScopedGovernor(const ScopedGovernor&) = delete;
+  ScopedGovernor& operator=(const ScopedGovernor&) = delete;
+
+ private:
+  QueryGovernor* previous_;
+};
+
+// --- One-line call sites for governed layers (no-ops when ungoverned) ---
+
+inline void GovernorCheckpoint() {
+  if (QueryGovernor* g = CurrentGovernorOrNull()) g->Checkpoint();
+}
+inline void GovernorOnFeasibilityQuery() {
+  if (QueryGovernor* g = CurrentGovernorOrNull()) g->OnFeasibilityQuery();
+}
+inline void GovernorOnSimplexPivot() {
+  if (QueryGovernor* g = CurrentGovernorOrNull()) g->OnSimplexPivot();
+}
+inline void GovernorOnFixpointIteration() {
+  if (QueryGovernor* g = CurrentGovernorOrNull()) g->OnFixpointIteration();
+}
+inline void GovernorCheckTupleSpace(uint64_t space, const char* op) {
+  if (QueryGovernor* g = CurrentGovernorOrNull()) g->CheckTupleSpace(space, op);
+}
+inline void GovernorCheckDnfDisjuncts(uint64_t disjuncts) {
+  if (QueryGovernor* g = CurrentGovernorOrNull()) {
+    g->CheckDnfDisjuncts(disjuncts);
+  }
+}
+/// Returns true iff a governor with a max_bigint_bits budget is installed,
+/// so hot loops can skip the coefficient scan entirely otherwise.
+inline bool GovernorWantsBigIntBits() {
+  QueryGovernor* g = CurrentGovernorOrNull();
+  return g != nullptr &&
+         g->limits().max_bigint_bits != GovernorLimits::kUnlimited;
+}
+inline void GovernorCheckBigIntBits(uint64_t bits) {
+  if (QueryGovernor* g = CurrentGovernorOrNull()) g->CheckBigIntBits(bits);
+}
+
+}  // namespace lcdb
+
+#endif  // LCDB_ENGINE_GOVERNOR_H_

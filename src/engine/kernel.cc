@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "engine/governor.h"
+#include "util/failpoint.h"
+
 namespace lcdb {
 
 namespace {
@@ -49,6 +52,8 @@ bool ConstraintKernel::IsConsistentWithNegation(const Conjunction& conj,
 
 bool ConstraintKernel::IsBoundedSystem(
     size_t num_vars, const std::vector<LinearConstraint>& constraints) {
+  LCDB_FAILPOINT("kernel.decide");
+  GovernorOnFeasibilityQuery();
   const SimplexCounters before = GetSimplexCounters();
   const bool bounded = lcdb::IsBoundedSystem(num_vars, constraints);
   const SimplexCounters after = GetSimplexCounters();
@@ -61,6 +66,11 @@ bool ConstraintKernel::IsBoundedSystem(
 
 FeasibilityResult ConstraintKernel::CachedFeasibility(
     const CanonicalSystem& canon) {
+  // Injection + budget site, deliberately before the lock and before any
+  // cache mutation: an interrupt here (or anywhere in the LP solve below)
+  // can only suppress an insertion, so the caches stay complete-or-absent.
+  LCDB_FAILPOINT("kernel.decide");
+  GovernorOnFeasibilityQuery();
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.feasibility_queries;

@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "engine/governor.h"
 #include "util/status.h"
 
 namespace lcdb {
@@ -109,6 +110,11 @@ class Tableau {
   void Pivot(size_t row, size_t col) {
     LCDB_CHECK(rows_[row][col].Sign() != 0);
     g_simplex_pivots.fetch_add(1, std::memory_order_relaxed);
+    // Per-pivot cancellation point: a single adversarial LP can spin for a
+    // long time, so the pivot budget and the wall-clock deadline must be
+    // enforceable from inside one solve, not just between solves. The
+    // tableau is function-local, so the unwind leaves no shared state.
+    GovernorOnSimplexPivot();
     const Rational inv = Rational(1) / rows_[row][col];
     for (size_t c = 0; c < num_cols_; ++c) rows_[row][c] *= inv;
     rhs_[row] *= inv;

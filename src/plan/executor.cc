@@ -3,30 +3,21 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
-#include <unordered_set>
+#include <string>
 
 #include "constraint/simplify.h"
+#include "core/pfp_cycle.h"
+#include "engine/governor.h"
 #include "engine/kernel.h"
 #include "geometry/convex_closure.h"
 #include "qe/fourier_motzkin.h"
+#include "util/failpoint.h"
+#include "util/interrupt.h"
 #include "util/status.h"
 
 namespace lcdb {
 
 namespace {
-
-/// Serializes a tuple set for PFP cycle detection.
-std::string SerializeState(const std::set<std::vector<size_t>>& state) {
-  std::string out;
-  for (const auto& tuple : state) {
-    for (size_t v : tuple) {
-      out += std::to_string(v);
-      out += ',';
-    }
-    out += ';';
-  }
-  return out;
-}
 
 /// Accumulates wall-clock time of one operator execution into op_timings.
 class ScopedOpTimer {
@@ -58,6 +49,9 @@ PlanExecutor::PlanExecutor(const CompiledPlan& plan,
       num_columns_(plan.num_columns) {}
 
 DnfFormula PlanExecutor::Run() {
+  // Named injection site for the whole-plan path (failpoint_test.cc): fires
+  // after compilation/optimization but before the first operator runs.
+  LCDB_FAILPOINT("plan.execute");
   RegionEnv renv;
   SetEnv senv;
   return Eval(*plan_.root, renv, senv);
@@ -81,6 +75,9 @@ bool PlanExecutor::CacheKey(const PlanNode& node, const RegionEnv& renv,
 
 DnfFormula PlanExecutor::Eval(const PlanNode& node, RegionEnv& renv,
                               SetEnv& senv) {
+  // Cancellation point per plan node — in particular one per region-
+  // quantifier expansion step, the executor's widest loops.
+  GovernorCheckpoint();
   ++stats_->node_evaluations;
   Tuple key;
   const bool cacheable = options_.memoize &&
@@ -187,6 +184,7 @@ DnfFormula PlanExecutor::EvalUncached(const PlanNode& node, RegionEnv& renv,
 
 bool PlanExecutor::EvalBool(const PlanNode& node, RegionEnv& renv,
                             SetEnv& senv) {
+  GovernorCheckpoint();
   ++stats_->bool_evaluations;
   Tuple key;
   const bool cacheable = options_.memoize &&
@@ -354,36 +352,25 @@ const PlanExecutor::TupleSet& PlanExecutor::FixpointSet(const PlanNode& node) {
   const size_t n = ext_.num_regions();
   size_t space = 1;
   for (size_t i = 0; i < k; ++i) {
-    LCDB_CHECK_MSG(space <= options_.max_tuple_space / std::max<size_t>(n, 1),
-                   "fixed-point tuple space exceeds Options::max_tuple_space");
+    if (space > options_.max_tuple_space / std::max<size_t>(n, 1)) {
+      throw QueryInterrupt(Status::ResourceExhausted(
+          "fixed-point tuple space exceeds max_tuple_space (" +
+          std::to_string(options_.max_tuple_space) + ")"));
+    }
     space *= n;
   }
+  GovernorCheckTupleSpace(space, "fixed-point");
 
   const PlanNode& body = *node.children[0];
-  TupleSet current;
-  std::unordered_set<std::string> seen_states;  // PFP cycle detection
   const bool is_pfp = node.source_kind == NodeKind::kPfp;
 
-  for (size_t iteration = 0;; ++iteration) {
-    if (is_pfp) {
-      LCDB_CHECK_MSG(iteration <= options_.max_pfp_iterations,
-                     "PFP exceeded Options::max_pfp_iterations");
-      if (!seen_states.insert(SerializeState(current)).second) {
-        // Revisited a state without reaching a fixed point: diverges.
-        stats_->fixpoint_feasibility_queries +=
-            CurrentKernel().stats().feasibility_queries -
-            kernel_queries_before;
-        return fixpoint_cache_.emplace(&node, TupleSet{}).first->second;
-      }
-    }
-    ++stats_->fixpoint_iterations;
-
+  // One Kleene stage (pure in the set binding); see core/fixpoint.cc.
+  auto kleene_stage = [&](const TupleSet& cur) {
     TupleSet next;
-    if (!is_pfp) next = current;  // LFP (monotone) / IFP keep prior stage
+    if (!is_pfp) next = cur;  // LFP (monotone) / IFP keep prior stage
     RegionEnv body_env;
     SetEnv body_senv;
-    body_senv.emplace(node.set_var,
-                      SetBinding{&current, ++set_version_counter_});
+    body_senv.emplace(node.set_var, SetBinding{&cur, ++set_version_counter_});
     Tuple tuple(k, 0);
     bool done_tuples = (n == 0);
     while (!done_tuples) {
@@ -404,12 +391,37 @@ const PlanExecutor::TupleSet& PlanExecutor::FixpointSet(const PlanNode& node) {
       }
       if (k == 0) done_tuples = true;
     }
+    return next;
+  };
 
+  auto account = [&] {
+    stats_->fixpoint_feasibility_queries +=
+        CurrentKernel().stats().feasibility_queries - kernel_queries_before;
+  };
+
+  TupleSet current;
+  PfpCycleDetector cycle;  // PFP only; stores 8 bytes per stage
+  for (size_t iteration = 0;; ++iteration) {
+    LCDB_FAILPOINT("fixpoint.stage");
+    GovernorOnFixpointIteration();
+    if (is_pfp) {
+      if (iteration > options_.max_pfp_iterations) {
+        throw QueryInterrupt(Status::ResourceExhausted(
+            "PFP exceeded max_pfp_iterations (" +
+            std::to_string(options_.max_pfp_iterations) + ")"));
+      }
+      if (cycle.SeenBefore(current, iteration, kleene_stage)) {
+        // Revisited a state without reaching a fixed point: diverges.
+        account();
+        return fixpoint_cache_.emplace(&node, TupleSet{}).first->second;
+      }
+    }
+    ++stats_->fixpoint_iterations;
+    TupleSet next = kleene_stage(current);
     if (next == current) break;
     current = std::move(next);
   }
-  stats_->fixpoint_feasibility_queries +=
-      CurrentKernel().stats().feasibility_queries - kernel_queries_before;
+  account();
   return fixpoint_cache_.emplace(&node, std::move(current)).first->second;
 }
 
@@ -438,10 +450,14 @@ const std::vector<std::vector<bool>>& PlanExecutor::ClosureMatrix(
   const size_t n = ext_.num_regions();
   size_t space = 1;
   for (size_t i = 0; i < m; ++i) {
-    LCDB_CHECK_MSG(space <= options_.max_tuple_space / std::max<size_t>(n, 1),
-                   "TC tuple space exceeds Options::max_tuple_space");
+    if (space > options_.max_tuple_space / std::max<size_t>(n, 1)) {
+      throw QueryInterrupt(Status::ResourceExhausted(
+          "TC tuple space exceeds max_tuple_space (" +
+          std::to_string(options_.max_tuple_space) + ")"));
+    }
     space *= n;
   }
+  GovernorCheckTupleSpace(space, "closure");
 
   // Enumerate all m-tuples once.
   std::vector<Tuple> tuples;
@@ -471,6 +487,11 @@ const std::vector<std::vector<bool>>& PlanExecutor::ClosureMatrix(
   SetEnv senv;
   std::vector<std::vector<bool>> edges(total, std::vector<bool>(total, false));
   for (size_t u = 0; u < total; ++u) {
+    // Edge construction is the LP-heavy phase (total^2 body evaluations),
+    // so it gets the per-row injection + cancellation point. An unwind
+    // abandons only the local `edges` matrix; closure_cache_ is untouched.
+    LCDB_FAILPOINT("closure.build");
+    GovernorCheckpoint();
     for (size_t v = 0; v < total; ++v) {
       for (size_t i = 0; i < m; ++i) {
         env[node.bound_vars[i]] = tuples[u][i];

@@ -3,10 +3,28 @@
 #include <algorithm>
 #include <optional>
 
+#include "engine/governor.h"
+#include "util/failpoint.h"
 #include "util/status.h"
 
 namespace lcdb {
 namespace {
+
+/// Bit length of the widest integer (coefficient or rhs) in the conjunct —
+/// the quantity the governor's max_bigint_bits ceiling bounds. QE is where
+/// coefficient blowup actually happens (each Fourier-Motzkin combination
+/// multiplies bounds), so the scan runs here and only when a governor with
+/// that budget is installed.
+uint64_t MaxCoeffBits(const Conjunction& conj) {
+  uint64_t bits = 0;
+  for (const LinearAtom& atom : conj.atoms()) {
+    for (const BigInt& c : atom.coeffs()) {
+      bits = std::max<uint64_t>(bits, c.BitLength());
+    }
+    bits = std::max<uint64_t>(bits, atom.rhs().BitLength());
+  }
+  return bits;
+}
 
 /// A bound on the eliminated variable: x REL expr, with expr an affine
 /// expression not involving x. `strict` distinguishes < from <=.
@@ -119,9 +137,14 @@ Conjunction EliminateFromConjunct(const Conjunction& conj, size_t var) {
 
 DnfFormula ExistsVariable(const DnfFormula& f, size_t var,
                           const QeOptions& options) {
+  LCDB_FAILPOINT("qe.project");
+  const bool watch_bits = GovernorWantsBigIntBits();
   std::vector<Conjunction> out;
   out.reserve(f.disjuncts().size());
   for (const Conjunction& conj : f.disjuncts()) {
+    // One cancellation point per disjunct: a projection over a wide DNF is
+    // the longest uninterruptible stretch QE would otherwise have.
+    GovernorCheckpoint();
     // Redundancy elimination BEFORE projection: every redundant bound on
     // `var` would otherwise multiply into the lower×upper product and
     // compound over later variables. The implication tests all go through
@@ -133,12 +156,17 @@ DnfFormula ExistsVariable(const DnfFormula& f, size_t var,
       Conjunction pruned = conj;
       pruned.RemoveRedundantAtoms();
       Conjunction reduced = EliminateFromConjunct(pruned, var);
+      if (watch_bits) GovernorCheckBigIntBits(MaxCoeffBits(reduced));
       if (!reduced.IsSyntacticallyFalse()) out.push_back(std::move(reduced));
       continue;
     }
     Conjunction reduced = EliminateFromConjunct(conj, var);
+    if (watch_bits) GovernorCheckBigIntBits(MaxCoeffBits(reduced));
     if (!reduced.IsSyntacticallyFalse()) out.push_back(std::move(reduced));
   }
+  // The disjunct ceiling is checked on the pre-simplification width — that
+  // is the allocation the projection actually made.
+  GovernorCheckDnfDisjuncts(out.size());
   DnfFormula result(f.num_vars(), std::move(out));
   result.Simplify();
   return result;

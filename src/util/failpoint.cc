@@ -1,0 +1,100 @@
+#include "util/failpoint.h"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "util/interrupt.h"
+
+namespace lcdb {
+
+namespace internal {
+std::atomic<int> g_armed_failpoints{0};
+}  // namespace internal
+
+namespace {
+
+struct ArmedSite {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+  uint64_t skip_hits = 0;
+  bool armed = false;  ///< disarmed entries linger to keep their hit count
+  uint64_t hits = 0;
+};
+
+std::mutex& RegistryMutex() {
+  static std::mutex* mu = new std::mutex;  // leaked: used during shutdown
+  return *mu;
+}
+
+std::map<std::string, ArmedSite>& Registry() {
+  static auto* registry = new std::map<std::string, ArmedSite>;
+  return *registry;
+}
+
+}  // namespace
+
+void ArmFailpoint(std::string site, StatusCode code, std::string message,
+                  uint64_t skip_hits) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  ArmedSite& entry = Registry()[std::move(site)];
+  if (!entry.armed) {
+    internal::g_armed_failpoints.fetch_add(1, std::memory_order_relaxed);
+  }
+  entry.code = code;
+  entry.message = std::move(message);
+  entry.skip_hits = skip_hits;
+  entry.armed = true;
+  entry.hits = 0;
+}
+
+void DisarmFailpoint(const std::string& site) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(site);
+  if (it == Registry().end() || !it->second.armed) return;
+  it->second.armed = false;
+  internal::g_armed_failpoints.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void DisarmAllFailpoints() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (auto& [site, entry] : Registry()) {
+    if (entry.armed) {
+      entry.armed = false;
+      internal::g_armed_failpoints.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+uint64_t FailpointHitCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(site);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+namespace internal {
+
+void FailpointHit(const char* site) {
+  StatusCode code;
+  std::string message;
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    auto it = Registry().find(site);
+    if (it == Registry().end()) {
+      // Unarmed site observed while others are armed: count it anyway so
+      // tests can assert a site was exercised without injecting into it.
+      ++Registry()[site].hits;
+      return;
+    }
+    ArmedSite& entry = it->second;
+    ++entry.hits;
+    if (!entry.armed || entry.hits <= entry.skip_hits) return;
+    code = entry.code;
+    message = entry.message + " (failpoint '" + site + "')";
+  }
+  throw QueryInterrupt(Status(code, std::move(message)));
+}
+
+}  // namespace internal
+
+}  // namespace lcdb

@@ -1,0 +1,58 @@
+#ifndef LCDB_UTIL_FAILPOINT_H_
+#define LCDB_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace lcdb {
+
+/// Deterministic fault-injection points, compiled in unconditionally so the
+/// test matrix exercises exactly the shipped binary. An unarmed process pays
+/// one relaxed atomic load and a predicted branch per site hit; arming any
+/// failpoint switches every site onto the slow (mutex + registry) path until
+/// the registry is empty again.
+///
+/// A site is named by a stable string literal, e.g. LCDB_FAILPOINT
+/// ("kernel.decide"). Arming a site makes its (skip_hits+1)-th hit throw a
+/// QueryInterrupt carrying Status(code, message) — the exact propagation
+/// path a real resource trip takes, which is the point: the matrix in
+/// failpoint_test.cc proves every layer between the site and the recovery
+/// boundary unwinds without aborting or corrupting memo/cache state.
+///
+/// Named sites (kept in sync with failpoint_test.cc):
+///   kernel.decide      feasibility / implication decision entry
+///   qe.project         one Fourier-Motzkin variable projection
+///   arrangement.split  one (face, hyperplane) incremental split step
+///   fixpoint.stage     one Kleene stage of an LFP/IFP/PFP operator
+///   closure.build      TC/DTC closure-matrix construction entry
+///   plan.execute       plan-executor root entry
+void ArmFailpoint(std::string site, StatusCode code, std::string message,
+                  uint64_t skip_hits = 0);
+void DisarmFailpoint(const std::string& site);
+void DisarmAllFailpoints();
+
+/// Hits observed at `site` while any failpoint was armed (hit accounting is
+/// active only on the slow path; an unarmed process counts nothing).
+uint64_t FailpointHitCount(const std::string& site);
+
+namespace internal {
+extern std::atomic<int> g_armed_failpoints;
+/// Slow path: records the hit and throws if `site` is armed and due.
+void FailpointHit(const char* site);
+}  // namespace internal
+
+inline void FailpointCheck(const char* site) {
+  if (internal::g_armed_failpoints.load(std::memory_order_relaxed) > 0) {
+    internal::FailpointHit(site);
+  }
+}
+
+}  // namespace lcdb
+
+/// Marks an injection site. Reads as a statement; costs ~nothing unarmed.
+#define LCDB_FAILPOINT(site) ::lcdb::FailpointCheck(site)
+
+#endif  // LCDB_UTIL_FAILPOINT_H_

@@ -1,0 +1,40 @@
+#ifndef LCDB_UTIL_INTERRUPT_H_
+#define LCDB_UTIL_INTERRUPT_H_
+
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace lcdb {
+
+/// The transport of cooperative cancellation and fault injection: thrown by
+/// QueryGovernor trip sites (engine/governor.h) and armed failpoints
+/// (util/failpoint.h) deep inside a long-running loop, and converted back
+/// into a plain `Status` at the nearest recovery boundary —
+/// `Evaluator::Evaluate` / `Explain` for everything reachable from a query,
+/// the caller's try block for extension construction.
+///
+/// Sites that may throw this MUST be interrupt-safe: no caches, memo tables
+/// or shared structures may be left with partially-computed entries on
+/// unwind. The repo-wide invariant (DESIGN.md, "Failure taxonomy and
+/// resource governance") is insert-complete-entries-only, which makes every
+/// layer trivially safe: an interrupt can only suppress an insertion, never
+/// corrupt one.
+class QueryInterrupt : public std::exception {
+ public:
+  explicit QueryInterrupt(Status status)
+      : status_(std::move(status)), rendered_(status_.ToString()) {}
+
+  const Status& status() const { return status_; }
+  const char* what() const noexcept override { return rendered_.c_str(); }
+
+ private:
+  Status status_;
+  std::string rendered_;
+};
+
+}  // namespace lcdb
+
+#endif  // LCDB_UTIL_INTERRUPT_H_

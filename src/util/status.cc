@@ -20,6 +20,12 @@ const char* CodeName(StatusCode code) {
       return "NotFound";
     case StatusCode::kUnsupported:
       return "Unsupported";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

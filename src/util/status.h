@@ -11,8 +11,10 @@ namespace lcdb {
 
 /// Error categories used across the library. The set is deliberately small:
 /// parse errors (malformed input text), invalid arguments (well-formed but
-/// semantically wrong inputs, e.g. a non-linear term), and internal errors
-/// (invariant violations that indicate a bug in lcdb itself).
+/// semantically wrong inputs, e.g. a non-linear term), internal errors
+/// (invariant violations that indicate a bug in lcdb itself), and the three
+/// resource-governance codes (engine/governor.h): a per-query budget ran
+/// out, the wall-clock deadline passed, or the caller cancelled the query.
 enum class StatusCode {
   kOk = 0,
   kParseError = 1,
@@ -20,6 +22,9 @@ enum class StatusCode {
   kInternal = 3,
   kNotFound = 4,
   kUnsupported = 5,
+  kResourceExhausted = 6,
+  kDeadlineExceeded = 7,
+  kCancelled = 8,
 };
 
 /// Arrow/RocksDB-style status object. Functions that can fail on user input
@@ -47,8 +52,26 @@ class Status {
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// True for the three resource-governance codes — failures of the *query*
+  /// (budget, deadline, cancel), not of the input or the engine. Callers
+  /// like lcdbsh keep serving after these.
+  bool IsResourceFailure() const {
+    return code_ == StatusCode::kResourceExhausted ||
+           code_ == StatusCode::kDeadlineExceeded ||
+           code_ == StatusCode::kCancelled;
+  }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

@@ -452,7 +452,8 @@ TEST(EvaluatorTest, TupleSpaceCapIsAStatusNotACrash) {
   tiny.max_tuple_space = 100;  // 63^2 tuples exceed this
   auto r = EvaluateSentenceText(*ext, RegionConnQueryText(), tiny);
   ASSERT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(r.status().IsResourceFailure());
   // A unary fixed point fits.
   auto ok = EvaluateSentenceText(
       *ext, "exists A . [lfp M R : M(R) | subset(R)](A)", tiny);

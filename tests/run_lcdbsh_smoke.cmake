@@ -1,0 +1,13 @@
+# Runs lcdbsh with the smoke script on stdin and fails on nonzero exit —
+# i.e. on any crash, abort, or sanitizer report. Invoked by the LcdbshSmoke
+# ctest (examples/CMakeLists.txt) with -DLCDBSH=... -DSCRIPT=...
+execute_process(
+  COMMAND ${LCDBSH}
+  INPUT_FILE ${SCRIPT}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+message("${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "lcdbsh exited with ${rc} on the smoke script\n${err}")
+endif()
