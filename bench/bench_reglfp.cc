@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "constraint/simplify.h"
 #include "core/evaluator.h"
 #include "core/parser.h"
@@ -15,6 +17,7 @@
 #include "db/workloads.h"
 #include "engine/governor.h"
 #include "engine/kernel.h"
+#include "engine/trace.h"
 
 namespace {
 
@@ -98,6 +101,46 @@ void BM_GovernedConnectivity(benchmark::State& state) {
 
 BENCHMARK(BM_GovernedConnectivity)->Arg(2)->Arg(3)->Arg(4)
     ->Unit(benchmark::kMillisecond);
+
+/// Tracer overhead experiment (EXPERIMENTS.md, "Tracing and metrics"): the
+/// connectivity run with tracing disabled (Arg 0 — every span site is one
+/// relaxed atomic load, the failpoint contract) and enabled (Arg 1 — spans
+/// recorded into a fresh per-iteration ring). Compare the Arg(0) timing
+/// against BM_RegLfpConnectivity at the same arity to bound the
+/// disabled-path tax (goal: under 2%); Arg(1) prices the recording path,
+/// with the span volume in the counters.
+void BM_TracingOverhead(benchmark::State& state) {
+  const size_t teeth = 3;
+  const bool enabled = state.range(0) != 0;
+  lcdb::ConstraintDatabase db = lcdb::MakeComb(teeth, /*connected=*/true);
+  auto ext = lcdb::MakeArrangementExtension(db);
+  auto query = lcdb::ParseQuery(lcdb::RegionConnQueryText(), "S");
+  uint64_t spans_recorded = 0;
+  uint64_t spans_dropped = 0;
+  for (auto _ : state) {
+    std::unique_ptr<lcdb::QueryTracer> tracer;
+    std::unique_ptr<lcdb::ScopedTracer> scoped;
+    if (enabled) {
+      tracer = std::make_unique<lcdb::QueryTracer>();
+      scoped = std::make_unique<lcdb::ScopedTracer>(*tracer);
+    }
+    lcdb::Evaluator evaluator(*ext);
+    auto result = evaluator.EvaluateSentence(**query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    if (!*result) state.SkipWithError("comb should be connected");
+    if (tracer != nullptr) {
+      spans_recorded = tracer->spans_begun();
+      spans_dropped = tracer->spans_dropped();
+    }
+    benchmark::DoNotOptimize(*result);
+  }
+  state.counters["regions"] = static_cast<double>(ext->num_regions());
+  state.counters["tracing_enabled"] = enabled ? 1 : 0;
+  state.counters["spans_recorded"] = static_cast<double>(spans_recorded);
+  state.counters["spans_dropped"] = static_cast<double>(spans_dropped);
+}
+
+BENCHMARK(BM_TracingOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 /// Kernel-memoization acceptance experiment on a full fixed-point workload:
 /// the river-pollution sentence (Figure 6 — LFP with element-sort side

@@ -5,14 +5,22 @@
 //   ./lcdbq data/triangle.lcdb 'exists y . S(x, y)' --decomposition
 //
 // Options:
-//   --decomposition   use the Section 7 region extension (default: Sec. 3
-//                     arrangement)
-//   --conn            shorthand for the region connectivity query
-//   --stats           print evaluator statistics
-//   --explain         print the optimized query plan instead of evaluating
-//   --no-optimize     with --explain, print the raw (unoptimized) plan
-//   --timeout <ms>    run under a QueryGovernor with a wall-clock deadline;
-//                     a tripped deadline is a clean error, not a hang
+//   --decomposition    use the Section 7 region extension (default: Sec. 3
+//                      arrangement)
+//   --conn             shorthand for the region connectivity query
+//   --stats            print evaluator statistics, including the flat
+//                      metrics JSON ("# metrics: {...}")
+//   --explain          print the optimized query plan instead of evaluating
+//   --explain-analyze  execute the query and print the plan annotated with
+//                      per-node measured execution (EXPLAIN ANALYZE)
+//   --no-optimize      with --explain, print the raw (unoptimized) plan
+//   --timeout <ms>     run under a QueryGovernor with a wall-clock deadline;
+//                      a tripped deadline is a clean error, not a hang.
+//                      Covers extension construction too.
+//   --trace=FILE       record a span trace of the whole run (extension
+//                      build + query) and write it to FILE as Chrome
+//                      trace-event JSON (loadable in Perfetto /
+//                      chrome://tracing); --trace FILE also accepted
 //
 // Exit code: 0 = query evaluated (sentences print true/false), 1 = error
 // (including a tripped budget — the message names it).
@@ -30,13 +38,35 @@
 #include "db/io.h"
 #include "db/region_extension.h"
 #include "engine/governor.h"
+#include "engine/trace.h"
+
+namespace {
+
+/// Writes the tracer's Chrome trace JSON to `path`; returns false on I/O
+/// failure (reported, but the query result still stands).
+bool WriteTraceFile(const lcdb::QueryTracer& tracer, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write trace file %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = tracer.ToChromeTraceJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "error: short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string db_path;
   std::string query;
+  std::string trace_path;
   bool use_decomposition = false;
   bool show_stats = false;
   bool explain = false;
+  bool explain_analyze = false;
   bool optimize = true;
   std::optional<uint64_t> timeout_ms;
   for (int i = 1; i < argc; ++i) {
@@ -46,8 +76,18 @@ int main(int argc, char** argv) {
       show_stats = true;
     } else if (std::strcmp(argv[i], "--explain") == 0) {
       explain = true;
+    } else if (std::strcmp(argv[i], "--explain-analyze") == 0) {
+      explain_analyze = true;
     } else if (std::strcmp(argv[i], "--no-optimize") == 0) {
       optimize = false;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace requires an output file\n");
+        return 1;
+      }
+      trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--timeout") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--timeout requires a millisecond value\n");
@@ -68,7 +108,8 @@ int main(int argc, char** argv) {
   if (db_path.empty() || query.empty()) {
     std::fprintf(stderr,
                  "usage: lcdbq <database-file> <query> "
-                 "[--decomposition] [--stats] [--explain] [--no-optimize]\n"
+                 "[--decomposition] [--stats] [--explain] [--explain-analyze] "
+                 "[--no-optimize] [--timeout <ms>] [--trace=out.json]\n"
                  "       lcdbq <database-file> --conn\n");
     return 1;
   }
@@ -78,8 +119,36 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
     return 1;
   }
-  auto ext = use_decomposition ? lcdb::MakeDecompositionExtension(*db)
-                               : lcdb::MakeArrangementExtension(*db);
+
+  // Tracer and governor wrap the whole run — extension construction
+  // included, so its budget trips are clean errors and its build span is
+  // the first in the trace.
+  std::unique_ptr<lcdb::QueryTracer> tracer;
+  std::unique_ptr<lcdb::ScopedTracer> scoped_tracer;
+  if (!trace_path.empty()) {
+    tracer = std::make_unique<lcdb::QueryTracer>();
+    scoped_tracer = std::make_unique<lcdb::ScopedTracer>(*tracer);
+  }
+  std::unique_ptr<lcdb::QueryGovernor> governor;
+  std::unique_ptr<lcdb::ScopedGovernor> scoped;
+  if (timeout_ms.has_value()) {
+    lcdb::GovernorLimits limits;
+    limits.wall_clock_ms = *timeout_ms;
+    governor = std::make_unique<lcdb::QueryGovernor>(limits);
+    scoped = std::make_unique<lcdb::ScopedGovernor>(*governor);
+  }
+  auto write_trace = [&] {
+    if (tracer != nullptr) WriteTraceFile(*tracer, trace_path);
+  };
+
+  auto built = use_decomposition ? lcdb::BuildDecompositionExtension(*db)
+                                 : lcdb::BuildArrangementExtension(*db);
+  if (!built.ok()) {
+    std::fprintf(stderr, "error: %s\n", built.status().ToString().c_str());
+    write_trace();
+    return 1;
+  }
+  std::unique_ptr<lcdb::RegionExtension> ext = std::move(built).value();
 
   auto parsed = lcdb::ParseQuery(query, db->relation_name());
   if (!parsed.ok()) {
@@ -89,23 +158,16 @@ int main(int argc, char** argv) {
   lcdb::Evaluator::Options options;
   options.optimize = optimize;
   lcdb::Evaluator evaluator(*ext, options);
-  // Governed run: the evaluator sees the deadline through the thread-local
-  // governor and returns kDeadlineExceeded instead of running away.
-  std::unique_ptr<lcdb::QueryGovernor> governor;
-  std::unique_ptr<lcdb::ScopedGovernor> scoped;
-  if (timeout_ms.has_value()) {
-    lcdb::GovernorLimits limits;
-    limits.wall_clock_ms = *timeout_ms;
-    governor = std::make_unique<lcdb::QueryGovernor>(limits);
-    scoped = std::make_unique<lcdb::ScopedGovernor>(*governor);
-  }
-  if (explain) {
-    auto plan = evaluator.Explain(**parsed);
+  if (explain || explain_analyze) {
+    auto plan = explain_analyze ? evaluator.ExplainAnalyze(**parsed)
+                                : evaluator.Explain(**parsed);
     if (!plan.ok()) {
       std::fprintf(stderr, "error: %s\n", plan.status().ToString().c_str());
+      write_trace();
       return 1;
     }
     std::printf("%s", plan->c_str());
+    write_trace();
     return 0;
   }
   auto answer = evaluator.Evaluate(**parsed);
@@ -114,7 +176,10 @@ int main(int argc, char** argv) {
     if (show_stats) {
       std::fprintf(stderr, "# governor: %s\n",
                    evaluator.stats().governor.ToString().c_str());
+      std::fprintf(stderr, "# metrics: %s\n",
+                   evaluator.stats().ToJson().c_str());
     }
+    write_trace();
     return 1;
   }
   if (answer->free_vars.empty()) {
@@ -132,6 +197,9 @@ int main(int argc, char** argv) {
                  s.fixpoint_iterations, s.qe_eliminations);
     std::fprintf(stderr, "# kernel: %s\n", s.kernel.ToString().c_str());
     std::fprintf(stderr, "# governor: %s\n", s.governor.ToString().c_str());
+    // The same flat namespace the bench harness and EXPLAIN ANALYZE read.
+    std::fprintf(stderr, "# metrics: %s\n", s.ToJson().c_str());
   }
+  write_trace();
   return 0;
 }

@@ -6,6 +6,10 @@
 //   regions [arr|dec]              list the regions of the chosen extension
 //   encode                         print the Theorem 6.4 encoding
 //   query <text>                   evaluate a query (boolean or symbolic)
+//   explain <text>                 print the optimized plan (not executed)
+//   explain analyze <text>         execute and print the plan annotated
+//                                  with per-node timings, kernel hits, and
+//                                  governor consumption
 //   use arr|dec                    switch region extension
 //   \set timeout <ms>              per-query wall-clock deadline (0 = off)
 //   \set budget <name> <n>         per-query resource budget; <name> is one
@@ -37,6 +41,7 @@
 #include "capture/encoding.h"
 #include "constraint/parser.h"
 #include "core/evaluator.h"
+#include "core/parser.h"
 #include "core/queries.h"
 #include "db/io.h"
 #include "db/region_extension.h"
@@ -58,8 +63,17 @@ struct Session {
       return false;
     }
     if (ext == nullptr) {
-      ext = use_decomposition ? lcdb::MakeDecompositionExtension(*db)
-                              : lcdb::MakeArrangementExtension(*db);
+      // The Build* API turns a construction-time budget trip into a Status
+      // (naming the tripped budget) instead of an escaping exception, so a
+      // governed rebuild inside CmdQuery/CmdExplain fails cleanly.
+      auto built = use_decomposition ? lcdb::BuildDecompositionExtension(*db)
+                                     : lcdb::BuildArrangementExtension(*db);
+      if (!built.ok()) {
+        std::printf("!! extension build failed: %s\n",
+                    built.status().ToString().c_str());
+        return false;
+      }
+      ext = std::move(built).value();
       std::printf("[%s extension: %zu regions]\n", ext->kind().c_str(),
                   ext->num_regions());
     }
@@ -117,15 +131,7 @@ void CmdQuery(Session& session, const std::string& text) {
   // does not poison the next one.
   lcdb::QueryGovernor governor(session.limits);
   lcdb::ScopedGovernor scoped(governor);
-  try {
-    if (!session.RebuildExtension()) return;
-  } catch (const lcdb::QueryInterrupt& interrupt) {
-    // The extension builds eagerly (outside Evaluate's recovery boundary),
-    // so a budget can trip here; nothing was assigned to session.ext.
-    std::printf("!! extension build failed: %s\n",
-                interrupt.status().ToString().c_str());
-    return;
-  }
+  if (!session.RebuildExtension()) return;
   auto answer = lcdb::EvaluateQueryText(*session.ext, text);
   if (!answer.ok()) {
     const lcdb::GovernorStats gstats = governor.stats();
@@ -142,6 +148,46 @@ void CmdQuery(Session& session, const std::string& text) {
   } else {
     std::printf("=> %s\n", answer->ToString().c_str());
   }
+}
+
+/// explain <query> | explain analyze <query>
+void CmdExplain(Session& session, const std::string& args) {
+  std::string_view rest = lcdb::StripWhitespace(args);
+  bool analyze = false;
+  if (rest.substr(0, 7) == "analyze" &&
+      (rest.size() == 7 || rest[7] == ' ')) {
+    analyze = true;
+    rest = lcdb::StripWhitespace(rest.substr(7));
+  }
+  if (rest.empty()) {
+    std::printf("usage: explain [analyze] <query>\n");
+    return;
+  }
+  // Same per-query governor discipline as CmdQuery: EXPLAIN ANALYZE runs
+  // the query for real, so it consumes (and reports) real budgets.
+  lcdb::QueryGovernor governor(session.limits);
+  lcdb::ScopedGovernor scoped(governor);
+  if (!session.RebuildExtension()) return;
+  auto parsed =
+      lcdb::ParseQuery(std::string(rest), session.db->relation_name());
+  if (!parsed.ok()) {
+    std::printf("!! %s\n", parsed.status().ToString().c_str());
+    return;
+  }
+  lcdb::Evaluator evaluator(*session.ext);
+  auto text = analyze ? evaluator.ExplainAnalyze(**parsed)
+                      : evaluator.Explain(**parsed);
+  if (!text.ok()) {
+    const lcdb::GovernorStats gstats = governor.stats();
+    if (text.status().IsResourceFailure() && !gstats.tripped_budget.empty()) {
+      std::printf("!! query stopped [%s] %s\n", gstats.tripped_budget.c_str(),
+                  text.status().ToString().c_str());
+    } else {
+      std::printf("!! %s\n", text.status().ToString().c_str());
+    }
+    return;
+  }
+  std::printf("%s", text->c_str());
 }
 
 /// \set timeout <ms> | \set budget <name> <n|unlimited>
@@ -250,6 +296,8 @@ int main() {
             "  encode                  print the Theorem 6.4 word encoding\n"
             "  conn                    run the region connectivity query\n"
             "  query <text>            evaluate a query\n"
+            "  explain <text>          print the optimized plan\n"
+            "  explain analyze <text>  run the query, print measured plan\n"
             "  \\set timeout <ms>       per-query deadline (0/'off' disables)\n"
             "  \\set budget <name> <n>  per-query resource budget\n"
             "  \\show limits            print the budgets in effect\n"
@@ -274,6 +322,8 @@ int main() {
         CmdQuery(session, lcdb::RegionConnQueryText());
       } else if (cmd == "query") {
         CmdQuery(session, rest);
+      } else if (cmd == "explain") {
+        CmdExplain(session, rest);
       } else if (cmd == "\\set") {
         CmdSet(session, rest);
       } else if (cmd == "\\show") {

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "engine/governor.h"
+#include "engine/trace.h"
 #include "geometry/vertex_enumeration.h"
 #include "linalg/gauss.h"
 #include "lp/feasibility.h"
@@ -54,6 +55,8 @@ Arrangement Arrangement::FromFormula(const DnfFormula& formula) {
 }
 
 void Arrangement::BuildFaces() {
+  TraceSpan build_span("arrangement.build");
+  build_span.Counter("planes", planes_.size());
   // Start with the single face R^d (empty position vector).
   std::vector<PendingFace> faces;
   {
@@ -77,6 +80,9 @@ void Arrangement::BuildFaces() {
 
   for (size_t i = 0; i < planes_.size(); ++i) {
     const Hyperplane& h = planes_[i];
+    // One span per hyperplane insertion: the face count it left behind is
+    // the quantity whose growth makes construction exponential.
+    TraceSpan split_span("arrangement.split");
     std::vector<PendingFace> next;
     next.reserve(faces.size() + faces.size() / 2);
     for (PendingFace& face : faces) {
@@ -162,7 +168,9 @@ void Arrangement::BuildFaces() {
       keep_side(-side, std::move(beyond), false);
     }
     faces = std::move(next);
+    split_span.Counter("faces", faces.size());
   }
+  build_span.Counter("faces", faces.size());
 
   faces_.clear();
   faces_.reserve(faces.size());

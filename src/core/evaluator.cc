@@ -5,6 +5,7 @@
 #include "core/parser.h"
 #include "engine/governor.h"
 #include "engine/kernel.h"
+#include "engine/trace.h"
 #include "geometry/convex_closure.h"
 #include "plan/executor.h"
 #include "plan/optimizer.h"
@@ -63,17 +64,37 @@ Status CheckTupleSpaces(const FormulaNode& node, size_t num_regions,
 
 }  // namespace
 
+void Evaluator::SettleAmbient(const KernelStats& kernel_before) {
+  stats_.kernel += CurrentKernel().stats() - kernel_before;
+  if (QueryGovernor* g = CurrentGovernorOrNull()) stats_.governor = g->stats();
+}
+
 Result<QueryAnswer> Evaluator::Evaluate(const FormulaNode& query) {
-  LCDB_ASSIGN_OR_RETURN(TypeInfo info, TypeCheck(query, ext_.database()));
+  return EvaluateImpl(query, nullptr, nullptr);
+}
+
+Result<QueryAnswer> Evaluator::EvaluateImpl(const FormulaNode& query,
+                                            PlanProfile* profile,
+                                            CompiledPlan* plan_out) {
+  TraceSpan evaluate_span("evaluate");
+  Result<TypeInfo> checked = [&] {
+    TraceSpan typecheck_span("typecheck");
+    return TypeCheck(query, ext_.database());
+  }();
+  if (!checked.ok()) return checked.status();
+  TypeInfo info = std::move(checked).value();
   LCDB_RETURN_IF_ERROR(CheckTupleSpaces(query, ext_.num_regions(),
                                         options_.max_tuple_space));
   info_ = &info;
   num_columns_ = info.all_element_vars.size();
-  // Per-query caches depend on node identity; clear between queries.
+  // Per-query caches depend on node identity; clear between queries. The
+  // per-operator timings are per-query too: without the reset repeated
+  // Evaluate calls silently accumulate into one blurred total.
   memo_.clear();
   bool_memo_.clear();
   fixpoint_cache_.clear();
   closure_cache_.clear();
+  stats_.op_timings.clear();
 
   // Attribute the kernel's oracle work to this evaluation: everything the
   // pipeline spends (DNF algebra, constant folding, QE, region tests) lands
@@ -87,27 +108,40 @@ Result<QueryAnswer> Evaluator::Evaluate(const FormulaNode& query) {
   // above are cleared on entry, so a tripped query leaves the evaluator
   // ready for the next one with no residue.
   auto settle = [&] {
-    stats_.kernel += CurrentKernel().stats() - kernel_before;
-    if (QueryGovernor* g = CurrentGovernorOrNull()) stats_.governor = g->stats();
+    SettleAmbient(kernel_before);
     info_ = nullptr;
   };
   DnfFormula result = DnfFormula::False(num_columns_);
   try {
-    if (options_.use_plan) {
-      CompiledPlan plan = BuildPlan(query, info, ext_);
+    // EXPLAIN ANALYZE's profile keys are plan nodes, so a plan_out request
+    // forces the plan pipeline even under use_plan=false.
+    if (options_.use_plan || plan_out != nullptr) {
+      CompiledPlan plan;
+      {
+        TraceSpan build_span("plan.build");
+        plan = BuildPlan(query, info, ext_);
+      }
       if (options_.optimize) {
+        TraceSpan optimize_span("plan.optimize");
         stats_.plan = PlanPassStats();
         OptimizePlan(&plan, &stats_.plan);
+        optimize_span.Counter("plan_nodes", stats_.plan.plan_nodes);
       } else {
         stats_.plan = PlanPassStats();
         stats_.plan.plan_nodes = CountPlanNodes(*plan.root);
       }
+      if (plan_out != nullptr) *plan_out = plan;
       PlanExecutor executor(plan, ext_, options_, &stats_);
+      if (profile != nullptr) executor.EnableProfiling(profile);
+      TraceSpan execute_span("plan.execute");
       result = executor.Run();
+      execute_span.Counter("rows", result.disjuncts().size());
     } else {
+      TraceSpan walk_span("legacy.walk");
       RegionEnv renv;
       SetEnv senv;
       result = Eval(query, renv, senv);
+      walk_span.Counter("rows", result.disjuncts().size());
     }
   } catch (const QueryInterrupt& interrupt) {
     // Recovery boundary: budget trips, cancellation and injected faults all
@@ -135,25 +169,69 @@ Result<QueryAnswer> Evaluator::Evaluate(const FormulaNode& query) {
 }
 
 Result<std::string> Evaluator::Explain(const FormulaNode& query) {
-  LCDB_ASSIGN_OR_RETURN(TypeInfo info, TypeCheck(query, ext_.database()));
+  TraceSpan explain_span("explain");
+  Result<TypeInfo> checked = [&] {
+    TraceSpan typecheck_span("typecheck");
+    return TypeCheck(query, ext_.database());
+  }();
+  if (!checked.ok()) return checked.status();
+  TypeInfo info = std::move(checked).value();
   LCDB_RETURN_IF_ERROR(CheckTupleSpaces(query, ext_.num_regions(),
                                         options_.max_tuple_space));
+  // Compilation spends kernel work (the folding pass asks feasibility
+  // questions), so Explain settles the ambient counters exactly as Evaluate
+  // does — on the success and the interrupt path alike.
+  const KernelStats kernel_before = CurrentKernel().stats();
+  stats_.governor = GovernorStats();
   try {
-    CompiledPlan plan = BuildPlan(query, info, ext_);
-    PlanPassStats passes;
+    CompiledPlan plan;
+    {
+      TraceSpan build_span("plan.build");
+      plan = BuildPlan(query, info, ext_);
+    }
+    stats_.plan = PlanPassStats();
     if (options_.optimize) {
-      OptimizePlan(&plan, &passes);
+      TraceSpan optimize_span("plan.optimize");
+      OptimizePlan(&plan, &stats_.plan);
     } else {
-      passes.plan_nodes = CountPlanNodes(*plan.root);
+      stats_.plan.plan_nodes = CountPlanNodes(*plan.root);
     }
     std::string out = PrintPlan(plan);
-    out += "-- " + passes.ToString() + "\n";
+    out += "-- " + stats_.plan.ToString() + "\n";
+    SettleAmbient(kernel_before);
     return out;
   } catch (const QueryInterrupt& interrupt) {
-    // The optimizer's folding pass asks the kernel questions, so a budget
-    // or injected fault can fire during Explain too.
+    // A budget or injected fault can fire during Explain too.
+    SettleAmbient(kernel_before);
     return interrupt.status();
   }
+}
+
+Result<std::string> Evaluator::ExplainAnalyze(const FormulaNode& query) {
+  PlanProfile profile;
+  CompiledPlan plan;
+  // stats_.kernel is cumulative across queries; diff it around the call to
+  // report only this execution in the footer.
+  const KernelStats kernel_cumulative_before = stats_.kernel;
+  LCDB_ASSIGN_OR_RETURN(QueryAnswer answer,
+                        EvaluateImpl(query, &profile, &plan));
+  std::string out = PrintPlan(plan, &profile);
+  out += "-- " + stats_.plan.ToString() + "\n";
+  out += "-- kernel: " + (stats_.kernel - kernel_cumulative_before).ToString() +
+         "\n";
+  out += "-- governor: " + stats_.governor.ToString() + "\n";
+  out += "-- answer: " +
+         std::to_string(answer.formula.disjuncts().size()) + " disjunct(s)";
+  if (!answer.free_vars.empty()) {
+    out += " over (";
+    for (size_t i = 0; i < answer.free_vars.size(); ++i) {
+      if (i > 0) out += ",";
+      out += answer.free_vars[i];
+    }
+    out += ")";
+  }
+  out += "\n";
+  return out;
 }
 
 Result<bool> Evaluator::EvaluateSentence(const FormulaNode& query) {
@@ -164,12 +242,14 @@ Result<bool> Evaluator::EvaluateSentence(const FormulaNode& query) {
   const KernelStats kernel_before = CurrentKernel().stats();
   try {
     // The emptiness test asks the kernel, so it is itself interruptible.
+    // Settling mirrors Evaluate on both exits — in particular the governor
+    // counters refresh on success too, so checkpoints spent on the
+    // emptiness test are not dropped from stats().
     const bool truth = !answer.formula.IsEmpty();
-    stats_.kernel += CurrentKernel().stats() - kernel_before;
+    SettleAmbient(kernel_before);
     return truth;
   } catch (const QueryInterrupt& interrupt) {
-    stats_.kernel += CurrentKernel().stats() - kernel_before;
-    if (QueryGovernor* g = CurrentGovernorOrNull()) stats_.governor = g->stats();
+    SettleAmbient(kernel_before);
     return interrupt.status();
   }
 }
@@ -505,6 +585,29 @@ bool Evaluator::EvalBoolUncached(const FormulaNode& node, RegionEnv& renv,
   LCDB_CHECK(false);
   return false;
 }
+
+MetricsSnapshot Evaluator::Stats::ToMetrics() const {
+  MetricsRegistry registry;
+  registry.Count("evaluator.node_evaluations", node_evaluations);
+  registry.Count("evaluator.bool_evaluations", bool_evaluations);
+  registry.Count("evaluator.memo_hits", memo_hits);
+  registry.Count("evaluator.fixpoint_iterations", fixpoint_iterations);
+  registry.Count("evaluator.fixpoints_computed", fixpoints_computed);
+  registry.Count("evaluator.closures_computed", closures_computed);
+  registry.Count("evaluator.qe_eliminations", qe_eliminations);
+  registry.Count("evaluator.region_expansions", region_expansions);
+  registry.Count("evaluator.fixpoint_feasibility_queries",
+                 fixpoint_feasibility_queries);
+  registry.Count("evaluator.closure_feasibility_queries",
+                 closure_feasibility_queries);
+  registry.RegisterKernelStats(kernel);
+  registry.RegisterGovernorStats(governor);
+  registry.RegisterPlanPassStats(plan);
+  registry.RegisterOpTimings(op_timings);
+  return registry.Snapshot();
+}
+
+std::string Evaluator::Stats::ToJson() const { return ToMetrics().ToJson(); }
 
 Result<QueryAnswer> EvaluateQueryText(const RegionExtension& extension,
                                       std::string_view query_text,

@@ -12,10 +12,13 @@
 #include "db/region_extension.h"
 #include "engine/governor.h"
 #include "engine/kernel_stats.h"
+#include "engine/metrics.h"
 #include "plan/plan_stats.h"
 #include "qe/fourier_motzkin.h"
 
 namespace lcdb {
+
+struct CompiledPlan;
 
 /// Answer of a (possibly non-boolean) query: a quantifier-free DNF formula
 /// over the query's free element variables — the closure property of
@@ -95,10 +98,18 @@ class Evaluator {
     GovernorStats governor;
     /// Optimizer pass counters of the most recent compilation (plan mode).
     PlanPassStats plan;
-    /// Wall-clock per-operator timings of plan executions (expensive
-    /// operators only: QE, region expansion, hull, fixpoints, closures,
-    /// rBIT), keyed by PlanOpName.
+    /// Wall-clock per-operator timings of the most recent Evaluate call
+    /// (expensive operators only: QE, region expansion, hull, fixpoints,
+    /// closures, rBIT), keyed by PlanOpName. Reset at each Evaluate entry.
     OpTimings op_timings;
+
+    /// Unified named view over all the telemetry above: the evaluator's own
+    /// counters as `evaluator.*` plus the kernel.*, governor.*, plan.* and
+    /// op.* families (engine/metrics.h). Every exporter — `lcdbq --stats`,
+    /// the bench harness JSON, tests — reads this one flat namespace.
+    MetricsSnapshot ToMetrics() const;
+    /// Flat metrics JSON of ToMetrics() (the schema CI validates).
+    std::string ToJson() const;
   };
 
   explicit Evaluator(const RegionExtension& extension);
@@ -117,6 +128,15 @@ class Evaluator {
   /// counters, without executing it (`lcdbq --explain`).
   Result<std::string> Explain(const FormulaNode& query);
 
+  /// EXPLAIN ANALYZE: compiles, optimizes and *executes* the query through
+  /// the plan pipeline (regardless of Options::use_plan — the profile is a
+  /// plan-level artifact), returning the plan tree annotated per node with
+  /// measured execution — calls, inclusive wall-clock, kernel decisions and
+  /// cache hits, executor memo hits, governor checkpoints and result
+  /// cardinality — plus pass-counter / kernel / governor footer lines.
+  /// Stats settle exactly as in Evaluate.
+  Result<std::string> ExplainAnalyze(const FormulaNode& query);
+
   const Stats& stats() const { return stats_; }
   const RegionExtension& extension() const { return ext_; }
 
@@ -132,6 +152,18 @@ class Evaluator {
     size_t version = 0;
   };
   using SetEnv = std::map<std::string, SetBinding>;
+
+  /// Shared engine of Evaluate and ExplainAnalyze: the full pipeline with
+  /// optional per-plan-node profiling. When `plan_out` is non-null the
+  /// compiled plan is copied out (it owns the nodes the profile's keys point
+  /// at) and the plan pipeline runs regardless of Options::use_plan.
+  Result<QueryAnswer> EvaluateImpl(const FormulaNode& query,
+                                   PlanProfile* profile,
+                                   CompiledPlan* plan_out);
+
+  /// Settles ambient per-query telemetry into stats_: the kernel delta
+  /// since `kernel_before` and the installed governor's counters.
+  void SettleAmbient(const KernelStats& kernel_before);
 
   // Core symbolic recursion (evaluator.cc).
   DnfFormula Eval(const FormulaNode& node, RegionEnv& renv, SetEnv& senv);

@@ -4,6 +4,7 @@
 #include "core/pfp_cycle.h"
 #include "engine/governor.h"
 #include "engine/kernel.h"
+#include "engine/trace.h"
 #include "util/failpoint.h"
 #include "util/interrupt.h"
 #include "util/status.h"
@@ -107,7 +108,13 @@ const Evaluator::TupleSet& Evaluator::FixpointSet(const FormulaNode& node) {
       }
     }
     ++stats_.fixpoint_iterations;
-    TupleSet next = kleene_stage(current);
+    TupleSet next;
+    {
+      TraceSpan stage_span("fixpoint.stage");
+      next = kleene_stage(current);
+      stage_span.Counter("iteration", iteration);
+      stage_span.Counter("tuples", next.size());
+    }
     if (next == current) break;
     current = std::move(next);
   }

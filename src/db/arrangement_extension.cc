@@ -3,6 +3,8 @@
 
 #include "arrangement/arrangement.h"
 #include "db/region_extension.h"
+#include "engine/trace.h"
+#include "util/interrupt.h"
 #include "util/status.h"
 
 namespace lcdb {
@@ -82,6 +84,22 @@ class ArrangementExtension : public RegionExtension {
 };
 
 }  // namespace
+
+Result<std::unique_ptr<RegionExtension>> BuildArrangementExtension(
+    const ConstraintDatabase& db) {
+  TraceSpan build_span("extension.build");
+  try {
+    std::unique_ptr<RegionExtension> ext =
+        std::make_unique<ArrangementExtension>(db);
+    build_span.Counter("regions", ext->num_regions());
+    return ext;
+  } catch (const QueryInterrupt& interrupt) {
+    // Arrangement construction runs budgeted LP work (face splits all go
+    // through the kernel), so a governed build can trip mid-way; the
+    // half-built extension is abandoned and the budget named in the Status.
+    return interrupt.status();
+  }
+}
 
 std::unique_ptr<RegionExtension> MakeArrangementExtension(
     const ConstraintDatabase& db) {

@@ -6,6 +6,8 @@
 #include "constraint/simplify.h"
 #include "db/region_extension.h"
 #include "decomp/decomposition.h"
+#include "engine/trace.h"
+#include "util/interrupt.h"
 #include "util/status.h"
 
 namespace lcdb {
@@ -114,6 +116,19 @@ class DecompositionExtension : public RegionExtension {
 };
 
 }  // namespace
+
+Result<std::unique_ptr<RegionExtension>> BuildDecompositionExtension(
+    const ConstraintDatabase& db) {
+  TraceSpan build_span("extension.build");
+  try {
+    std::unique_ptr<RegionExtension> ext =
+        std::make_unique<DecompositionExtension>(db);
+    build_span.Counter("regions", ext->num_regions());
+    return ext;
+  } catch (const QueryInterrupt& interrupt) {
+    return interrupt.status();
+  }
+}
 
 std::unique_ptr<RegionExtension> MakeDecompositionExtension(
     const ConstraintDatabase& db) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "db/database.h"
+#include "util/status.h"
 
 namespace lcdb {
 
@@ -73,11 +74,27 @@ class RegionExtension {
   size_t ZeroDimRank(size_t r) const;
 };
 
-/// Builds the Sections 3-6 extension (arrangement faces).
+/// Builds the Sections 3-6 extension (arrangement faces), recoverably.
+/// Construction does feasibility work through the ambient kernel and any
+/// installed governor, so a construction-time budget trip or cancellation
+/// surfaces here as the Status naming what went wrong — the same recovery
+/// boundary contract as Evaluator::Evaluate. Construction runs under an
+/// "extension.build" trace span.
+Result<std::unique_ptr<RegionExtension>> BuildArrangementExtension(
+    const ConstraintDatabase& db);
+
+/// Builds the Section 7 / Appendix A extension (generator regions),
+/// recoverably; see BuildArrangementExtension.
+Result<std::unique_ptr<RegionExtension>> BuildDecompositionExtension(
+    const ConstraintDatabase& db);
+
+/// Exception-escaping convenience wrapper over BuildArrangementExtension
+/// for ungoverned callers (tests, benchmarks): a QueryInterrupt raised
+/// during construction propagates to the caller.
 std::unique_ptr<RegionExtension> MakeArrangementExtension(
     const ConstraintDatabase& db);
 
-/// Builds the Section 7 / Appendix A extension (generator regions).
+/// Exception-escaping convenience wrapper over BuildDecompositionExtension.
 std::unique_ptr<RegionExtension> MakeDecompositionExtension(
     const ConstraintDatabase& db);
 

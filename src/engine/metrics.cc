@@ -1,0 +1,185 @@
+#include "engine/metrics.h"
+
+#include <algorithm>
+
+namespace lcdb {
+
+namespace {
+
+size_t Log2Bucket(uint64_t value) {
+  size_t bucket = 0;
+  while (value > 0 && bucket + 1 < MetricsRegistry::kHistogramBuckets) {
+    value >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';  // metric names/labels are ASCII; control chars blanked
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::Count(const std::string& name, uint64_t delta) {
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::Gauge(const std::string& name, uint64_t value) {
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::Label(const std::string& name, std::string value) {
+  labels_[name] = std::move(value);
+}
+
+void MetricsRegistry::Observe(const std::string& name, uint64_t value) {
+  auto& h = histograms_[name];
+  if (h.buckets.empty()) h.buckets.assign(kHistogramBuckets, 0);
+  ++h.buckets[Log2Bucket(value)];
+  ++h.count;
+  h.sum += value;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  out.values = counters_;
+  for (const auto& [name, value] : gauges_) out.values[name] = value;
+  out.labels = labels_;
+  out.histograms = histograms_;
+  return out;
+}
+
+void MetricsRegistry::Clear() {
+  counters_.clear();
+  gauges_.clear();
+  labels_.clear();
+  histograms_.clear();
+}
+
+void MetricsRegistry::RegisterKernelStats(const KernelStats& s) {
+  Count("kernel.feasibility_queries", s.feasibility_queries);
+  Count("kernel.implication_queries", s.implication_queries);
+  Count("kernel.trivial_answers", s.trivial_answers);
+  Count("kernel.oracle_calls", s.oracle_calls);
+  Count("kernel.cache_hits", s.cache_hits);
+  Count("kernel.cache_misses", s.cache_misses);
+  Count("kernel.implication_cache_hits", s.implication_cache_hits);
+  Count("kernel.implication_cache_misses", s.implication_cache_misses);
+  Count("kernel.canonicalization_collisions", s.canonicalization_collisions);
+  Count("kernel.cache_evictions", s.cache_evictions);
+  Count("kernel.simplex_invocations", s.simplex_invocations);
+  Count("kernel.simplex_pivots", s.simplex_pivots);
+}
+
+void MetricsRegistry::RegisterGovernorStats(const GovernorStats& s) {
+  Count("governor.checkpoints", s.checkpoints);
+  Count("governor.deadline_checks", s.deadline_checks);
+  Count("governor.budget_trips", s.budget_trips);
+  if (!s.tripped_budget.empty()) {
+    Label("governor.tripped_budget", s.tripped_budget);
+  }
+}
+
+void MetricsRegistry::RegisterPlanPassStats(const PlanPassStats& s) {
+  Gauge("plan.plan_nodes", s.plan_nodes);
+  Count("plan.folded_constants", s.folded_constants);
+  Count("plan.pruned_branches", s.pruned_branches);
+  Count("plan.narrowed_subtrees", s.narrowed_subtrees);
+  Count("plan.reordered_quantifiers", s.reordered_quantifiers);
+  Count("plan.hoisted_invariants", s.hoisted_invariants);
+  Count("plan.reordered_conjuncts", s.reordered_conjuncts);
+  Count("plan.cse_merged", s.cse_merged);
+  Count("plan.cacheable_marked", s.cacheable_marked);
+}
+
+void MetricsRegistry::RegisterOpTimings(const OpTimings& timings) {
+  for (const auto& [op, timing] : timings) {
+    Count("op." + op + ".count", timing.count);
+    Count("op." + op + ".total_ns", timing.total_ns);
+  }
+}
+
+MetricsSnapshot MetricsSnapshot::Diff(const MetricsSnapshot& before) const {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : values) {
+    auto it = before.values.find(name);
+    const uint64_t prior = it == before.values.end() ? 0 : it->second;
+    out.values[name] = value >= prior ? value - prior : 0;
+  }
+  out.labels = labels;
+  for (const auto& [name, h] : histograms) {
+    HistogramValue d = h;
+    auto it = before.histograms.find(name);
+    if (it != before.histograms.end()) {
+      const HistogramValue& p = it->second;
+      for (size_t i = 0; i < d.buckets.size() && i < p.buckets.size(); ++i) {
+        d.buckets[i] -= std::min(d.buckets[i], p.buckets[i]);
+      }
+      d.count -= std::min(d.count, p.count);
+      d.sum -= std::min(d.sum, p.sum);
+    }
+    out.histograms[name] = std::move(d);
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",";
+    first = false;
+  };
+  for (const auto& [name, value] : values) {
+    sep();
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(value);
+  }
+  for (const auto& [name, value] : labels) {
+    sep();
+    out += "\"" + JsonEscape(name) + "\":\"" + JsonEscape(value) + "\"";
+  }
+  for (const auto& [name, h] : histograms) {
+    sep();
+    out += "\"" + JsonEscape(name) + "\":{\"count\":" +
+           std::to_string(h.count) + ",\"sum\":" + std::to_string(h.sum) +
+           ",\"buckets\":[";
+    // Trailing zero buckets are elided to keep the flat JSON small.
+    size_t last = h.buckets.size();
+    while (last > 0 && h.buckets[last - 1] == 0) --last;
+    for (size_t i = 0; i < last; ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(h.buckets[i]);
+    }
+    out += "]}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  for (const auto& [name, value] : values) {
+    out += name + "=" + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : labels) {
+    out += name + "=" + value + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out += name + ".count=" + std::to_string(h.count) + "\n";
+    out += name + ".sum=" + std::to_string(h.sum) + "\n";
+  }
+  return out;
+}
+
+}  // namespace lcdb

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "engine/governor.h"
+#include "engine/trace.h"
 #include "util/status.h"
 
 namespace lcdb {
@@ -157,11 +158,39 @@ class Tableau {
 
 }  // namespace
 
+namespace {
+
+/// Trace span of one LP solve, publishing the pivot count it spent. The
+/// counter reads are gated on an installed tracer, so the disabled path
+/// stays one relaxed load (the invocation counter is unconditional and
+/// predates tracing).
+class LpSolveSpan {
+ public:
+  LpSolveSpan()
+      : pivots_before_(span_.active()
+                           ? g_simplex_pivots.load(std::memory_order_relaxed)
+                           : 0) {}
+  ~LpSolveSpan() {
+    if (span_.active()) {
+      span_.Counter("pivots",
+                    g_simplex_pivots.load(std::memory_order_relaxed) -
+                        pivots_before_);
+    }
+  }
+
+ private:
+  TraceSpan span_{"lp.solve"};
+  uint64_t pivots_before_;
+};
+
+}  // namespace
+
 LpResult MaximizeLp(size_t num_vars,
                     const std::vector<LinearConstraint>& constraints,
                     const Vec& objective) {
   LCDB_CHECK(objective.size() == num_vars);
   g_simplex_invocations.fetch_add(1, std::memory_order_relaxed);
+  LpSolveSpan lp_span;
   // Normalize constraints to `a . x <= b` form rows; equalities become two
   // inequalities. Strict relations are rejected (feasibility.h handles them).
   struct Row {

@@ -9,6 +9,7 @@
 #include "core/pfp_cycle.h"
 #include "engine/governor.h"
 #include "engine/kernel.h"
+#include "engine/trace.h"
 #include "geometry/convex_closure.h"
 #include "qe/fourier_motzkin.h"
 #include "util/failpoint.h"
@@ -19,11 +20,14 @@ namespace lcdb {
 
 namespace {
 
-/// Accumulates wall-clock time of one operator execution into op_timings.
+/// Accumulates wall-clock time of one operator execution into op_timings,
+/// and opens a trace span named after the operator when a tracer is
+/// installed (the span is the per-plan-node level of the trace tree).
 class ScopedOpTimer {
  public:
   ScopedOpTimer(OpTimings* timings, PlanOp op)
       : timings_(timings), op_(op),
+        span_(PlanOpName(op).c_str()),  // BeginSpan copies the name
         start_(std::chrono::steady_clock::now()) {}
   ~ScopedOpTimer() {
     OpTiming& slot = (*timings_)[PlanOpName(op_)];
@@ -36,6 +40,7 @@ class ScopedOpTimer {
  private:
   OpTimings* timings_;
   PlanOp op_;
+  TraceSpan span_;
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -47,6 +52,37 @@ PlanExecutor::PlanExecutor(const CompiledPlan& plan,
                            Evaluator::Stats* stats)
     : plan_(plan), ext_(ext), options_(options), stats_(stats),
       num_columns_(plan.num_columns) {}
+
+/// EXPLAIN ANALYZE measurement of one uncached node evaluation: inclusive
+/// wall-clock plus deltas of the ambient kernel and governor counters. An
+/// unwinding QueryInterrupt skips the recording, which is the right answer —
+/// a tripped node never produced a result to attribute.
+template <typename Fn>
+auto PlanExecutor::Profiled(const PlanNode& node, Fn&& eval) {
+  const KernelStats kernel_before = CurrentKernel().stats();
+  QueryGovernor* governor = CurrentGovernorOrNull();
+  const uint64_t checkpoints_before =
+      governor != nullptr ? governor->stats().checkpoints : 0;
+  const auto start = std::chrono::steady_clock::now();
+  auto result = eval();
+  PlanNodeProfile& p = (*profile_)[&node];
+  p.total_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  const KernelStats kernel_after = CurrentKernel().stats();
+  p.kernel_queries +=
+      (kernel_after.feasibility_queries - kernel_before.feasibility_queries) +
+      (kernel_after.implication_queries - kernel_before.implication_queries);
+  p.kernel_cache_hits +=
+      (kernel_after.cache_hits - kernel_before.cache_hits) +
+      (kernel_after.implication_cache_hits -
+       kernel_before.implication_cache_hits);
+  if (governor != nullptr) {
+    p.governor_checkpoints +=
+        governor->stats().checkpoints - checkpoints_before;
+  }
+  return result;
+}
 
 DnfFormula PlanExecutor::Run() {
   // Named injection site for the whole-plan path (failpoint_test.cc): fires
@@ -79,6 +115,7 @@ DnfFormula PlanExecutor::Eval(const PlanNode& node, RegionEnv& renv,
   // quantifier expansion step, the executor's widest loops.
   GovernorCheckpoint();
   ++stats_->node_evaluations;
+  if (profile_ != nullptr) ++(*profile_)[&node].calls;
   Tuple key;
   const bool cacheable = options_.memoize &&
                          node.cache == CachePolicy::kByRegionKey &&
@@ -88,10 +125,17 @@ DnfFormula PlanExecutor::Eval(const PlanNode& node, RegionEnv& renv,
     auto it = per_node.find(key);
     if (it != per_node.end()) {
       ++stats_->memo_hits;
+      if (profile_ != nullptr) ++(*profile_)[&node].memo_hits;
       return it->second;
     }
   }
-  DnfFormula result = EvalUncached(node, renv, senv);
+  DnfFormula result =
+      profile_ == nullptr
+          ? EvalUncached(node, renv, senv)
+          : Profiled(node, [&] { return EvalUncached(node, renv, senv); });
+  if (profile_ != nullptr) {
+    (*profile_)[&node].rows = result.disjuncts().size();
+  }
   if (cacheable) memo_[&node].emplace(std::move(key), result);
   return result;
 }
@@ -186,6 +230,7 @@ bool PlanExecutor::EvalBool(const PlanNode& node, RegionEnv& renv,
                             SetEnv& senv) {
   GovernorCheckpoint();
   ++stats_->bool_evaluations;
+  if (profile_ != nullptr) ++(*profile_)[&node].calls;
   Tuple key;
   const bool cacheable = options_.memoize &&
                          node.cache == CachePolicy::kByRegionKey &&
@@ -195,10 +240,17 @@ bool PlanExecutor::EvalBool(const PlanNode& node, RegionEnv& renv,
     auto it = per_node.find(key);
     if (it != per_node.end()) {
       ++stats_->memo_hits;
+      if (profile_ != nullptr) ++(*profile_)[&node].memo_hits;
       return it->second;
     }
   }
-  const bool result = EvalBoolUncached(node, renv, senv);
+  const bool result =
+      profile_ == nullptr
+          ? EvalBoolUncached(node, renv, senv)
+          : Profiled(node, [&] { return EvalBoolUncached(node, renv, senv); });
+  if (profile_ != nullptr) {
+    (*profile_)[&node].rows = result ? 1 : 0;
+  }
   if (cacheable) bool_memo_[&node].emplace(std::move(key), result);
   return result;
 }
@@ -417,7 +469,13 @@ const PlanExecutor::TupleSet& PlanExecutor::FixpointSet(const PlanNode& node) {
       }
     }
     ++stats_->fixpoint_iterations;
-    TupleSet next = kleene_stage(current);
+    TupleSet next;
+    {
+      TraceSpan stage_span("fixpoint.stage");
+      next = kleene_stage(current);
+      stage_span.Counter("iteration", iteration);
+      stage_span.Counter("tuples", next.size());
+    }
     if (next == current) break;
     current = std::move(next);
   }

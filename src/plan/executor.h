@@ -37,6 +37,13 @@ class PlanExecutor {
   /// plan's num_columns element columns.
   DnfFormula Run();
 
+  /// Turns on per-plan-node profiling (EXPLAIN ANALYZE): every node
+  /// evaluation records its inclusive wall-clock, kernel decisions, memo
+  /// hits, governor checkpoints and result cardinality into `profile`.
+  /// Must be called before Run(); `profile` must outlive the executor.
+  /// Profiling perturbs only timings, never results.
+  void EnableProfiling(PlanProfile* profile) { profile_ = profile; }
+
  private:
   using RegionEnv = std::map<std::string, size_t>;
   using Tuple = std::vector<size_t>;
@@ -53,6 +60,11 @@ class PlanExecutor {
   bool EvalBool(const PlanNode& node, RegionEnv& renv, SetEnv& senv);
   bool EvalBoolUncached(const PlanNode& node, RegionEnv& renv, SetEnv& senv);
 
+  /// Wraps one uncached evaluation with the profile measurements
+  /// (profiling mode only; `rows` extracts the result cardinality).
+  template <typename Fn>
+  auto Profiled(const PlanNode& node, Fn&& eval);
+
   bool EvalRegionAtom(const PlanNode& node, RegionEnv& renv);
   bool EvalRbit(const PlanNode& node, RegionEnv& renv, SetEnv& senv);
   const TupleSet& FixpointSet(const PlanNode& node);
@@ -68,6 +80,7 @@ class PlanExecutor {
   const RegionExtension& ext_;
   const Evaluator::Options& options_;
   Evaluator::Stats* stats_;
+  PlanProfile* profile_ = nullptr;  ///< EXPLAIN ANALYZE sink, usually null
   size_t num_columns_;
 
   std::map<const PlanNode*, std::map<Tuple, DnfFormula>> memo_;

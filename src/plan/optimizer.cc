@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "engine/trace.h"
 #include "util/status.h"
 
 namespace lcdb {
@@ -26,21 +27,41 @@ class Optimizer {
       : n_(num_regions), m_(num_columns), stats_(stats) {}
 
   PlanPtr Run(PlanPtr root) {
-    root = Fold(std::move(root));
-    root = Narrow(std::move(root));
+    // Each pass gets its own trace span so EXPLAIN-style traces show where
+    // compile time goes (folding dominates: it asks the kernel questions).
+    root = Pass("pass.fold", [&](PlanPtr r) { return Fold(std::move(r)); },
+                std::move(root));
+    root = Pass("pass.narrow", [&](PlanPtr r) { return Narrow(std::move(r)); },
+                std::move(root));
     // Narrowing rewrites symbolic connectives over constant formulas into
     // boolean connectives over constant bools; fold again to collapse them
     // (every fold is byte-safe, so re-running is free).
-    root = Fold(std::move(root));
-    root = ReorderQuantifiers(std::move(root));
-    root = Hoist(std::move(root));
-    root = OrderConjuncts(std::move(root));
-    root = Cse(std::move(root));
-    MarkCacheable(root.get());
+    root = Pass("pass.fold", [&](PlanPtr r) { return Fold(std::move(r)); },
+                std::move(root));
+    root = Pass("pass.reorder_quantifiers",
+                [&](PlanPtr r) { return ReorderQuantifiers(std::move(r)); },
+                std::move(root));
+    root = Pass("pass.hoist", [&](PlanPtr r) { return Hoist(std::move(r)); },
+                std::move(root));
+    root = Pass("pass.order_conjuncts",
+                [&](PlanPtr r) { return OrderConjuncts(std::move(r)); },
+                std::move(root));
+    root = Pass("pass.cse", [&](PlanPtr r) { return Cse(std::move(r)); },
+                std::move(root));
+    {
+      TraceSpan span("pass.mark_cacheable");
+      MarkCacheable(root.get());
+    }
     return root;
   }
 
  private:
+  template <typename Fn>
+  PlanPtr Pass(const char* name, Fn&& fn, PlanPtr root) {
+    TraceSpan span(name);
+    return fn(std::move(root));
+  }
+
   // ---- Node constructors. ----
 
   PlanPtr Derived(PlanPtr node) {

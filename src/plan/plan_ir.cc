@@ -1,6 +1,7 @@
 #include "plan/plan_ir.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <set>
 
@@ -83,6 +84,21 @@ std::string JoinNames(const std::vector<std::string>& names) {
     out += n;
   }
   return out;
+}
+
+std::string FormatNs(uint64_t ns) {
+  char buf[32];
+  if (ns >= 1000000000ull) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(ns) / 1e9);
+  } else if (ns >= 1000000ull) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns) / 1e6);
+  } else if (ns >= 1000ull) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluns",
+                  static_cast<unsigned long long>(ns));
+  }
+  return buf;
 }
 
 }  // namespace
@@ -184,7 +200,8 @@ void CountNodesImpl(const PlanNode& node, std::set<const PlanNode*>* seen) {
 
 class PlanPrinter {
  public:
-  explicit PlanPrinter(size_t num_regions) : num_regions_(num_regions) {}
+  PlanPrinter(size_t num_regions, const PlanProfile* profile)
+      : num_regions_(num_regions), profile_(profile) {}
 
   void Print(const PlanNode& node, size_t depth) {
     out_.append(2 * depth, ' ');
@@ -199,6 +216,7 @@ class PlanPrinter {
     const std::string detail = Detail(node);
     if (!detail.empty()) out_ += " " + detail;
     out_ += Annotations(node);
+    if (profile_ != nullptr) out_ += Measured(node);
     out_ += "\n";
     for (const PlanPtr& child : node.children) Print(*child, depth + 1);
   }
@@ -264,7 +282,29 @@ class PlanPrinter {
     return out;
   }
 
+  /// EXPLAIN ANALYZE column: measured execution of the node. Times are
+  /// inclusive (parents contain children), so the root line is the query's
+  /// wall-clock and each level shows where inside it the time went.
+  std::string Measured(const PlanNode& node) {
+    auto it = profile_->find(&node);
+    if (it == profile_->end()) return "  | (not executed)";
+    const PlanNodeProfile& p = it->second;
+    std::string out = "  | calls=" + std::to_string(p.calls);
+    if (p.memo_hits > 0) out += " memo=" + std::to_string(p.memo_hits);
+    out += " time=" + FormatNs(p.total_ns);
+    out += " kernel=" + std::to_string(p.kernel_queries);
+    if (p.kernel_cache_hits > 0) {
+      out += "(" + std::to_string(p.kernel_cache_hits) + " cached)";
+    }
+    if (p.governor_checkpoints > 0) {
+      out += " gov=" + std::to_string(p.governor_checkpoints);
+    }
+    out += " rows=" + std::to_string(p.rows);
+    return out;
+  }
+
   size_t num_regions_;
+  const PlanProfile* profile_;
   std::string out_;
   std::map<const PlanNode*, int> ids_;
   int next_id_ = 0;
@@ -278,9 +318,9 @@ size_t CountPlanNodes(const PlanNode& root) {
   return seen.size();
 }
 
-std::string PrintPlan(const CompiledPlan& plan) {
+std::string PrintPlan(const CompiledPlan& plan, const PlanProfile* profile) {
   LCDB_CHECK(plan.root != nullptr);
-  PlanPrinter printer(plan.num_regions);
+  PlanPrinter printer(plan.num_regions, profile);
   printer.Print(*plan.root, 0);
   return printer.Take();
 }

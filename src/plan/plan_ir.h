@@ -8,6 +8,7 @@
 
 #include "constraint/dnf_formula.h"
 #include "core/ast.h"
+#include "plan/plan_stats.h"
 
 namespace lcdb {
 
@@ -142,7 +143,13 @@ size_t CountPlanNodes(const PlanNode& root);
 /// annotations: free region variables, set-dependence, caching decision and
 /// estimated region fan-out. Shared subplans are printed once and
 /// referenced by id afterwards (`lcdbq --explain`).
-std::string PrintPlan(const CompiledPlan& plan);
+///
+/// With a `profile` (EXPLAIN ANALYZE) each node line additionally carries
+/// its measured execution: calls, inclusive wall-clock, kernel decisions
+/// (with cache hits), executor memo hits, governor checkpoints and result
+/// cardinality; nodes the execution never reached are marked as such.
+std::string PrintPlan(const CompiledPlan& plan,
+                      const PlanProfile* profile = nullptr);
 
 }  // namespace lcdb
 

@@ -61,6 +61,34 @@ struct OpTiming {
 
 using OpTimings = std::map<std::string, OpTiming>;
 
+struct PlanNode;
+
+/// Measured execution profile of one plan node (EXPLAIN ANALYZE). All
+/// quantities are *inclusive* — a parent's time/queries contain its
+/// children's — matching how the span tree nests. Collected only when the
+/// executor runs with profiling enabled; the normal path never touches it.
+struct PlanNodeProfile {
+  /// Evaluations of this node (cache hits included in `calls`, broken out
+  /// in `memo_hits`).
+  uint64_t calls = 0;
+  uint64_t memo_hits = 0;
+  /// Inclusive wall-clock of the non-cached evaluations.
+  uint64_t total_ns = 0;
+  /// Kernel decisions issued below this node (feasibility + implication),
+  /// and how many of those the kernel's caches answered.
+  uint64_t kernel_queries = 0;
+  uint64_t kernel_cache_hits = 0;
+  /// Governor checkpoints passed below this node (0 when ungoverned).
+  uint64_t governor_checkpoints = 0;
+  /// Result cardinality of the last evaluation: disjuncts for symbolic
+  /// nodes, 0/1 for boolean ones.
+  uint64_t rows = 0;
+};
+
+/// Per-node profile of one plan execution, keyed by node identity (plan
+/// nodes are shared DAG nodes kept alive by the CompiledPlan).
+using PlanProfile = std::map<const PlanNode*, PlanNodeProfile>;
+
 }  // namespace lcdb
 
 #endif  // LCDB_PLAN_PLAN_STATS_H_

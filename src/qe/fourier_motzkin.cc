@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "engine/governor.h"
+#include "engine/trace.h"
 #include "util/failpoint.h"
 #include "util/status.h"
 
@@ -138,6 +139,8 @@ Conjunction EliminateFromConjunct(const Conjunction& conj, size_t var) {
 DnfFormula ExistsVariable(const DnfFormula& f, size_t var,
                           const QeOptions& options) {
   LCDB_FAILPOINT("qe.project");
+  TraceSpan project_span("qe.project");
+  project_span.Counter("disjuncts_in", f.disjuncts().size());
   const bool watch_bits = GovernorWantsBigIntBits();
   std::vector<Conjunction> out;
   out.reserve(f.disjuncts().size());
@@ -169,6 +172,7 @@ DnfFormula ExistsVariable(const DnfFormula& f, size_t var,
   GovernorCheckDnfDisjuncts(out.size());
   DnfFormula result(f.num_vars(), std::move(out));
   result.Simplify();
+  project_span.Counter("disjuncts_out", result.disjuncts().size());
   return result;
 }
 

@@ -244,6 +244,36 @@ TEST(GovernorTest, TupleSpaceOptionStillAStatus) {
   }
 }
 
+TEST(GovernorTest, ExtensionBuildBudgetTripIsAStatus) {
+  // The Build* API is the recovery boundary for construction: a budget
+  // tripping inside the arrangement's face splits surfaces as a Status
+  // naming the budget, not as an escaping exception.
+  ConstraintDatabase db = MakeComb(2, true);
+  ConstraintKernel kernel;  // fresh: cached feasibility answers skip budgets
+  ScopedKernel scoped_kernel(kernel);
+  GovernorLimits limits;
+  limits.max_feasibility_queries = 0;
+  QueryGovernor governor(limits);
+  ScopedGovernor scoped(governor);
+  auto built = BuildArrangementExtension(db);
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kResourceExhausted)
+      << built.status().ToString();
+  EXPECT_EQ(governor.stats().tripped_budget, "max_feasibility_queries");
+}
+
+TEST(GovernorTest, ExtensionBuildWithinBudgetSucceeds) {
+  ConstraintDatabase db = MakeComb(2, true);
+  QueryGovernor governor((GovernorLimits()));  // unlimited
+  ScopedGovernor scoped(governor);
+  auto arr = BuildArrangementExtension(db);
+  ASSERT_TRUE(arr.ok()) << arr.status().ToString();
+  EXPECT_EQ((*arr)->num_regions(), MakeArrangementExtension(db)->num_regions());
+  auto dec = BuildDecompositionExtension(db);
+  ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+  EXPECT_GT((*dec)->num_regions(), 0u);
+}
+
 TEST(GovernorTest, DivergentPfpStillConvergesUnderHashDetection) {
   // The hash-based PFP cycle detector must agree with the old exact-set
   // scheme: [pfp M R : !(M(R))] flips between {} and everything, so the
