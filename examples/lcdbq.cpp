@@ -10,6 +10,13 @@
 //   --conn             shorthand for the region connectivity query
 //   --stats            print evaluator statistics, including the flat
 //                      metrics JSON ("# metrics: {...}")
+//   --lint             statically analyze the query instead of evaluating:
+//                      parse + typecheck + the analyzer passes (positivity,
+//                      range restriction, DTC determinism, vacuous guards,
+//                      hygiene), printing LCDB### diagnostics with caret
+//                      spans and a summary line
+//   --lint=json        same, but print the diagnostics as a JSON array
+//                      (code/severity/message/begin/end/fix per entry)
 //   --explain          print the optimized query plan instead of evaluating
 //   --explain-analyze  execute the query and print the plan annotated with
 //                      per-node measured execution (EXPLAIN ANALYZE)
@@ -23,7 +30,8 @@
 //                      chrome://tracing); --trace FILE also accepted
 //
 // Exit code: 0 = query evaluated (sentences print true/false), 1 = error
-// (including a tripped budget — the message names it).
+// (including a tripped budget — the message names it). Under --lint, 0 =
+// no error-severity diagnostics (warnings and notes are fine), 1 = errors.
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +40,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/analyzer.h"
 #include "core/evaluator.h"
 #include "core/parser.h"
 #include "core/queries.h"
@@ -67,6 +76,8 @@ int main(int argc, char** argv) {
   bool show_stats = false;
   bool explain = false;
   bool explain_analyze = false;
+  bool lint = false;
+  bool lint_json = false;
   bool optimize = true;
   std::optional<uint64_t> timeout_ms;
   for (int i = 1; i < argc; ++i) {
@@ -74,6 +85,11 @@ int main(int argc, char** argv) {
       use_decomposition = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       show_stats = true;
+    } else if (std::strcmp(argv[i], "--lint") == 0) {
+      lint = true;
+    } else if (std::strcmp(argv[i], "--lint=json") == 0) {
+      lint = true;
+      lint_json = true;
     } else if (std::strcmp(argv[i], "--explain") == 0) {
       explain = true;
     } else if (std::strcmp(argv[i], "--explain-analyze") == 0) {
@@ -108,7 +124,8 @@ int main(int argc, char** argv) {
   if (db_path.empty() || query.empty()) {
     std::fprintf(stderr,
                  "usage: lcdbq <database-file> <query> "
-                 "[--decomposition] [--stats] [--explain] [--explain-analyze] "
+                 "[--decomposition] [--stats] [--lint[=json]] [--explain] "
+                 "[--explain-analyze] "
                  "[--no-optimize] [--timeout <ms>] [--trace=out.json]\n"
                  "       lcdbq <database-file> --conn\n");
     return 1;
@@ -118,6 +135,22 @@ int main(int argc, char** argv) {
   if (!db.ok()) {
     std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
     return 1;
+  }
+
+  // Lint needs only the schema (relation name and arity), not the regions,
+  // so it runs before — and instead of — the extension build. Without an
+  // extension the analyzer's region count is unknown; the tuple-space cap
+  // warning degrades gracefully (the overflow error still fires).
+  if (lint) {
+    lcdb::LintReport report = lcdb::LintQueryText(query, *db);
+    if (lint_json) {
+      std::printf("%s\n", lcdb::DiagnosticsToJson(report.diagnostics).c_str());
+    } else {
+      std::printf("%s", lcdb::RenderDiagnostics(report.diagnostics, query)
+                            .c_str());
+      std::printf("# lint: %s\n", report.stats.ToString().c_str());
+    }
+    return report.has_errors() ? 1 : 0;
   }
 
   // Tracer and governor wrap the whole run — extension construction
@@ -158,6 +191,7 @@ int main(int argc, char** argv) {
   lcdb::Evaluator::Options options;
   options.optimize = optimize;
   lcdb::Evaluator evaluator(*ext, options);
+  evaluator.AttachSource(query);  // carets in analyzer rejections
   if (explain || explain_analyze) {
     auto plan = explain_analyze ? evaluator.ExplainAnalyze(**parsed)
                                 : evaluator.Explain(**parsed);

@@ -6,6 +6,9 @@
 //   regions [arr|dec]              list the regions of the chosen extension
 //   encode                         print the Theorem 6.4 encoding
 //   query <text>                   evaluate a query (boolean or symbolic)
+//   lint <text>                    statically analyze a query: LCDB###
+//                                  diagnostics with caret spans, no
+//                                  evaluation (works without an extension)
 //   explain <text>                 print the optimized plan (not executed)
 //   explain analyze <text>         execute and print the plan annotated
 //                                  with per-node timings, kernel hits, and
@@ -38,6 +41,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/analyzer.h"
 #include "capture/encoding.h"
 #include "constraint/parser.h"
 #include "core/evaluator.h"
@@ -148,6 +152,20 @@ void CmdQuery(Session& session, const std::string& text) {
   } else {
     std::printf("=> %s\n", answer->ToString().c_str());
   }
+}
+
+void CmdLint(Session& session, const std::string& text) {
+  if (!session.db.has_value()) {
+    std::printf("no database loaded; use 'db' or 'load'\n");
+    return;
+  }
+  // Lint only needs the schema; when an extension is already built its
+  // region count sharpens the tuple-space check (LCDB004).
+  lcdb::AnalyzerOptions options;
+  if (session.ext != nullptr) options.num_regions = session.ext->num_regions();
+  lcdb::LintReport report = lcdb::LintQueryText(text, *session.db, options);
+  std::printf("%s", lcdb::RenderDiagnostics(report.diagnostics, text).c_str());
+  std::printf("lint: %s\n", report.stats.ToString().c_str());
 }
 
 /// explain <query> | explain analyze <query>
@@ -296,6 +314,7 @@ int main() {
             "  encode                  print the Theorem 6.4 word encoding\n"
             "  conn                    run the region connectivity query\n"
             "  query <text>            evaluate a query\n"
+            "  lint <text>             static analysis only (LCDB### codes)\n"
             "  explain <text>          print the optimized plan\n"
             "  explain analyze <text>  run the query, print measured plan\n"
             "  \\set timeout <ms>       per-query deadline (0/'off' disables)\n"
@@ -322,6 +341,8 @@ int main() {
         CmdQuery(session, lcdb::RegionConnQueryText());
       } else if (cmd == "query") {
         CmdQuery(session, rest);
+      } else if (cmd == "lint") {
+        CmdLint(session, rest);
       } else if (cmd == "explain") {
         CmdExplain(session, rest);
       } else if (cmd == "\\set") {

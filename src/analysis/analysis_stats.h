@@ -1,0 +1,54 @@
+#ifndef LCDB_ANALYSIS_ANALYSIS_STATS_H_
+#define LCDB_ANALYSIS_ANALYSIS_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lcdb {
+
+/// Telemetry of the static query analyzer (analysis/analyzer.h). Header-only
+/// like KernelStats so the metrics registry can adapt it into the
+/// `analysis.*` family without linking the analyzer itself.
+struct AnalysisStats {
+  /// AnalyzeQuery invocations.
+  uint64_t queries_analyzed = 0;
+  /// Diagnostics emitted, total and by severity.
+  uint64_t diagnostics = 0;
+  uint64_t errors = 0;
+  uint64_t warnings = 0;
+  uint64_t notes = 0;
+  /// Element-pure guards handed to the kernel-backed truth classifier,
+  /// and its verdicts. Skipped guards exceeded the atom bound.
+  uint64_t guards_classified = 0;
+  uint64_t guards_proved_unsat = 0;
+  uint64_t guards_proved_tautology = 0;
+  uint64_t guards_skipped_size = 0;
+
+  AnalysisStats& operator+=(const AnalysisStats& o) {
+    queries_analyzed += o.queries_analyzed;
+    diagnostics += o.diagnostics;
+    errors += o.errors;
+    warnings += o.warnings;
+    notes += o.notes;
+    guards_classified += o.guards_classified;
+    guards_proved_unsat += o.guards_proved_unsat;
+    guards_proved_tautology += o.guards_proved_tautology;
+    guards_skipped_size += o.guards_skipped_size;
+    return *this;
+  }
+
+  std::string ToString() const {
+    std::string out = "diagnostics=" + std::to_string(diagnostics);
+    out += " errors=" + std::to_string(errors);
+    out += " warnings=" + std::to_string(warnings);
+    out += " notes=" + std::to_string(notes);
+    out += " guards_classified=" + std::to_string(guards_classified);
+    out += " guards_unsat=" + std::to_string(guards_proved_unsat);
+    out += " guards_tautology=" + std::to_string(guards_proved_tautology);
+    return out;
+  }
+};
+
+}  // namespace lcdb
+
+#endif  // LCDB_ANALYSIS_ANALYSIS_STATS_H_

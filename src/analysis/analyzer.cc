@@ -1,0 +1,470 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "core/parser.h"
+
+namespace lcdb {
+
+namespace {
+
+/// Flattens a tree of `op` nodes into its maximal non-`op` subtrees.
+void Flatten(const FormulaNode& node, NodeKind op,
+             std::vector<const FormulaNode*>* out) {
+  if (node.kind == op) {
+    Flatten(*node.children[0], op, out);
+    Flatten(*node.children[1], op, out);
+    return;
+  }
+  out->push_back(&node);
+}
+
+/// Any set atom of `set_var`, for pointing LCDB001/002 at a `<->` operand
+/// (both polarities — every occurrence is non-positive).
+const FormulaNode* FindAnyOccurrence(const FormulaNode& node,
+                                     const std::string& set_var) {
+  if (node.kind == NodeKind::kSetAtom) {
+    return node.set_var == set_var ? &node : nullptr;
+  }
+  for (const auto& child : node.children) {
+    if (const FormulaNode* a = FindAnyOccurrence(*child, set_var)) return a;
+  }
+  return nullptr;
+}
+
+/// The set atom IsPositiveIn rejects: the first occurrence of `set_var`
+/// reachable at negative polarity. Mirrors IsPositiveIn's polarity rules
+/// (kNot flips, `->` flips its left side, `<->` is both polarities).
+const FormulaNode* FindNonPositiveOccurrence(const FormulaNode& node,
+                                             const std::string& set_var,
+                                             bool polarity) {
+  switch (node.kind) {
+    case NodeKind::kSetAtom:
+      return (node.set_var == set_var && !polarity) ? &node : nullptr;
+    case NodeKind::kNot:
+      return FindNonPositiveOccurrence(*node.children[0], set_var, !polarity);
+    case NodeKind::kImplies: {
+      if (const FormulaNode* a =
+              FindNonPositiveOccurrence(*node.children[0], set_var, !polarity))
+        return a;
+      return FindNonPositiveOccurrence(*node.children[1], set_var, polarity);
+    }
+    case NodeKind::kIff: {
+      if (const FormulaNode* a = FindAnyOccurrence(*node.children[0], set_var))
+        return a;
+      return FindAnyOccurrence(*node.children[1], set_var);
+    }
+    default:
+      for (const auto& child : node.children) {
+        if (const FormulaNode* a =
+                FindNonPositiveOccurrence(*child, set_var, polarity))
+          return a;
+      }
+      return nullptr;
+  }
+}
+
+class Analyzer {
+ public:
+  Analyzer(const FormulaNode& root, const TypeInfo& info,
+           const AnalyzerOptions& options)
+      : root_(root), info_(info), options_(options) {}
+
+  AnalysisResult Run() {
+    result_.stats.queries_analyzed = 1;
+    if (Walk(root_)) ClassifyAndReport(root_);
+    CheckRangeRestriction();
+    // Source order (span-less diagnostics last), ties broken by code, so
+    // renderings and the JSON stream are deterministic.
+    std::stable_sort(
+        result_.diagnostics.begin(), result_.diagnostics.end(),
+        [](const Diagnostic& a, const Diagnostic& b) {
+          const size_t ka = a.span.valid()
+                                ? a.span.begin
+                                : std::numeric_limits<size_t>::max();
+          const size_t kb = b.span.valid()
+                                ? b.span.begin
+                                : std::numeric_limits<size_t>::max();
+          if (ka != kb) return ka < kb;
+          return a.code < b.code;
+        });
+    return std::move(result_);
+  }
+
+ private:
+  void Emit(std::string code, DiagSeverity severity, std::string message,
+            SourceSpan span, std::string fix) {
+    ++result_.stats.diagnostics;
+    switch (severity) {
+      case DiagSeverity::kError:
+        ++result_.stats.errors;
+        break;
+      case DiagSeverity::kWarning:
+        ++result_.stats.warnings;
+        break;
+      case DiagSeverity::kNote:
+        ++result_.stats.notes;
+        break;
+    }
+    result_.diagnostics.push_back(Diagnostic{std::move(code), severity,
+                                             std::move(message), span,
+                                             std::move(fix)});
+  }
+
+  /// Per-node checks plus guard discovery. Returns true when the subtree is
+  /// element-pure; an element-pure child of an impure parent is a maximal
+  /// guard and gets classified exactly once.
+  bool Walk(const FormulaNode& node) {
+    NodeChecks(node);
+    std::vector<bool> pure;
+    pure.reserve(node.children.size());
+    for (const auto& child : node.children) pure.push_back(Walk(*child));
+    switch (node.kind) {
+      case NodeKind::kTrue:
+      case NodeKind::kFalse:
+      case NodeKind::kCompare:
+        return true;
+      case NodeKind::kNot:
+        return pure[0];
+      case NodeKind::kAnd:
+      case NodeKind::kOr:
+      case NodeKind::kImplies:
+      case NodeKind::kIff:
+        if (pure[0] && pure[1]) return true;
+        for (size_t i = 0; i < pure.size(); ++i) {
+          if (pure[i]) ClassifyAndReport(*node.children[i]);
+        }
+        return false;
+      default:
+        for (size_t i = 0; i < pure.size(); ++i) {
+          if (pure[i]) ClassifyAndReport(*node.children[i]);
+        }
+        return false;
+    }
+  }
+
+  // ---- LCDB006 / LCDB007: kernel-backed guard truth. ----
+
+  void ClassifyAndReport(const FormulaNode& node) {
+    if (!options_.classify_guards) return;
+    // Literal true/false is intentional, not a mistake to diagnose.
+    if (node.kind == NodeKind::kTrue || node.kind == NodeKind::kFalse) return;
+    const GuardTruth truth = ClassifyGuard(node, info_.all_element_vars,
+                                           options_.guard, &result_.stats);
+    if (truth == GuardTruth::kAlwaysFalse) {
+      Emit("LCDB006", DiagSeverity::kWarning,
+           "subquery is provably unsatisfiable (vacuous)", node.span,
+           "this branch contributes nothing; remove it or fix the bounds");
+    } else if (truth == GuardTruth::kAlwaysTrue) {
+      Emit("LCDB007", DiagSeverity::kWarning,
+           "guard is provably always true", node.span,
+           "the guard never filters anything; drop it");
+    }
+  }
+
+  void NodeChecks(const FormulaNode& node) {
+    switch (node.kind) {
+      case NodeKind::kLfp:
+        FixpointChecks(node);
+        if (!IsPositiveIn(*node.children[0], node.set_var)) {
+          const FormulaNode* occurrence = FindNonPositiveOccurrence(
+              *node.children[0], node.set_var, true);
+          Emit("LCDB001", DiagSeverity::kError,
+               "LFP body is not positive in the fixpoint variable '" +
+                   node.set_var + "'",
+               occurrence != nullptr ? occurrence->span : node.span,
+               "every occurrence of '" + node.set_var +
+                   "' must be under an even number of negations "
+                   "(Definition 5.1); use ifp or pfp for non-monotone "
+                   "induction");
+        }
+        break;
+      case NodeKind::kIfp:
+      case NodeKind::kPfp:
+        FixpointChecks(node);
+        if (!IsPositiveIn(*node.children[0], node.set_var)) {
+          const FormulaNode* occurrence = FindNonPositiveOccurrence(
+              *node.children[0], node.set_var, true);
+          Emit("LCDB002", DiagSeverity::kNote,
+               std::string(node.kind == NodeKind::kIfp ? "IFP" : "PFP") +
+                   " body is not positive in '" + node.set_var +
+                   "'; stages are not monotone" +
+                   (node.kind == NodeKind::kIfp
+                        ? " (IFP stays inflationary by construction)"
+                        : " (PFP may fail to converge)"),
+               occurrence != nullptr ? occurrence->span : node.span, "");
+        }
+        break;
+      case NodeKind::kTc:
+      case NodeKind::kDtc:
+        CheckGrowth(node);
+        CheckUnusedBound(node, node.bound_vars, /*element_sort=*/false);
+        if (node.region_args == node.region_args2) {
+          Emit("LCDB010", DiagSeverity::kNote,
+               "transitive closure applied to two identical tuples is "
+               "reflexively true",
+               node.span,
+               "the reflexive-transitive closure always relates a tuple to "
+               "itself");
+        }
+        if (node.kind == NodeKind::kDtc) CheckDtcDeterminism(node);
+        break;
+      case NodeKind::kExistsElem:
+      case NodeKind::kForallElem:
+        CheckUnusedBound(node, node.bound_vars, /*element_sort=*/true);
+        break;
+      case NodeKind::kExistsRegion:
+      case NodeKind::kForallRegion:
+        CheckUnusedBound(node, node.bound_vars, /*element_sort=*/false);
+        break;
+      case NodeKind::kHull:
+        CheckUnusedBound(node, node.bound_vars, /*element_sort=*/true);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void FixpointChecks(const FormulaNode& node) {
+    CheckGrowth(node);
+    CheckUnusedBound(node, node.bound_vars, /*element_sort=*/false);
+    // LCDB009: a body independent of M reaches its fixed point at stage 1.
+    if (info_.of(*node.children[0]).set_vars.count(node.set_var) == 0) {
+      Emit("LCDB009", DiagSeverity::kWarning,
+           "fixpoint body never references its set variable '" +
+               node.set_var + "'; the fixpoint is reached at stage 1",
+           node.span,
+           "the operator is equivalent to its body; evaluate the body "
+           "directly");
+    }
+  }
+
+  // ---- LCDB004: region tuple space growth, mirroring the evaluator's
+  // CheckTupleSpaces loop shape so the warning predicts the exact refusal. --
+
+  void CheckGrowth(const FormulaNode& node) {
+    const size_t k = node.bound_vars.size();
+    const size_t n = options_.num_regions;
+    if (k == 0 || n <= 1) return;
+    constexpr size_t kMaxSize = std::numeric_limits<size_t>::max();
+    size_t space = 1;
+    for (size_t i = 0; i < k; ++i) {
+      if (space > kMaxSize / n) {
+        Emit("LCDB004", DiagSeverity::kError,
+             "operator tuple space n^k overflows the addressable index "
+             "space (n=" +
+                 std::to_string(n) + ", k=" + std::to_string(k) + ")",
+             node.span, "reduce the operator arity");
+        return;
+      }
+      space *= n;
+    }
+    if (space > options_.max_tuple_space) {
+      Emit("LCDB004", DiagSeverity::kWarning,
+           "operator tuple space n^k = " + std::to_string(space) +
+               " exceeds max_tuple_space (" +
+               std::to_string(options_.max_tuple_space) +
+               "); Evaluate refuses such queries with kResourceExhausted",
+           node.span,
+           "reduce the operator arity or raise Options::max_tuple_space");
+    }
+  }
+
+  // ---- LCDB005: determinism precondition of Definition 7.2. ----
+
+  void CheckDtcDeterminism(const FormulaNode& node) {
+    const size_t m = node.bound_vars.size() / 2;
+    std::vector<const FormulaNode*> disjuncts;
+    Flatten(*node.children[0], NodeKind::kOr, &disjuncts);
+    for (const FormulaNode* disjunct : disjuncts) {
+      std::vector<const FormulaNode*> conjuncts;
+      Flatten(*disjunct, NodeKind::kAnd, &conjuncts);
+      std::string unpinned;
+      for (size_t i = m; i < node.bound_vars.size(); ++i) {
+        const std::string& target = node.bound_vars[i];
+        bool pinned = false;
+        for (const FormulaNode* conjunct : conjuncts) {
+          if (conjunct->kind == NodeKind::kRegionEq &&
+              (conjunct->region_args[0] == target ||
+               conjunct->region_args[1] == target)) {
+            pinned = true;
+            break;
+          }
+        }
+        if (!pinned) {
+          if (!unpinned.empty()) unpinned += ", ";
+          unpinned += "'" + target + "'";
+        }
+      }
+      if (!unpinned.empty()) {
+        Emit("LCDB005", DiagSeverity::kWarning,
+             "DTC body disjunct does not pin target variable(s) " + unpinned +
+                 " with a region equality; the edge relation may be "
+                 "non-functional, and DTC drops every tuple with more than "
+                 "one successor (Definition 7.2)",
+             disjunct->span,
+             "conjoin an equality determining each primed variable, or use "
+             "tc if non-deterministic edges are intended");
+      }
+    }
+  }
+
+  // ---- LCDB008: unused bound variables. ----
+
+  void CheckUnusedBound(const FormulaNode& node,
+                        const std::vector<std::string>& bound,
+                        bool element_sort) {
+    const FreeVars& body_free = info_.of(*node.children[0]);
+    const std::set<std::string>& used =
+        element_sort ? body_free.element : body_free.region;
+    for (const std::string& var : bound) {
+      if (used.count(var) == 0) {
+        Emit("LCDB008", DiagSeverity::kWarning,
+             "bound variable '" + var + "' is never used in the body",
+             node.span, "remove the binding or use the variable");
+      }
+    }
+  }
+
+  // ---- LCDB003: range restriction of the root's free element variables. --
+
+  void CheckRangeRestriction() {
+    const FreeVars& root_free = info_.of(root_);
+    if (root_free.element.empty()) return;
+    PolarityWalk(root_, /*can_pos=*/true, /*can_neg=*/false);
+    for (const std::string& var : root_free.element) {
+      if (positive_.count(var) != 0) continue;
+      auto it = first_atom_.find(var);
+      Emit("LCDB003", DiagSeverity::kError,
+           "free variable '" + var +
+               "' occurs only under negative polarity; the answer is "
+               "range-unrestricted in it",
+           it != first_atom_.end() ? it->second->span : root_.span,
+           "mention '" + var +
+               "' in at least one non-negated atom (a relation atom, "
+               "in(...), or a comparison)");
+    }
+  }
+
+  void NoteTerm(const ElementTerm& term, const FormulaNode& atom,
+                bool can_pos) {
+    for (const auto& entry : term.coeffs) {
+      if (first_atom_.count(entry.first) == 0) first_atom_[entry.first] = &atom;
+      if (can_pos) positive_.insert(entry.first);
+    }
+  }
+
+  void PolarityWalk(const FormulaNode& node, bool can_pos, bool can_neg) {
+    switch (node.kind) {
+      case NodeKind::kCompare:
+        NoteTerm(node.lhs, node, can_pos);
+        NoteTerm(node.rhs, node, can_pos);
+        return;
+      case NodeKind::kRelationAtom:
+      case NodeKind::kInRegion:
+        for (const ElementTerm& term : node.terms) {
+          NoteTerm(term, node, can_pos);
+        }
+        return;
+      case NodeKind::kHull:
+        // The applied terms are atoms at the hull's polarity; the body's
+        // element variables are bound, so its occurrences never concern the
+        // root's free variables (no shadowing).
+        for (const ElementTerm& term : node.terms) {
+          NoteTerm(term, node, can_pos);
+        }
+        PolarityWalk(*node.children[0], can_pos, can_neg);
+        return;
+      case NodeKind::kNot:
+        PolarityWalk(*node.children[0], can_neg, can_pos);
+        return;
+      case NodeKind::kImplies:
+        PolarityWalk(*node.children[0], can_neg, can_pos);
+        PolarityWalk(*node.children[1], can_pos, can_neg);
+        return;
+      case NodeKind::kIff:
+        PolarityWalk(*node.children[0], true, true);
+        PolarityWalk(*node.children[1], true, true);
+        return;
+      default:
+        for (const auto& child : node.children) {
+          PolarityWalk(*child, can_pos, can_neg);
+        }
+        return;
+    }
+  }
+
+  const FormulaNode& root_;
+  const TypeInfo& info_;
+  const AnalyzerOptions& options_;
+  AnalysisResult result_;
+  // LCDB003 state: variables seen in a positive-polarity atom, and the
+  // first atom mentioning each variable (the diagnostic's span).
+  std::set<std::string> positive_;
+  std::map<std::string, const FormulaNode*> first_atom_;
+};
+
+}  // namespace
+
+const Diagnostic* AnalysisResult::FirstError() const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == DiagSeverity::kError) return &d;
+  }
+  return nullptr;
+}
+
+AnalysisResult AnalyzeQuery(const FormulaNode& root, const TypeInfo& info,
+                            const AnalyzerOptions& options) {
+  return Analyzer(root, info, options).Run();
+}
+
+Status AnalysisErrorStatus(const AnalysisResult& result,
+                           std::string_view source) {
+  const Diagnostic* first = result.FirstError();
+  if (first == nullptr) return Status::Ok();
+  std::string message =
+      "query rejected by static analysis:\n" + RenderDiagnostic(*first, source);
+  if (result.stats.errors > 1) {
+    message += "(and " + std::to_string(result.stats.errors - 1) +
+               " more error(s))\n";
+  }
+  return Status::InvalidArgument(message);
+}
+
+LintReport LintQueryText(std::string_view query_text,
+                         const ConstraintDatabase& db,
+                         const AnalyzerOptions& options) {
+  LintReport report;
+  Result<FormulaPtr> parsed = ParseQuery(query_text, db.relation_name());
+  if (!parsed.ok()) {
+    report.diagnostics.push_back(
+        Diagnostic{"LCDB900", DiagSeverity::kError,
+                   parsed.status().message(), SourceSpan{},
+                   "fix the syntax error; nothing else can be checked"});
+    report.stats.diagnostics = 1;
+    report.stats.errors = 1;
+    return report;
+  }
+  report.parse_ok = true;
+  Result<TypeInfo> info = TypeCheck(**parsed, db);
+  if (!info.ok()) {
+    report.diagnostics.push_back(
+        Diagnostic{"LCDB901", DiagSeverity::kError, info.status().message(),
+                   SourceSpan{},
+                   "fix the type error; analysis needs a typed AST"});
+    report.stats.diagnostics = 1;
+    report.stats.errors = 1;
+    return report;
+  }
+  report.typecheck_ok = true;
+  AnalysisResult result = AnalyzeQuery(**parsed, *info, options);
+  report.diagnostics = std::move(result.diagnostics);
+  report.stats = result.stats;
+  return report;
+}
+
+}  // namespace lcdb

@@ -1,0 +1,90 @@
+#ifndef LCDB_ANALYSIS_ANALYZER_H_
+#define LCDB_ANALYSIS_ANALYZER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "analysis/analysis_stats.h"
+#include "analysis/const_analysis.h"
+#include "analysis/diagnostics.h"
+#include "core/ast.h"
+#include "core/typecheck.h"
+#include "db/database.h"
+#include "util/status.h"
+
+namespace lcdb {
+
+/// Configuration of the static query analyzer.
+struct AnalyzerOptions {
+  /// Region count of the extension the query will run against; 0 when
+  /// unknown (lint without an extension), which skips the tuple-space cap
+  /// warning but not the overflow error.
+  size_t num_regions = 0;
+  /// The evaluator's Options::max_tuple_space cap the LCDB004 warning
+  /// compares against.
+  size_t max_tuple_space = 1u << 22;
+  /// Ask the ambient kernel whether element-pure guards are vacuous or
+  /// tautological (LCDB006/LCDB007). Kernel-memoized, but still oracle
+  /// work; disable for span-free syntactic-only analysis.
+  bool classify_guards = true;
+  GuardClassifyOptions guard;
+};
+
+/// Outcome of one AnalyzeQuery call: the diagnostics in source order plus
+/// the analyzer's telemetry (registered as `analysis.*` metrics).
+struct AnalysisResult {
+  std::vector<Diagnostic> diagnostics;
+  AnalysisStats stats;
+
+  bool has_errors() const { return stats.errors > 0; }
+  /// First error-severity diagnostic, or nullptr.
+  const Diagnostic* FirstError() const;
+};
+
+/// The static analysis pass pipeline over a *typechecked* AST (`info` must
+/// come from TypeCheck on `root`). Runs as a mandatory phase between
+/// typecheck and plan building; pure — never throws, never mutates the AST.
+///
+/// Diagnostic codes:
+///   LCDB001 error    LFP body not positive in the fixpoint variable
+///   LCDB002 note     IFP/PFP body not positive (polarity report)
+///   LCDB003 error    free element variable with only negative-polarity
+///                    atom occurrences (range-unrestricted)
+///   LCDB004 error/   region tuple space n^k overflows size_t / exceeds
+///           warning  the configured max_tuple_space
+///   LCDB005 warning  DTC body disjunct does not pin a target variable
+///                    (determinism precondition of Definition 7.2)
+///   LCDB006 warning  subquery provably unsatisfiable (vacuous)
+///   LCDB007 warning  guard provably always true
+///   LCDB008 warning  bound variable never used
+///   LCDB009 warning  fixpoint body independent of its set variable
+///   LCDB010 note     TC/DTC applied to identical tuples (reflexively true)
+///   LCDB900 error    parse failure (lint front ends only)
+///   LCDB901 error    typecheck failure (lint front ends only)
+AnalysisResult AnalyzeQuery(const FormulaNode& root, const TypeInfo& info,
+                            const AnalyzerOptions& options = {});
+
+/// The kInvalidArgument Status Evaluate returns when analysis finds errors:
+/// the first error rendered (with caret when `source` covers its span) plus
+/// a count of the rest. Ok when the result has no errors.
+Status AnalysisErrorStatus(const AnalysisResult& result,
+                           std::string_view source);
+
+/// One-stop lint for the CLI front ends: parse (LCDB900 on failure),
+/// typecheck (LCDB901 on failure), then AnalyzeQuery. Never a Status —
+/// every failure mode is a diagnostic.
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+  AnalysisStats stats;
+  bool parse_ok = false;
+  bool typecheck_ok = false;
+
+  bool has_errors() const { return stats.errors > 0; }
+};
+LintReport LintQueryText(std::string_view query_text,
+                         const ConstraintDatabase& db,
+                         const AnalyzerOptions& options = {});
+
+}  // namespace lcdb
+
+#endif  // LCDB_ANALYSIS_ANALYZER_H_

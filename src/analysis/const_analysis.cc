@@ -1,0 +1,103 @@
+#include "analysis/const_analysis.h"
+
+#include <algorithm>
+
+#include "constraint/linear_atom.h"
+
+namespace lcdb {
+
+namespace {
+
+/// Column index of `name` in the evaluator's element-variable space, or
+/// nullopt for a variable outside it (possible only for ASTs that skipped
+/// typechecking).
+std::optional<size_t> ColumnOf(const std::vector<std::string>& columns,
+                               const std::string& name) {
+  auto it = std::find(columns.begin(), columns.end(), name);
+  if (it == columns.end()) return std::nullopt;
+  return static_cast<size_t>(it - columns.begin());
+}
+
+}  // namespace
+
+bool ConstFormulaProvablyEmpty(const DnfFormula& formula) {
+  if (formula.IsSyntacticallyFalse()) return true;
+  if (formula.IsSyntacticallyTrue()) return false;
+  return formula.IsEmpty();
+}
+
+std::optional<DnfFormula> LowerElementPure(
+    const FormulaNode& node, const std::vector<std::string>& columns) {
+  const size_t m = columns.size();
+  switch (node.kind) {
+    case NodeKind::kTrue:
+      return DnfFormula::True(m);
+    case NodeKind::kFalse:
+      return DnfFormula::False(m);
+    case NodeKind::kCompare: {
+      // Identical to the planner's kCompare lowering, so the atoms
+      // canonicalize to the same kernel encodings.
+      ElementTerm diff = node.lhs.Minus(node.rhs);
+      Vec coeffs(m);
+      for (const auto& [name, coeff] : diff.coeffs) {
+        std::optional<size_t> col = ColumnOf(columns, name);
+        if (!col.has_value()) return std::nullopt;
+        coeffs[*col] = coeff;
+      }
+      return DnfFormula::FromAtom(
+          LinearAtom(coeffs, node.rel, -diff.constant));
+    }
+    case NodeKind::kNot: {
+      std::optional<DnfFormula> a = LowerElementPure(*node.children[0], columns);
+      if (!a.has_value()) return std::nullopt;
+      return a->Negate();
+    }
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+    case NodeKind::kImplies:
+    case NodeKind::kIff: {
+      std::optional<DnfFormula> a = LowerElementPure(*node.children[0], columns);
+      if (!a.has_value()) return std::nullopt;
+      std::optional<DnfFormula> b = LowerElementPure(*node.children[1], columns);
+      if (!b.has_value()) return std::nullopt;
+      switch (node.kind) {
+        case NodeKind::kAnd:
+          return a->And(*b);
+        case NodeKind::kOr:
+          return a->Or(*b);
+        case NodeKind::kImplies:
+          return a->Negate().Or(*b);
+        default:  // kIff
+          return a->And(*b).Or(a->Negate().And(b->Negate()));
+      }
+    }
+    default:
+      // Region atoms, relation/in atoms (database-dependent), quantifiers
+      // and operators are not compile-time constants at this layer.
+      return std::nullopt;
+  }
+}
+
+GuardTruth ClassifyGuard(const FormulaNode& node,
+                         const std::vector<std::string>& columns,
+                         const GuardClassifyOptions& options,
+                         AnalysisStats* stats) {
+  std::optional<DnfFormula> lowered = LowerElementPure(node, columns);
+  if (!lowered.has_value()) return GuardTruth::kUnknown;
+  if (lowered->AtomCount() > options.max_atoms) {
+    if (stats != nullptr) ++stats->guards_skipped_size;
+    return GuardTruth::kUnknown;
+  }
+  if (stats != nullptr) ++stats->guards_classified;
+  if (ConstFormulaProvablyEmpty(*lowered)) {
+    if (stats != nullptr) ++stats->guards_proved_unsat;
+    return GuardTruth::kAlwaysFalse;
+  }
+  if (ConstFormulaProvablyEmpty(lowered->Negate())) {
+    if (stats != nullptr) ++stats->guards_proved_tautology;
+    return GuardTruth::kAlwaysTrue;
+  }
+  return GuardTruth::kUnknown;
+}
+
+}  // namespace lcdb

@@ -1,0 +1,109 @@
+#include "analysis/diagnostics.h"
+
+#include <algorithm>
+
+namespace lcdb {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* DiagSeverityName(DiagSeverity severity) {
+  switch (severity) {
+    case DiagSeverity::kNote:
+      return "note";
+    case DiagSeverity::kWarning:
+      return "warning";
+    case DiagSeverity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string RenderDiagnostic(const Diagnostic& diagnostic,
+                             std::string_view source) {
+  std::string out = std::string(DiagSeverityName(diagnostic.severity)) + "[" +
+                    diagnostic.code + "]: " + diagnostic.message + "\n";
+  const SourceSpan& span = diagnostic.span;
+  if (span.valid() && span.begin < source.size()) {
+    // Echo the source line the span starts on, caret run underneath. Query
+    // sources are usually one line; multi-line spans caret to line end.
+    size_t line_begin = source.rfind('\n', span.begin);
+    line_begin = line_begin == std::string_view::npos ? 0 : line_begin + 1;
+    size_t line_end = source.find('\n', span.begin);
+    if (line_end == std::string_view::npos) line_end = source.size();
+    const size_t caret_begin = span.begin - line_begin;
+    const size_t caret_end =
+        std::min(span.end, line_end) - line_begin;
+    out += "  --> offset " + std::to_string(span.begin) + "\n";
+    out += "   | " +
+           std::string(source.substr(line_begin, line_end - line_begin)) +
+           "\n";
+    out += "   | " + std::string(caret_begin, ' ') +
+           std::string(std::max<size_t>(caret_end - caret_begin, 1), '^') +
+           "\n";
+  }
+  if (!diagnostic.fix.empty()) {
+    out += "  fix: " + diagnostic.fix + "\n";
+  }
+  return out;
+}
+
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diagnostics,
+                              std::string_view source) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) out += RenderDiagnostic(d, source);
+  return out;
+}
+
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics) {
+  std::string out = "[";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    if (i > 0) out += ",";
+    out += "{\"code\":\"" + JsonEscape(d.code) + "\"";
+    out += ",\"severity\":\"" + std::string(DiagSeverityName(d.severity)) +
+           "\"";
+    out += ",\"message\":\"" + JsonEscape(d.message) + "\"";
+    const size_t begin = d.span.valid() ? d.span.begin : 0;
+    const size_t end = d.span.valid() ? d.span.end : 0;
+    out += ",\"begin\":" + std::to_string(begin);
+    out += ",\"end\":" + std::to_string(end);
+    out += ",\"fix\":\"" + JsonEscape(d.fix) + "\"}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace lcdb

@@ -1,0 +1,58 @@
+#ifndef LCDB_ANALYSIS_DIAGNOSTICS_H_
+#define LCDB_ANALYSIS_DIAGNOSTICS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/ast.h"
+
+namespace lcdb {
+
+/// Severity of a static-analysis diagnostic. Errors make Evaluate fail with
+/// kInvalidArgument before any engine work; warnings and notes are advisory
+/// and surface through the lint front ends and the analysis.* metrics.
+enum class DiagSeverity {
+  kNote,
+  kWarning,
+  kError,
+};
+
+const char* DiagSeverityName(DiagSeverity severity);
+
+/// One structured diagnostic from the static query analyzer: a stable
+/// LCDB### code, a severity, a one-line message, the source span of the
+/// offending construct (invalid for programmatically built ASTs) and an
+/// optional fix note.
+struct Diagnostic {
+  std::string code;  ///< "LCDB001" .. "LCDB901"
+  DiagSeverity severity = DiagSeverity::kWarning;
+  std::string message;
+  SourceSpan span;
+  std::string fix;  ///< optional "rewrite it like this" hint
+};
+
+/// Renders one diagnostic for terminals. When `source` is nonempty and the
+/// span is valid, the offending source line is echoed with a caret run
+/// underneath:
+///
+///   error[LCDB001]: LFP body must be positive in the fixpoint variable 'M'
+///     --> offset 17
+///      | exists A . [lfp M R : !(M(R))](A)
+///      |                       ^^^^^^^
+///     fix: rewrite the body so 'M' occurs under an even number of negations
+std::string RenderDiagnostic(const Diagnostic& diagnostic,
+                             std::string_view source);
+
+/// Renders a batch, one diagnostic after another.
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diagnostics,
+                              std::string_view source);
+
+/// JSON array of objects {"code","severity","message","begin","end","fix"}
+/// — the schema the CI lint job validates. Spanless diagnostics carry
+/// begin = end = 0.
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace lcdb
+
+#endif  // LCDB_ANALYSIS_DIAGNOSTICS_H_

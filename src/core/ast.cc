@@ -254,6 +254,7 @@ FormulaPtr MakeHull(std::vector<std::string> elem_vars, FormulaPtr body,
 FormulaPtr CloneFormula(const FormulaNode& node) {
   auto copy = std::make_unique<FormulaNode>();
   copy->kind = node.kind;
+  copy->span = node.span;
   copy->lhs = node.lhs;
   copy->rhs = node.rhs;
   copy->rel = node.rel;

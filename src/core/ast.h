@@ -71,11 +71,25 @@ enum class NodeKind {
   kHull,
 };
 
+/// Half-open byte range [begin, end) into the query source text a node was
+/// parsed from. The parser stamps every node it produces; nodes built
+/// through the factories directly keep the invalid default, and diagnostic
+/// renderers degrade to span-less messages for them.
+struct SourceSpan {
+  size_t begin = 0;
+  size_t end = 0;
+
+  bool valid() const { return end > begin; }
+};
+
 /// One AST node. A single struct with kind-dependent fields keeps the tree
 /// uniform for the evaluator and the type checker; factory functions below
 /// construct each kind with exactly its fields set.
 struct FormulaNode {
   NodeKind kind = NodeKind::kTrue;
+
+  /// Source range this node was parsed from (invalid when built directly).
+  SourceSpan span;
 
   // kCompare.
   ElementTerm lhs, rhs;

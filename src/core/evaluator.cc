@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/analyzer.h"
 #include "core/parser.h"
 #include "engine/governor.h"
 #include "engine/kernel.h"
@@ -113,6 +114,27 @@ Result<QueryAnswer> Evaluator::EvaluateImpl(const FormulaNode& query,
   };
   DnfFormula result = DnfFormula::False(num_columns_);
   try {
+    // Mandatory static analysis between typecheck and planning. Inside the
+    // kernel window and the try block: guard classification consults the
+    // ambient oracle, so its work counts against this query's budgets, and
+    // every truth it establishes is memoized for the optimizer's folding
+    // pass downstream. Hard diagnostics turn into a clean rejection before
+    // any plan is built.
+    {
+      TraceSpan analyze_span("analyze");
+      AnalyzerOptions analyzer_options;
+      analyzer_options.num_regions = ext_.num_regions();
+      analyzer_options.max_tuple_space = options_.max_tuple_space;
+      AnalysisResult analysis = AnalyzeQuery(query, info, analyzer_options);
+      stats_.analysis = analysis.stats;
+      if (!analysis.diagnostics.empty()) {
+        analyze_span.Counter("diagnostics", analysis.diagnostics.size());
+      }
+      if (analysis.has_errors()) {
+        settle();
+        return AnalysisErrorStatus(analysis, source_);
+      }
+    }
     // EXPLAIN ANALYZE's profile keys are plan nodes, so a plan_out request
     // forces the plan pipeline even under use_plan=false.
     if (options_.use_plan || plan_out != nullptr) {
@@ -184,6 +206,23 @@ Result<std::string> Evaluator::Explain(const FormulaNode& query) {
   const KernelStats kernel_before = CurrentKernel().stats();
   stats_.governor = GovernorStats();
   try {
+    // Explain runs the same mandatory analysis phase as Evaluate, so a
+    // query Evaluate would reject never gets a plan printed for it.
+    {
+      TraceSpan analyze_span("analyze");
+      AnalyzerOptions analyzer_options;
+      analyzer_options.num_regions = ext_.num_regions();
+      analyzer_options.max_tuple_space = options_.max_tuple_space;
+      AnalysisResult analysis = AnalyzeQuery(query, info, analyzer_options);
+      stats_.analysis = analysis.stats;
+      if (!analysis.diagnostics.empty()) {
+        analyze_span.Counter("diagnostics", analysis.diagnostics.size());
+      }
+      if (analysis.has_errors()) {
+        SettleAmbient(kernel_before);
+        return AnalysisErrorStatus(analysis, source_);
+      }
+    }
     CompiledPlan plan;
     {
       TraceSpan build_span("plan.build");
@@ -603,6 +642,7 @@ MetricsSnapshot Evaluator::Stats::ToMetrics() const {
   registry.RegisterKernelStats(kernel);
   registry.RegisterGovernorStats(governor);
   registry.RegisterPlanPassStats(plan);
+  registry.RegisterAnalysisStats(analysis);
   registry.RegisterOpTimings(op_timings);
   return registry.Snapshot();
 }
@@ -616,6 +656,7 @@ Result<QueryAnswer> EvaluateQueryText(const RegionExtension& extension,
       FormulaPtr query,
       ParseQuery(query_text, extension.database().relation_name()));
   Evaluator evaluator(extension, options);
+  evaluator.AttachSource(std::string(query_text));
   return evaluator.Evaluate(*query);
 }
 
@@ -626,6 +667,7 @@ Result<bool> EvaluateSentenceText(const RegionExtension& extension,
       FormulaPtr query,
       ParseQuery(query_text, extension.database().relation_name()));
   Evaluator evaluator(extension, options);
+  evaluator.AttachSource(std::string(query_text));
   return evaluator.EvaluateSentence(*query);
 }
 

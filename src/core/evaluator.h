@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analysis_stats.h"
 #include "core/ast.h"
 #include "core/typecheck.h"
 #include "db/region_extension.h"
@@ -98,6 +99,9 @@ class Evaluator {
     GovernorStats governor;
     /// Optimizer pass counters of the most recent compilation (plan mode).
     PlanPassStats plan;
+    /// Static-analyzer telemetry of the most recent Evaluate/Explain call
+    /// (diagnostic counts by severity, guard classification work).
+    AnalysisStats analysis;
     /// Wall-clock per-operator timings of the most recent Evaluate call
     /// (expensive operators only: QE, region expansion, hull, fixpoints,
     /// closures, rBIT), keyed by PlanOpName. Reset at each Evaluate entry.
@@ -114,6 +118,12 @@ class Evaluator {
 
   explicit Evaluator(const RegionExtension& extension);
   Evaluator(const RegionExtension& extension, Options options);
+
+  /// Attaches the query source text, so analyzer diagnostics carried by a
+  /// rejection Status render with the offending line and a caret run under
+  /// the span. Optional — without it diagnostics degrade to span-less
+  /// messages. EvaluateQueryText / EvaluateSentenceText attach automatically.
+  void AttachSource(std::string source) { source_ = std::move(source); }
 
   /// Evaluates a well-formed query (no free region or set variables);
   /// type-checks first. The answer formula ranges over the free element
@@ -202,6 +212,7 @@ class Evaluator {
   const RegionExtension& ext_;
   Options options_;
   Stats stats_;
+  std::string source_;  // query text for diagnostic rendering (may be empty)
   const TypeInfo* info_ = nullptr;  // valid during Evaluate
   size_t num_columns_ = 0;
 

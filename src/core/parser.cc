@@ -129,6 +129,25 @@ class QueryParser {
                               Cur().text + "')");
   }
 
+  /// Offset where the formula whose parse is about to begin starts.
+  size_t StartOffset() const { return Cur().offset; }
+
+  /// One past the end of the most recently consumed token.
+  size_t EndOffset() const {
+    const Token& prev = tokens_[pos_ == 0 ? 0 : pos_ - 1];
+    return prev.offset + prev.text.size();
+  }
+
+  /// Stamps `node` with the source range [begin, EndOffset()). Applied on
+  /// every production exit, so each AST node points at the tokens it came
+  /// from; desugared nodes (e.g. the two compares of `!=`) share the range
+  /// of the surface syntax they expand.
+  FormulaPtr Span(FormulaPtr node, size_t begin) {
+    node->span.begin = begin;
+    node->span.end = EndOffset();
+    return node;
+  }
+
   bool ConsumeSymbol(const std::string& s) {
     if (Cur().kind == TokenKind::kSymbol && Cur().text == s) {
       ++pos_;
@@ -158,45 +177,50 @@ class QueryParser {
   }
 
   Result<FormulaPtr> ParseIff() {
+    const size_t begin = StartOffset();
     LCDB_ASSIGN_OR_RETURN(FormulaPtr f, ParseImplies());
     while (ConsumeSymbol("<->")) {
       LCDB_ASSIGN_OR_RETURN(FormulaPtr g, ParseImplies());
-      f = MakeIff(std::move(f), std::move(g));
+      f = Span(MakeIff(std::move(f), std::move(g)), begin);
     }
     return f;
   }
 
   Result<FormulaPtr> ParseImplies() {
+    const size_t begin = StartOffset();
     LCDB_ASSIGN_OR_RETURN(FormulaPtr f, ParseOr());
     if (ConsumeSymbol("->")) {
       LCDB_ASSIGN_OR_RETURN(FormulaPtr g, ParseImplies());  // right assoc
-      return MakeImplies(std::move(f), std::move(g));
+      return Span(MakeImplies(std::move(f), std::move(g)), begin);
     }
     return f;
   }
 
   Result<FormulaPtr> ParseOr() {
+    const size_t begin = StartOffset();
     LCDB_ASSIGN_OR_RETURN(FormulaPtr f, ParseAnd());
     while (ConsumeSymbol("|")) {
       LCDB_ASSIGN_OR_RETURN(FormulaPtr g, ParseAnd());
-      f = MakeOr(std::move(f), std::move(g));
+      f = Span(MakeOr(std::move(f), std::move(g)), begin);
     }
     return f;
   }
 
   Result<FormulaPtr> ParseAnd() {
+    const size_t begin = StartOffset();
     LCDB_ASSIGN_OR_RETURN(FormulaPtr f, ParseUnary());
     while (ConsumeSymbol("&")) {
       LCDB_ASSIGN_OR_RETURN(FormulaPtr g, ParseUnary());
-      f = MakeAnd(std::move(f), std::move(g));
+      f = Span(MakeAnd(std::move(f), std::move(g)), begin);
     }
     return f;
   }
 
   Result<FormulaPtr> ParseUnary() {
+    const size_t begin = StartOffset();
     if (ConsumeSymbol("!")) {
       LCDB_ASSIGN_OR_RETURN(FormulaPtr f, ParseUnary());
-      return MakeNot(std::move(f));
+      return Span(MakeNot(std::move(f)), begin);
     }
     if (Cur().kind == TokenKind::kIdent &&
         (Cur().text == "exists" || Cur().text == "forall")) {
@@ -214,6 +238,7 @@ class QueryParser {
   }
 
   Result<FormulaPtr> ParseQuantifier() {
+    const size_t begin = StartOffset();
     const bool universal = Cur().text == "forall";
     ++pos_;
     std::vector<std::string> vars;
@@ -244,20 +269,26 @@ class QueryParser {
       } else {
         return Error("cannot determine sort of variable '" + v + "'");
       }
+      body = Span(std::move(body), begin);
     }
     return body;
   }
 
   Result<FormulaPtr> ParseFixpoint() {
+    const size_t begin = StartOffset();
     LCDB_RETURN_IF_ERROR(ExpectSymbol("["));
-    if (ConsumeIdent("lfp")) return ParseLfpLike(NodeKind::kLfp);
-    if (ConsumeIdent("ifp")) return ParseLfpLike(NodeKind::kIfp);
-    if (ConsumeIdent("pfp")) return ParseLfpLike(NodeKind::kPfp);
-    if (ConsumeIdent("tc")) return ParseTcLike(NodeKind::kTc);
-    if (ConsumeIdent("dtc")) return ParseTcLike(NodeKind::kDtc);
-    if (ConsumeIdent("rbit")) return ParseRbit();
-    if (ConsumeIdent("hull")) return ParseHull();
-    return Error("expected lfp/ifp/pfp/tc/dtc/rbit/hull after '['");
+    Result<FormulaPtr> f = [&]() -> Result<FormulaPtr> {
+      if (ConsumeIdent("lfp")) return ParseLfpLike(NodeKind::kLfp);
+      if (ConsumeIdent("ifp")) return ParseLfpLike(NodeKind::kIfp);
+      if (ConsumeIdent("pfp")) return ParseLfpLike(NodeKind::kPfp);
+      if (ConsumeIdent("tc")) return ParseTcLike(NodeKind::kTc);
+      if (ConsumeIdent("dtc")) return ParseTcLike(NodeKind::kDtc);
+      if (ConsumeIdent("rbit")) return ParseRbit();
+      if (ConsumeIdent("hull")) return ParseHull();
+      return Error("expected lfp/ifp/pfp/tc/dtc/rbit/hull after '['");
+    }();
+    if (!f.ok()) return f.status();
+    return Span(std::move(*f), begin);
   }
 
   Result<FormulaPtr> ParseLfpLike(NodeKind op) {
@@ -371,14 +402,27 @@ class QueryParser {
   }
 
   Result<FormulaPtr> ParseAtom() {
-    if (ConsumeIdent("true")) return MakeTrue();
-    if (ConsumeIdent("false")) return MakeFalse();
-    if (ConsumeIdent("in")) return ParseInAtom();
-    if (ConsumeIdent("adj")) return ParseTwoRegionAtom(&MakeAdjacent);
-    if (ConsumeIdent("subset")) return ParseOneRegionAtom(&MakeSubsetS);
-    if (ConsumeIdent("meets")) return ParseOneRegionAtom(&MakeIntersectsS);
-    if (ConsumeIdent("bounded")) return ParseOneRegionAtom(&MakeBoundedAtom);
-    if (ConsumeIdent("dim")) return ParseDimAtom();
+    const size_t begin = StartOffset();
+    // Stamps the atom (however deep its helper parser recursed) with the
+    // tokens consumed since `begin`.
+    auto spanned = [&](Result<FormulaPtr> r) -> Result<FormulaPtr> {
+      if (!r.ok()) return r.status();
+      return Span(std::move(*r), begin);
+    };
+    if (ConsumeIdent("true")) return Span(MakeTrue(), begin);
+    if (ConsumeIdent("false")) return Span(MakeFalse(), begin);
+    if (ConsumeIdent("in")) return spanned(ParseInAtom());
+    if (ConsumeIdent("adj")) return spanned(ParseTwoRegionAtom(&MakeAdjacent));
+    if (ConsumeIdent("subset")) {
+      return spanned(ParseOneRegionAtom(&MakeSubsetS));
+    }
+    if (ConsumeIdent("meets")) {
+      return spanned(ParseOneRegionAtom(&MakeIntersectsS));
+    }
+    if (ConsumeIdent("bounded")) {
+      return spanned(ParseOneRegionAtom(&MakeBoundedAtom));
+    }
+    if (ConsumeIdent("dim")) return spanned(ParseDimAtom());
 
     // NAME(...): relation atom or set atom.
     if (Cur().kind == TokenKind::kIdent && Ahead(1).kind == TokenKind::kSymbol &&
@@ -389,14 +433,15 @@ class QueryParser {
         std::vector<ElementTerm> terms;
         LCDB_RETURN_IF_ERROR(ParseTermList(&terms, ")"));
         LCDB_RETURN_IF_ERROR(ExpectSymbol(")"));
-        return MakeRelationAtom(std::move(name), std::move(terms));
+        return Span(MakeRelationAtom(std::move(name), std::move(terms)),
+                    begin);
       }
       if (IsRegionName(name)) {
         pos_ += 2;
         std::vector<std::string> args;
         LCDB_RETURN_IF_ERROR(ParseRegionList(&args, ")"));
         LCDB_RETURN_IF_ERROR(ExpectSymbol(")"));
-        return MakeSetAtom(std::move(name), std::move(args));
+        return Span(MakeSetAtom(std::move(name), std::move(args)), begin);
       }
       return Error("unknown predicate '" + name + "'");
     }
@@ -410,14 +455,16 @@ class QueryParser {
         if (!IsRegionName(r2)) {
           return Error("region compared with non-region '" + r2 + "'");
         }
-        return MakeRegionEq(std::move(r1), std::move(r2));
+        return Span(MakeRegionEq(std::move(r1), std::move(r2)), begin);
       }
       if (ConsumeSymbol("!=")) {
         LCDB_ASSIGN_OR_RETURN(std::string r2, ExpectIdent("region variable"));
         if (!IsRegionName(r2)) {
           return Error("region compared with non-region '" + r2 + "'");
         }
-        return MakeNot(MakeRegionEq(std::move(r1), std::move(r2)));
+        return Span(
+            MakeNot(Span(MakeRegionEq(std::move(r1), std::move(r2)), begin)),
+            begin);
       }
       return Error("region variable in element-term position");
     }
@@ -443,10 +490,11 @@ class QueryParser {
     }
     LCDB_ASSIGN_OR_RETURN(ElementTerm rhs, ParseTerm());
     if (neq) {
-      return MakeOr(MakeCompare(lhs, RelOp::kLt, rhs),
-                    MakeCompare(lhs, RelOp::kGt, rhs));
+      return Span(MakeOr(Span(MakeCompare(lhs, RelOp::kLt, rhs), begin),
+                         Span(MakeCompare(lhs, RelOp::kGt, rhs), begin)),
+                  begin);
     }
-    return MakeCompare(std::move(lhs), *rel, std::move(rhs));
+    return Span(MakeCompare(std::move(lhs), *rel, std::move(rhs)), begin);
   }
 
   Result<FormulaPtr> ParseInAtom() {

@@ -32,7 +32,11 @@ class Checker {
 
  private:
   Status Error(const FormulaNode& node, const std::string& message) {
-    return Status::InvalidArgument(message + " in: " + node.ToString());
+    std::string where = " in: " + node.ToString();
+    if (node.span.valid()) {
+      where += " (at offset " + std::to_string(node.span.begin) + ")";
+    }
+    return Status::InvalidArgument(message + where);
   }
 
   void NoteElementVar(const std::string& name) {
@@ -206,10 +210,9 @@ class Checker {
                              "'");
           }
         }
-        if (node.kind == NodeKind::kLfp &&
-            !IsPositiveIn(*node.children[0], node.set_var)) {
-          return Error(node, "LFP body must be positive in " + node.set_var);
-        }
+        // Positivity of LFP bodies (Definition 5.1) is the analyzer's
+        // LCDB001: analysis/analyzer.cc reports it with a source span, and
+        // Evaluate rejects before planning. TypeCheck only scopes and sorts.
         for (const std::string& r : node.bound_vars) Unbind(r);
         Unbind(node.set_var);
         set_arity_.erase(node.set_var);

@@ -103,6 +103,18 @@ void MetricsRegistry::RegisterPlanPassStats(const PlanPassStats& s) {
   Count("plan.cacheable_marked", s.cacheable_marked);
 }
 
+void MetricsRegistry::RegisterAnalysisStats(const AnalysisStats& s) {
+  Count("analysis.queries_analyzed", s.queries_analyzed);
+  Count("analysis.diagnostics", s.diagnostics);
+  Count("analysis.errors", s.errors);
+  Count("analysis.warnings", s.warnings);
+  Count("analysis.notes", s.notes);
+  Count("analysis.guards_classified", s.guards_classified);
+  Count("analysis.guards_proved_unsat", s.guards_proved_unsat);
+  Count("analysis.guards_proved_tautology", s.guards_proved_tautology);
+  Count("analysis.guards_skipped_size", s.guards_skipped_size);
+}
+
 void MetricsRegistry::RegisterOpTimings(const OpTimings& timings) {
   for (const auto& [op, timing] : timings) {
     Count("op." + op + ".count", timing.count);

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analysis_stats.h"
 #include "engine/governor.h"
 #include "engine/kernel_stats.h"
 #include "plan/plan_stats.h"
@@ -71,6 +72,7 @@ class MetricsRegistry {
   void RegisterKernelStats(const KernelStats& stats);
   void RegisterGovernorStats(const GovernorStats& stats);
   void RegisterPlanPassStats(const PlanPassStats& stats);
+  void RegisterAnalysisStats(const AnalysisStats& stats);
   void RegisterOpTimings(const OpTimings& timings);
 
  private:

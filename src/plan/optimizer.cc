@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "analysis/const_analysis.h"
 #include "engine/trace.h"
 #include "util/status.h"
 
@@ -12,14 +13,9 @@ namespace lcdb {
 
 namespace {
 
-bool IsConstF(const PlanNode& n) { return n.op == PlanOp::kConstFormula; }
-bool IsConstTrue(const PlanNode& n) {
-  return IsConstF(n) && n.const_formula->IsSyntacticallyTrue();
-}
-bool IsConstFalse(const PlanNode& n) {
-  return IsConstF(n) && n.const_formula->IsSyntacticallyFalse();
-}
-bool IsConstB(const PlanNode& n) { return n.op == PlanOp::kConstBool; }
+// Constant classification lives in analysis/const_analysis.h, shared with
+// the static analyzer so dead-branch pruning and vacuity diagnostics answer
+// from one kernel-backed analysis.
 
 class Optimizer {
  public:
@@ -130,34 +126,40 @@ class Optimizer {
     const auto& c = node->children;
     switch (node->op) {
       case PlanOp::kNegateSym:
-        if (IsConstF(*c[0])) return Folded(ConstFormula(c[0]->const_formula->Negate()));
+        if (IsConstFormula(*c[0])) {
+          return Folded(ConstFormula(c[0]->const_formula->Negate()));
+        }
         break;
       case PlanOp::kAndSym:
-        if (IsConstFalse(*c[0])) return Pruned(c[0]);
-        if (IsConstF(*c[0]) && IsConstF(*c[1])) {
+        if (IsConstFalseFormula(*c[0])) return Pruned(c[0]);
+        if (IsConstFormula(*c[0]) && IsConstFormula(*c[1])) {
           return Folded(ConstFormula(
               c[0]->const_formula->And(*c[1]->const_formula)));
         }
         // A syntactically false right operand annihilates: the pairwise
         // product has no disjuncts whatever the left side evaluates to.
-        if (IsConstFalse(*c[1])) return Pruned(ConstFormula(DnfFormula::False(m_)));
+        if (IsConstFalseFormula(*c[1])) {
+          return Pruned(ConstFormula(DnfFormula::False(m_)));
+        }
         break;
       case PlanOp::kOrSym:
-        if (IsConstTrue(*c[0])) return Pruned(c[0]);
-        if (IsConstF(*c[0]) && IsConstF(*c[1])) {
+        if (IsConstTrueFormula(*c[0])) return Pruned(c[0]);
+        if (IsConstFormula(*c[0]) && IsConstFormula(*c[1])) {
           return Folded(ConstFormula(
               c[0]->const_formula->Or(*c[1]->const_formula)));
         }
         break;
       case PlanOp::kImpliesSym:
-        if (IsConstFalse(*c[0])) return Pruned(ConstFormula(DnfFormula::True(m_)));
-        if (IsConstF(*c[0]) && IsConstF(*c[1])) {
+        if (IsConstFalseFormula(*c[0])) {
+          return Pruned(ConstFormula(DnfFormula::True(m_)));
+        }
+        if (IsConstFormula(*c[0]) && IsConstFormula(*c[1])) {
           return Folded(ConstFormula(
               c[0]->const_formula->Negate().Or(*c[1]->const_formula)));
         }
         break;
       case PlanOp::kIffSym:
-        if (IsConstF(*c[0]) && IsConstF(*c[1])) {
+        if (IsConstFormula(*c[0]) && IsConstFormula(*c[1])) {
           const DnfFormula& a = *c[0]->const_formula;
           const DnfFormula& b = *c[1]->const_formula;
           return Folded(
@@ -165,80 +167,91 @@ class Optimizer {
         }
         break;
       case PlanOp::kLiftBool:
-        if (IsConstB(*c[0])) {
+        if (IsConstBool(*c[0])) {
           return Folded(ConstFormula(c[0]->const_bool
                                          ? DnfFormula::True(m_)
                                          : DnfFormula::False(m_)));
         }
         break;
       case PlanOp::kExpandExists:
-        if (IsConstTrue(*c[0])) {
+        if (IsConstTrueFormula(*c[0])) {
           return Folded(ConstFormula(n_ > 0 ? DnfFormula::True(m_)
                                             : DnfFormula::False(m_)));
         }
-        if (IsConstFalse(*c[0])) return Folded(ConstFormula(DnfFormula::False(m_)));
+        if (IsConstFalseFormula(*c[0])) {
+          return Folded(ConstFormula(DnfFormula::False(m_)));
+        }
         break;
       case PlanOp::kExpandForall:
-        if (IsConstFalse(*c[0])) {
+        if (IsConstFalseFormula(*c[0])) {
           return Folded(ConstFormula(n_ > 0 ? DnfFormula::False(m_)
                                             : DnfFormula::True(m_)));
         }
-        if (IsConstTrue(*c[0])) return Folded(ConstFormula(DnfFormula::True(m_)));
+        if (IsConstTrueFormula(*c[0])) {
+          return Folded(ConstFormula(DnfFormula::True(m_)));
+        }
         break;
       case PlanOp::kNotBool:
-        if (IsConstB(*c[0])) return Folded(ConstBool(!c[0]->const_bool));
+        if (IsConstBool(*c[0])) return Folded(ConstBool(!c[0]->const_bool));
         break;
       case PlanOp::kAndBool:
-        if ((IsConstB(*c[0]) && !c[0]->const_bool) ||
-            (IsConstB(*c[1]) && !c[1]->const_bool)) {
+        if ((IsConstBool(*c[0]) && !c[0]->const_bool) ||
+            (IsConstBool(*c[1]) && !c[1]->const_bool)) {
           return Pruned(ConstBool(false));
         }
-        if (IsConstB(*c[0])) return Folded(c[1]);
-        if (IsConstB(*c[1])) return Folded(c[0]);
+        if (IsConstBool(*c[0])) return Folded(c[1]);
+        if (IsConstBool(*c[1])) return Folded(c[0]);
         break;
       case PlanOp::kOrBool:
-        if ((IsConstB(*c[0]) && c[0]->const_bool) ||
-            (IsConstB(*c[1]) && c[1]->const_bool)) {
+        if ((IsConstBool(*c[0]) && c[0]->const_bool) ||
+            (IsConstBool(*c[1]) && c[1]->const_bool)) {
           return Pruned(ConstBool(true));
         }
-        if (IsConstB(*c[0])) return Folded(c[1]);
-        if (IsConstB(*c[1])) return Folded(c[0]);
+        if (IsConstBool(*c[0])) return Folded(c[1]);
+        if (IsConstBool(*c[1])) return Folded(c[0]);
         break;
       case PlanOp::kImpliesBool:
-        if (IsConstB(*c[0])) {
+        if (IsConstBool(*c[0])) {
           return c[0]->const_bool ? Folded(c[1]) : Pruned(ConstBool(true));
         }
-        if (IsConstB(*c[1])) {
+        if (IsConstBool(*c[1])) {
           return c[1]->const_bool
                      ? Pruned(ConstBool(true))
                      : Folded(MakeUnary(PlanOp::kNotBool, c[0]));
         }
         break;
       case PlanOp::kIffBool:
-        if (IsConstB(*c[0]) && IsConstB(*c[1])) {
+        if (IsConstBool(*c[0]) && IsConstBool(*c[1])) {
           return Folded(ConstBool(c[0]->const_bool == c[1]->const_bool));
         }
-        if (IsConstB(*c[0])) {
+        if (IsConstBool(*c[0])) {
           return Folded(c[0]->const_bool
                             ? c[1]
                             : MakeUnary(PlanOp::kNotBool, c[1]));
         }
-        if (IsConstB(*c[1])) {
+        if (IsConstBool(*c[1])) {
           return Folded(c[1]->const_bool
                             ? c[0]
                             : MakeUnary(PlanOp::kNotBool, c[0]));
         }
         break;
       case PlanOp::kAnyRegion:
-        if (IsConstB(*c[0])) return Folded(ConstBool(c[0]->const_bool && n_ > 0));
+        if (IsConstBool(*c[0])) {
+          return Folded(ConstBool(c[0]->const_bool && n_ > 0));
+        }
         break;
       case PlanOp::kAllRegion:
-        if (IsConstB(*c[0])) return Folded(ConstBool(c[0]->const_bool || n_ == 0));
+        if (IsConstBool(*c[0])) {
+          return Folded(ConstBool(c[0]->const_bool || n_ == 0));
+        }
         break;
       case PlanOp::kNonEmpty:
-        // Environment-independent emptiness, decided once by the kernel's
-        // feasibility oracle at compile time.
-        if (IsConstF(*c[0])) return Folded(ConstBool(!c[0]->const_formula->IsEmpty()));
+        // Environment-independent emptiness, decided once by the shared
+        // constant analysis (a cache hit when the analyzer already asked).
+        if (IsConstFormula(*c[0])) {
+          return Folded(
+              ConstBool(!ConstFormulaProvablyEmpty(*c[0]->const_formula)));
+        }
         break;
       default:
         break;

@@ -90,9 +90,19 @@ TEST(TypeCheckTest, RejectsIllFormedQueries) {
   }
   // Unbound set variable.
   EXPECT_FALSE(check("exists R Z . M(R, Z)").ok());
-  // LFP body not positive in M.
-  EXPECT_FALSE(
-      check("exists A B . [lfp M R R' : !(M(R, R'))](A, B)").ok());
+  // LFP body not positive in M: typechecks (scoping and sorts are fine) but
+  // the static analyzer rejects it before evaluation (LCDB001; see
+  // analysis_test.cc). Evaluate surfaces it as kInvalidArgument.
+  EXPECT_TRUE(check("exists A B . [lfp M R R' : !(M(R, R'))](A, B)").ok());
+  {
+    auto ext = MakeArrangementExtension(db);
+    auto r = EvaluateSentenceText(*ext,
+                                  "exists A B . [lfp M R R' : !(M(R, R'))]"
+                                  "(A, B)");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(r.status().message().find("LCDB001"), std::string::npos);
+  }
   // LFP body with a free element variable.
   EXPECT_FALSE(check("exists x A B . [lfp M R R' : M(R, R') | x > 0](A, B)")
                    .ok());

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "constraint/parser.h"
 #include "core/evaluator.h"
 #include "core/parser.h"
@@ -272,6 +275,39 @@ TEST(GovernorTest, ExtensionBuildWithinBudgetSucceeds) {
   auto dec = BuildDecompositionExtension(db);
   ASSERT_TRUE(dec.ok()) << dec.status().ToString();
   EXPECT_GT((*dec)->num_regions(), 0u);
+}
+
+TEST(GovernorTest, CancelFromAnotherThreadStopsTheQuery) {
+  // RequestCancel is documented callable from any thread; this is the
+  // TSan-checked proof. The worker evaluates in a loop under its governor;
+  // once the main thread flips the flag, the next cooperative checkpoint
+  // (a kernel feasibility query — each round gets a fresh kernel so the
+  // cache cannot absorb them) must trip kCancelled.
+  ConstraintDatabase db = MakeComb(2, true);
+  auto ext = MakeArrangementExtension(db);
+  QueryGovernor governor((GovernorLimits()));
+
+  std::atomic<bool> first_round_done{false};
+  Status final_status;
+  std::thread worker([&] {
+    ScopedGovernor scoped(governor);
+    for (int i = 0; i < 100000; ++i) {
+      ConstraintKernel kernel;
+      ScopedKernel scoped_kernel(kernel);
+      auto r = EvaluateSentenceText(*ext, RegionConnQueryText());
+      if (!r.ok()) {
+        final_status = r.status();
+        return;
+      }
+      first_round_done.store(true);
+    }
+  });
+  while (!first_round_done.load()) std::this_thread::yield();
+  governor.RequestCancel();  // from outside the evaluating thread
+  worker.join();
+  EXPECT_EQ(final_status.code(), StatusCode::kCancelled)
+      << final_status.ToString();
+  EXPECT_EQ(governor.stats().tripped_budget, "cancel");
 }
 
 TEST(GovernorTest, DivergentPfpStillConvergesUnderHashDetection) {

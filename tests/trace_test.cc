@@ -120,6 +120,12 @@ TEST(TraceTest, GoldenSpanTree) {
   EXPECT_EQ(tracer.ToTreeString(/*zero_timestamps=*/true),
             "evaluate\n"
             "  typecheck\n"
+            // The analyzer classifies the element-pure guard `x > 2` (sat
+            // both ways -> unknown); its two oracle decisions land in the
+            // kernel cache before the optimizer runs.
+            "  analyze\n"
+            "    lp.solve pivots=2\n"
+            "    lp.solve pivots=1\n"
             "  plan.build\n"
             "  plan.optimize plan_nodes=2\n"
             "    pass.fold\n"
