@@ -265,6 +265,50 @@ void BM_PlanOptimizerAblation(benchmark::State& state) {
 BENCHMARK(BM_PlanOptimizerAblation)->Arg(2)->Arg(3)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+/// Dispatch-overhead experiment (EXPERIMENTS.md, "Bytecode VM telemetry"):
+/// the connectivity sentence through the plan-tree walk (Arg 1 = 0) vs the
+/// register-bytecode VM (Arg 1 = 1) on the comb family. Both backends are
+/// byte-identical in answers and memo cadence, so the timing delta isolates
+/// interpretation overhead: tree-node virtual-ish dispatch + string-keyed
+/// environment maps against dense fixed-width instructions, flat register
+/// slots, and inline-cached kernel call sites. Counters expose the VM's
+/// instruction volume and inline-cache economics.
+void BM_VmDispatch(benchmark::State& state) {
+  const size_t teeth = static_cast<size_t>(state.range(0));
+  const bool use_vm = state.range(1) != 0;
+  lcdb::ConstraintDatabase db = lcdb::MakeComb(teeth, /*connected=*/true);
+  auto ext = lcdb::MakeArrangementExtension(db);
+  auto query = lcdb::ParseQuery(lcdb::RegionConnQueryText(), "S");
+  lcdb::Evaluator::Stats last;
+  for (auto _ : state) {
+    lcdb::Evaluator::Options options;
+    options.use_bytecode = use_vm;
+    lcdb::Evaluator evaluator(*ext, options);
+    auto result = evaluator.EvaluateSentence(**query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    if (!*result) state.SkipWithError("comb should be connected");
+    last = evaluator.stats();
+    benchmark::DoNotOptimize(*result);
+  }
+  state.counters["regions"] = static_cast<double>(ext->num_regions());
+  state.counters["vm"] = use_vm ? 1 : 0;
+  state.counters["node_evals"] = static_cast<double>(last.node_evaluations);
+  state.counters["vm_instructions"] =
+      static_cast<double>(last.vm.instructions);
+  state.counters["icache_hits"] = static_cast<double>(last.vm.icache_hits);
+  state.counters["icache_misses"] =
+      static_cast<double>(last.vm.icache_misses);
+}
+
+BENCHMARK(BM_VmDispatch)
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_RegLfpStaircase(benchmark::State& state) {
   const size_t steps = static_cast<size_t>(state.range(0));
   lcdb::ConstraintDatabase db = lcdb::MakeStaircase(steps);

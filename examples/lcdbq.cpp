@@ -20,6 +20,12 @@
 //   --explain          print the optimized query plan instead of evaluating
 //   --explain-analyze  execute the query and print the plan annotated with
 //                      per-node measured execution (EXPLAIN ANALYZE)
+//   --explain-bytecode print the register-bytecode disassembly of the
+//                      optimized plan instead of evaluating
+//   --vm               execute on the bytecode VM instead of the plan-tree
+//                      walk (answers are byte-identical; requires the
+//                      optimizer, so combining it with --no-optimize is an
+//                      invalid-argument error, never a silent fallback)
 //   --no-optimize      with --explain, print the raw (unoptimized) plan
 //   --timeout <ms>     run under a QueryGovernor with a wall-clock deadline;
 //                      a tripped deadline is a clean error, not a hang.
@@ -76,6 +82,8 @@ int main(int argc, char** argv) {
   bool show_stats = false;
   bool explain = false;
   bool explain_analyze = false;
+  bool explain_bytecode = false;
+  bool use_vm = false;
   bool lint = false;
   bool lint_json = false;
   bool optimize = true;
@@ -94,6 +102,10 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (std::strcmp(argv[i], "--explain-analyze") == 0) {
       explain_analyze = true;
+    } else if (std::strcmp(argv[i], "--explain-bytecode") == 0) {
+      explain_bytecode = true;
+    } else if (std::strcmp(argv[i], "--vm") == 0) {
+      use_vm = true;
     } else if (std::strcmp(argv[i], "--no-optimize") == 0) {
       optimize = false;
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
@@ -125,7 +137,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: lcdbq <database-file> <query> "
                  "[--decomposition] [--stats] [--lint[=json]] [--explain] "
-                 "[--explain-analyze] "
+                 "[--explain-analyze] [--explain-bytecode] [--vm] "
                  "[--no-optimize] [--timeout <ms>] [--trace=out.json]\n"
                  "       lcdbq <database-file> --conn\n");
     return 1;
@@ -190,11 +202,13 @@ int main(int argc, char** argv) {
   }
   lcdb::Evaluator::Options options;
   options.optimize = optimize;
+  options.use_bytecode = use_vm;
   lcdb::Evaluator evaluator(*ext, options);
   evaluator.AttachSource(query);  // carets in analyzer rejections
-  if (explain || explain_analyze) {
-    auto plan = explain_analyze ? evaluator.ExplainAnalyze(**parsed)
-                                : evaluator.Explain(**parsed);
+  if (explain || explain_analyze || explain_bytecode) {
+    auto plan = explain_bytecode ? evaluator.ExplainBytecode(**parsed)
+                : explain_analyze ? evaluator.ExplainAnalyze(**parsed)
+                                  : evaluator.Explain(**parsed);
     if (!plan.ok()) {
       std::fprintf(stderr, "error: %s\n", plan.status().ToString().c_str());
       write_trace();

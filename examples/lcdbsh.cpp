@@ -13,6 +13,8 @@
 //   explain analyze <text>         execute and print the plan annotated
 //                                  with per-node timings, kernel hits, and
 //                                  governor consumption
+//   explain bytecode <text>        print the register-bytecode disassembly
+//                                  of the optimized plan (not executed)
 //   use arr|dec                    switch region extension
 //   \set timeout <ms>              per-query wall-clock deadline (0 = off)
 //   \set budget <name> <n>         per-query resource budget; <name> is one
@@ -168,17 +170,22 @@ void CmdLint(Session& session, const std::string& text) {
   std::printf("lint: %s\n", report.stats.ToString().c_str());
 }
 
-/// explain <query> | explain analyze <query>
+/// explain <query> | explain analyze <query> | explain bytecode <query>
 void CmdExplain(Session& session, const std::string& args) {
   std::string_view rest = lcdb::StripWhitespace(args);
   bool analyze = false;
+  bool bytecode = false;
   if (rest.substr(0, 7) == "analyze" &&
       (rest.size() == 7 || rest[7] == ' ')) {
     analyze = true;
     rest = lcdb::StripWhitespace(rest.substr(7));
+  } else if (rest.substr(0, 8) == "bytecode" &&
+             (rest.size() == 8 || rest[8] == ' ')) {
+    bytecode = true;
+    rest = lcdb::StripWhitespace(rest.substr(8));
   }
   if (rest.empty()) {
-    std::printf("usage: explain [analyze] <query>\n");
+    std::printf("usage: explain [analyze|bytecode] <query>\n");
     return;
   }
   // Same per-query governor discipline as CmdQuery: EXPLAIN ANALYZE runs
@@ -193,8 +200,9 @@ void CmdExplain(Session& session, const std::string& args) {
     return;
   }
   lcdb::Evaluator evaluator(*session.ext);
-  auto text = analyze ? evaluator.ExplainAnalyze(**parsed)
-                      : evaluator.Explain(**parsed);
+  auto text = bytecode  ? evaluator.ExplainBytecode(**parsed)
+              : analyze ? evaluator.ExplainAnalyze(**parsed)
+                        : evaluator.Explain(**parsed);
   if (!text.ok()) {
     const lcdb::GovernorStats gstats = governor.stats();
     if (text.status().IsResourceFailure() && !gstats.tripped_budget.empty()) {
@@ -317,6 +325,7 @@ int main() {
             "  lint <text>             static analysis only (LCDB### codes)\n"
             "  explain <text>          print the optimized plan\n"
             "  explain analyze <text>  run the query, print measured plan\n"
+            "  explain bytecode <text> print the plan's VM disassembly\n"
             "  \\set timeout <ms>       per-query deadline (0/'off' disables)\n"
             "  \\set budget <name> <n>  per-query resource budget\n"
             "  \\show limits            print the budgets in effect\n"

@@ -3,14 +3,17 @@
 #include <algorithm>
 
 #include "analysis/analyzer.h"
+#include "analysis/plan_cost.h"
 #include "core/parser.h"
 #include "engine/governor.h"
 #include "engine/kernel.h"
 #include "engine/trace.h"
 #include "geometry/convex_closure.h"
+#include "plan/bytecode.h"
 #include "plan/executor.h"
 #include "plan/optimizer.h"
 #include "plan/planner.h"
+#include "plan/vm.h"
 #include "util/interrupt.h"
 #include "util/status.h"
 
@@ -63,6 +66,16 @@ Status CheckTupleSpaces(const FormulaNode& node, size_t num_regions,
   return Status::Ok();
 }
 
+/// Rejection shared by Evaluate and ExplainBytecode: bytecode lowering is
+/// defined over *optimized* plans only (register allocation and the memo
+/// descriptors assume the optimizer's annotations), so the combination is
+/// an argument error, never a silent fallback to the tree walk.
+Status BytecodeNeedsOptimizer() {
+  return Status::InvalidArgument(
+      "use_bytecode requires an optimized plan: bytecode lowering is "
+      "defined over optimized plans only — drop --no-optimize or --vm");
+}
+
 }  // namespace
 
 void Evaluator::SettleAmbient(const KernelStats& kernel_before) {
@@ -77,6 +90,9 @@ Result<QueryAnswer> Evaluator::Evaluate(const FormulaNode& query) {
 Result<QueryAnswer> Evaluator::EvaluateImpl(const FormulaNode& query,
                                             PlanProfile* profile,
                                             CompiledPlan* plan_out) {
+  if (options_.use_bytecode && !options_.optimize) {
+    return BytecodeNeedsOptimizer();
+  }
   TraceSpan evaluate_span("evaluate");
   Result<TypeInfo> checked = [&] {
     TraceSpan typecheck_span("typecheck");
@@ -96,6 +112,8 @@ Result<QueryAnswer> Evaluator::EvaluateImpl(const FormulaNode& query,
   fixpoint_cache_.clear();
   closure_cache_.clear();
   stats_.op_timings.clear();
+  stats_.vm = VmStats();
+  stats_.plan_cost = PlanCostStats();
 
   // Attribute the kernel's oracle work to this evaluation: everything the
   // pipeline spends (DNF algebra, constant folding, QE, region tests) lands
@@ -136,27 +154,37 @@ Result<QueryAnswer> Evaluator::EvaluateImpl(const FormulaNode& query,
       }
     }
     // EXPLAIN ANALYZE's profile keys are plan nodes, so a plan_out request
-    // forces the plan pipeline even under use_plan=false.
-    if (options_.use_plan || plan_out != nullptr) {
+    // forces the plan pipeline even under use_plan=false; the bytecode VM
+    // only exists behind it.
+    if (options_.use_plan || plan_out != nullptr || options_.use_bytecode) {
       CompiledPlan plan;
       {
         TraceSpan build_span("plan.build");
         plan = BuildPlan(query, info, ext_);
       }
       if (options_.optimize) {
-        TraceSpan optimize_span("plan.optimize");
-        stats_.plan = PlanPassStats();
-        OptimizePlan(&plan, &stats_.plan);
-        optimize_span.Counter("plan_nodes", stats_.plan.plan_nodes);
+        {
+          TraceSpan optimize_span("plan.optimize");
+          stats_.plan = PlanPassStats();
+          OptimizePlan(&plan, &stats_.plan);
+          optimize_span.Counter("plan_nodes", stats_.plan.plan_nodes);
+        }
+        // Tier-2 pass over the optimized plan: cost estimates feed the
+        // plan.cost.* metrics family (and the EXPLAIN cost column). Pure
+        // plan-shape arithmetic — no kernel calls — but traced so its
+        // share of compile time is visible.
+        TraceSpan cost_span("plan.cost");
+        PlanCostOptions cost_options;
+        cost_options.max_tuple_space = options_.max_tuple_space;
+        stats_.plan_cost = AnalyzePlanCost(plan, cost_options).stats;
+        cost_span.Counter("est_bigint_ops", stats_.plan_cost.total_bigint_ops);
       } else {
         stats_.plan = PlanPassStats();
         stats_.plan.plan_nodes = CountPlanNodes(*plan.root);
       }
       if (plan_out != nullptr) *plan_out = plan;
-      PlanExecutor executor(plan, ext_, options_, &stats_);
-      if (profile != nullptr) executor.EnableProfiling(profile);
       TraceSpan execute_span("plan.execute");
-      result = executor.Run();
+      result = ExecutePlan(plan, ext_, options_, &stats_, profile);
       execute_span.Counter("rows", result.disjuncts().size());
     } else {
       TraceSpan walk_span("legacy.walk");
@@ -229,18 +257,91 @@ Result<std::string> Evaluator::Explain(const FormulaNode& query) {
       plan = BuildPlan(query, info, ext_);
     }
     stats_.plan = PlanPassStats();
+    stats_.plan_cost = PlanCostStats();
+    std::string out;
     if (options_.optimize) {
-      TraceSpan optimize_span("plan.optimize");
-      OptimizePlan(&plan, &stats_.plan);
+      {
+        TraceSpan optimize_span("plan.optimize");
+        OptimizePlan(&plan, &stats_.plan);
+      }
+      // Tier-2 estimates annotate every node line of the explain output
+      // and surface the pass's diagnostics (LCDB011 dead caches, the
+      // cost-refined LCDB004 budget warning) under the plan.
+      TraceSpan cost_span("plan.cost");
+      PlanCostOptions cost_options;
+      cost_options.max_tuple_space = options_.max_tuple_space;
+      PlanCostReport cost = AnalyzePlanCost(plan, cost_options);
+      stats_.plan_cost = cost.stats;
+      out = PrintPlan(plan, nullptr, &cost.costs);
+      out += "-- " + stats_.plan.ToString() + "\n";
+      out += "-- cost: nodes=" + std::to_string(cost.stats.nodes) +
+             " est_bigint_ops=" + std::to_string(cost.stats.total_bigint_ops) +
+             " est_answer_rows=" + std::to_string(cost.stats.est_answer_rows) +
+             " dead_caches=" + std::to_string(cost.stats.dead_caches) + "\n";
+      if (!cost.diagnostics.empty()) {
+        out += RenderDiagnostics(cost.diagnostics, source_);
+      }
     } else {
-      stats_.plan.plan_nodes = CountPlanNodes(*plan.root);
+      out = PrintPlan(plan);
+      out += "-- " + stats_.plan.ToString() + "\n";
     }
-    std::string out = PrintPlan(plan);
-    out += "-- " + stats_.plan.ToString() + "\n";
     SettleAmbient(kernel_before);
     return out;
   } catch (const QueryInterrupt& interrupt) {
     // A budget or injected fault can fire during Explain too.
+    SettleAmbient(kernel_before);
+    return interrupt.status();
+  }
+}
+
+Result<std::string> Evaluator::ExplainBytecode(const FormulaNode& query) {
+  if (!options_.optimize) return BytecodeNeedsOptimizer();
+  TraceSpan explain_span("explain.bytecode");
+  Result<TypeInfo> checked = [&] {
+    TraceSpan typecheck_span("typecheck");
+    return TypeCheck(query, ext_.database());
+  }();
+  if (!checked.ok()) return checked.status();
+  TypeInfo info = std::move(checked).value();
+  LCDB_RETURN_IF_ERROR(CheckTupleSpaces(query, ext_.num_regions(),
+                                        options_.max_tuple_space));
+  const KernelStats kernel_before = CurrentKernel().stats();
+  stats_.governor = GovernorStats();
+  try {
+    // Same mandatory analysis gate as Evaluate/Explain: a rejected query
+    // never gets a program listing.
+    {
+      TraceSpan analyze_span("analyze");
+      AnalyzerOptions analyzer_options;
+      analyzer_options.num_regions = ext_.num_regions();
+      analyzer_options.max_tuple_space = options_.max_tuple_space;
+      AnalysisResult analysis = AnalyzeQuery(query, info, analyzer_options);
+      stats_.analysis = analysis.stats;
+      if (analysis.has_errors()) {
+        SettleAmbient(kernel_before);
+        return AnalysisErrorStatus(analysis, source_);
+      }
+    }
+    CompiledPlan plan;
+    {
+      TraceSpan build_span("plan.build");
+      plan = BuildPlan(query, info, ext_);
+    }
+    stats_.plan = PlanPassStats();
+    {
+      TraceSpan optimize_span("plan.optimize");
+      OptimizePlan(&plan, &stats_.plan);
+    }
+    BytecodeProgram program = [&] {
+      TraceSpan lower_span("plan.lower");
+      return CompileToBytecode(plan);
+    }();
+    stats_.vm = VmStats();
+    stats_.vm.procs = program.procs.size();
+    stats_.vm.code_instructions = program.TotalInstructions();
+    SettleAmbient(kernel_before);
+    return DisassembleBytecode(program);
+  } catch (const QueryInterrupt& interrupt) {
     SettleAmbient(kernel_before);
     return interrupt.status();
   }
@@ -644,6 +745,11 @@ MetricsSnapshot Evaluator::Stats::ToMetrics() const {
   registry.RegisterPlanPassStats(plan);
   registry.RegisterAnalysisStats(analysis);
   registry.RegisterOpTimings(op_timings);
+  // Always registered (zeros when the tree backend ran / optimization was
+  // off) so the vm.* and plan.cost.* families are schema-stable for the
+  // bench harness and the CI metrics assertions.
+  registry.RegisterVmStats(vm);
+  registry.RegisterPlanCostStats(plan_cost);
   return registry.Snapshot();
 }
 

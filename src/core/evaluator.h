@@ -73,6 +73,16 @@ class Evaluator {
     /// caching, because caching decisions are a pass (MarkCacheable) — this
     /// is the ablation EXPERIMENTS.md's optimizer-telemetry row measures.
     bool optimize = true;
+    /// Execute through the register bytecode VM (plan/bytecode.h, plan/vm.h)
+    /// instead of the tree-walking PlanExecutor: the optimized plan is
+    /// flattened to fixed-width instructions with inline-cached kernel call
+    /// sites. Answer formulas, memo behaviour, governor checkpoint cadence
+    /// and op.*/trace telemetry are byte-identical to the tree walk (the
+    /// equivalence tests sweep both); only kernel query *counts* may drop,
+    /// thanks to the inline caches. Requires optimize=true — lowering is
+    /// defined over optimized plans only, and Evaluate fails with
+    /// kInvalidArgument on the combination use_bytecode && !optimize.
+    bool use_bytecode = false;
   };
 
   struct Stats {
@@ -106,6 +116,13 @@ class Evaluator {
     /// (expensive operators only: QE, region expansion, hull, fixpoints,
     /// closures, rBIT), keyed by PlanOpName. Reset at each Evaluate entry.
     OpTimings op_timings;
+    /// Bytecode-VM telemetry of the most recent Evaluate call (instruction
+    /// count, inline-cache outcomes, program shape). All zeros when the
+    /// tree backend ran; reset at each Evaluate entry like op_timings.
+    VmStats vm;
+    /// Tier-2 cost-analyzer aggregates of the most recent compile
+    /// (analysis/plan_cost.h). Zeros when optimization was off.
+    PlanCostStats plan_cost;
 
     /// Unified named view over all the telemetry above: the evaluator's own
     /// counters as `evaluator.*` plus the kernel.*, governor.*, plan.* and
@@ -146,6 +163,14 @@ class Evaluator {
   /// cardinality — plus pass-counter / kernel / governor footer lines.
   /// Stats settle exactly as in Evaluate.
   Result<std::string> ExplainAnalyze(const FormulaNode& query);
+
+  /// Compiles and optimizes the query, lowers the optimized plan to
+  /// register bytecode and returns the disassembled program — procedures,
+  /// instructions with resolved slot names, memo descriptors and the
+  /// inline-cache slot count — without executing it (`lcdbq
+  /// --explain-bytecode`). Fails with kInvalidArgument when
+  /// Options::optimize is off, like evaluation under use_bytecode.
+  Result<std::string> ExplainBytecode(const FormulaNode& query);
 
   const Stats& stats() const { return stats_; }
   const RegionExtension& extension() const { return ext_; }

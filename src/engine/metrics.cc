@@ -119,7 +119,28 @@ void MetricsRegistry::RegisterOpTimings(const OpTimings& timings) {
   for (const auto& [op, timing] : timings) {
     Count("op." + op + ".count", timing.count);
     Count("op." + op + ".total_ns", timing.total_ns);
+    if (timing.memo_hits > 0) {
+      Count("op." + op + ".memo_hits", timing.memo_hits);
+    }
   }
+}
+
+void MetricsRegistry::RegisterVmStats(const VmStats& s) {
+  Count("vm.instructions", s.instructions);
+  Count("vm.icache_hits", s.icache_hits);
+  Count("vm.icache_misses", s.icache_misses);
+  Count("vm.icache_invalidations", s.icache_invalidations);
+  Count("vm.icache_bypasses", s.icache_bypasses);
+  Gauge("vm.procs", s.procs);
+  Gauge("vm.code_instructions", s.code_instructions);
+}
+
+void MetricsRegistry::RegisterPlanCostStats(const PlanCostStats& s) {
+  Gauge("plan.cost.nodes", s.nodes);
+  Gauge("plan.cost.total_bigint_ops", s.total_bigint_ops);
+  Gauge("plan.cost.est_answer_rows", s.est_answer_rows);
+  Gauge("plan.cost.dead_caches", s.dead_caches);
+  Gauge("plan.cost.warnings", s.warnings);
 }
 
 MetricsSnapshot MetricsSnapshot::Diff(const MetricsSnapshot& before) const {

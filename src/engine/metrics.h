@@ -74,6 +74,8 @@ class MetricsRegistry {
   void RegisterPlanPassStats(const PlanPassStats& stats);
   void RegisterAnalysisStats(const AnalysisStats& stats);
   void RegisterOpTimings(const OpTimings& timings);
+  void RegisterVmStats(const VmStats& stats);
+  void RegisterPlanCostStats(const PlanCostStats& stats);
 
  private:
   std::map<std::string, uint64_t> counters_;

@@ -1,0 +1,725 @@
+#include "plan/bytecode.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+#include "util/status.h"
+
+namespace lcdb {
+
+const char* VmOpName(VmOp op) {
+  switch (op) {
+    case VmOp::kEnterSym: return "enter.sym";
+    case VmOp::kLeaveSym: return "leave.sym";
+    case VmOp::kEnterBool: return "enter.bool";
+    case VmOp::kLeaveBool: return "leave.bool";
+    case VmOp::kConstFormula: return "const.formula";
+    case VmOp::kInRegion: return "in_region";
+    case VmOp::kLiftBool: return "lift_bool";
+    case VmOp::kNegSym: return "neg.sym";
+    case VmOp::kAndSym: return "and.sym";
+    case VmOp::kOrSym: return "or.sym";
+    case VmOp::kIffSym: return "iff.sym";
+    case VmOp::kLoadTrueSym: return "load.true";
+    case VmOp::kLoadFalseSym: return "load.false";
+    case VmOp::kHullFinish: return "hull.finish";
+    case VmOp::kQeExists: return "qe.exists";
+    case VmOp::kQeForall: return "qe.forall";
+    case VmOp::kLoadBool: return "load.bool";
+    case VmOp::kNotBool: return "not.bool";
+    case VmOp::kEqBool: return "eq.bool";
+    case VmOp::kRegionAtom: return "region_atom";
+    case VmOp::kSetMember: return "set_member";
+    case VmOp::kFixpointMember: return "fixpoint";
+    case VmOp::kClosureMember: return "closure";
+    case VmOp::kRbitFinish: return "rbit.finish";
+    case VmOp::kNonEmpty: return "nonempty";
+    case VmOp::kJmp: return "jmp";
+    case VmOp::kJmpIfSymFalse: return "jmp.sym_false";
+    case VmOp::kJmpIfSymTrue: return "jmp.sym_true";
+    case VmOp::kJmpIfFalseBool: return "jmp.false";
+    case VmOp::kJmpIfTrueBool: return "jmp.true";
+    case VmOp::kLoadImm: return "load.imm";
+    case VmOp::kLoopHead: return "loop.head";
+    case VmOp::kLoopNext: return "loop.next";
+    case VmOp::kSetRegion: return "set_region";
+    case VmOp::kBeginOp: return "begin.op";
+    case VmOp::kEndOp: return "end.op";
+    case VmOp::kCallSym: return "call.sym";
+    case VmOp::kCallBool: return "call.bool";
+    case VmOp::kRet: return "ret";
+    case VmOp::kHalt: return "halt";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Lowers the plan DAG into a BytecodeProgram. Registers are allocated with
+/// a simple depth counter per proc (the plan inside one proc is a tree —
+/// shared nodes become proc calls), so the frame size equals the deepest
+/// operand chain. Jump targets are patched within each proc.
+class Lowerer {
+ public:
+  explicit Lowerer(const CompiledPlan& plan) : plan_(plan) {
+    program_.plan = plan;
+    program_.num_columns = plan.num_columns;
+    program_.num_regions = plan.num_regions;
+  }
+
+  BytecodeProgram Lower() {
+    Scan(*plan_.root);
+    // Deterministic slot order: name-sorted, matching the tree executor's
+    // name-ordered cache keys.
+    for (const std::string& n : region_names_) {
+      region_slots_.emplace(n, static_cast<uint32_t>(
+                                   program_.region_slot_names.size()));
+      program_.region_slot_names.push_back(n);
+    }
+    for (const std::string& n : set_names_) {
+      set_slots_.emplace(n,
+                         static_cast<uint32_t>(program_.set_slot_names.size()));
+      program_.set_slot_names.push_back(n);
+    }
+    // Proc 0: the main program evaluating the (always symbolic) root.
+    builds_.emplace_back();
+    builds_[0].symbolic = true;
+    stack_.push_back(0);
+    const uint32_t dest = AllocS();
+    LowerSym(*plan_.root, dest);
+    FreeS();
+    Emit(VmOp::kHalt);
+    stack_.pop_back();
+    for (ProcBuild& b : builds_) {
+      VmProc proc;
+      proc.code = std::move(b.code);
+      proc.num_sregs = b.max_s;
+      proc.num_bregs = b.max_b;
+      proc.num_iregs = b.max_i;
+      proc.symbolic = b.symbolic;
+      proc.origin = b.origin;
+      program_.procs.push_back(std::move(proc));
+    }
+    program_.num_icache_slots = next_icache_;
+    return std::move(program_);
+  }
+
+  const std::map<const PlanNode*, int>& node_ids() const { return node_ids_; }
+
+ private:
+  struct ProcBuild {
+    std::vector<VmInstr> code;
+    uint32_t cur_s = 0, max_s = 0;
+    uint32_t cur_b = 0, max_b = 0;
+    uint32_t cur_i = 0, max_i = 0;
+    bool symbolic = true;
+    const PlanNode* origin = nullptr;
+  };
+
+  // ---- Pass 1: use counts, stable node ids, environment slot names. ----
+
+  void Scan(const PlanNode& node) {
+    if (++use_count_[&node] > 1) return;
+    node_ids_.emplace(&node, static_cast<int>(node_ids_.size()));
+    if (!node.region_var.empty()) region_names_.insert(node.region_var);
+    for (const std::string& r : node.region_args) region_names_.insert(r);
+    for (const std::string& r : node.region_args2) region_names_.insert(r);
+    for (const std::string& r : node.bound_vars) region_names_.insert(r);
+    if (node.op == PlanOp::kSetMember || node.op == PlanOp::kFixpointMember) {
+      set_names_.insert(node.set_var);
+    }
+    for (const PlanPtr& child : node.children) Scan(*child);
+  }
+
+  // ---- Emit helpers. ----
+
+  ProcBuild& Cur() { return builds_[stack_.back()]; }
+
+  size_t Emit(VmOp op, uint32_t a = 0, uint32_t b = 0, uint32_t c = 0,
+              uint32_t imm = 0, const PlanNode* node = nullptr) {
+    Cur().code.push_back(VmInstr{op, a, b, c, imm, node});
+    return Cur().code.size() - 1;
+  }
+
+  uint32_t Here() { return static_cast<uint32_t>(Cur().code.size()); }
+  void PatchB(size_t pc) { Cur().code[pc].b = Here(); }
+
+  uint32_t AllocS() {
+    ProcBuild& p = Cur();
+    p.max_s = std::max(p.max_s, ++p.cur_s);
+    return p.cur_s - 1;
+  }
+  void FreeS() { --Cur().cur_s; }
+  uint32_t AllocB() {
+    ProcBuild& p = Cur();
+    p.max_b = std::max(p.max_b, ++p.cur_b);
+    return p.cur_b - 1;
+  }
+  void FreeB() { --Cur().cur_b; }
+  uint32_t AllocI() {
+    ProcBuild& p = Cur();
+    p.max_i = std::max(p.max_i, ++p.cur_i);
+    return p.cur_i - 1;
+  }
+  void FreeI() { --Cur().cur_i; }
+
+  uint32_t RegionSlot(const std::string& name) const {
+    auto it = region_slots_.find(name);
+    LCDB_CHECK(it != region_slots_.end());
+    return it->second;
+  }
+  uint32_t SetSlot(const std::string& name) const {
+    auto it = set_slots_.find(name);
+    LCDB_CHECK(it != set_slots_.end());
+    return it->second;
+  }
+  std::vector<uint32_t> Slots(const std::vector<std::string>& names) const {
+    std::vector<uint32_t> out;
+    out.reserve(names.size());
+    for (const std::string& n : names) out.push_back(RegionSlot(n));
+    return out;
+  }
+
+  /// Memo descriptor id (+1; 0 = not cacheable) replicating the tree
+  /// executor's CacheKey layout for this node.
+  uint32_t MemoDescId(const PlanNode& node) {
+    if (node.cache != CachePolicy::kByRegionKey) return 0;
+    auto it = memo_ids_.find(&node);
+    if (it != memo_ids_.end()) return it->second;
+    VmMemoDesc desc;
+    desc.region_slots = Slots(node.free_region);  // name-sorted already
+    for (const std::string& s : node.free_sets) {
+      desc.set_slots.push_back(SetSlot(s));
+    }
+    program_.memo_descs.push_back(std::move(desc));
+    const uint32_t id = static_cast<uint32_t>(program_.memo_descs.size());
+    memo_ids_.emplace(&node, id);
+    return id;
+  }
+
+  /// Proc for a shared node or a fixpoint/closure body; created on first
+  /// request. Creation switches the emit context onto the new proc, so
+  /// nested shared nodes recurse naturally.
+  uint32_t ProcFor(const PlanNode& node, bool symbolic) {
+    auto it = proc_ids_.find(&node);
+    if (it != proc_ids_.end()) return it->second;
+    builds_.emplace_back();
+    const uint32_t id = static_cast<uint32_t>(builds_.size() - 1);
+    builds_[id].symbolic = symbolic;
+    builds_[id].origin = &node;
+    proc_ids_.emplace(&node, id);
+    stack_.push_back(id);
+    if (symbolic) {
+      const uint32_t dest = AllocS();
+      EmitSymNode(node, dest);
+      FreeS();
+    } else {
+      const uint32_t dest = AllocB();
+      EmitBoolNode(node, dest);
+      FreeB();
+    }
+    Emit(VmOp::kRet);
+    stack_.pop_back();
+    return id;
+  }
+
+  // ---- Node lowering. ----
+
+  void LowerSym(const PlanNode& node, uint32_t dest) {
+    if (use_count_.at(&node) > 1) {
+      Emit(VmOp::kCallSym, dest, 0, 0, ProcFor(node, /*symbolic=*/true),
+           &node);
+      return;
+    }
+    EmitSymNode(node, dest);
+  }
+
+  void LowerBool(const PlanNode& node, uint32_t dest) {
+    if (use_count_.at(&node) > 1) {
+      Emit(VmOp::kCallBool, dest, 0, 0, ProcFor(node, /*symbolic=*/false),
+           &node);
+      return;
+    }
+    EmitBoolNode(node, dest);
+  }
+
+  /// Symbolic node: Enter (checkpoint/counters/memo probe), the operator
+  /// body in the exact tree-walk evaluation order, Leave (memo store).
+  void EmitSymNode(const PlanNode& node, uint32_t dest) {
+    const uint32_t memo = MemoDescId(node);
+    const size_t enter = Emit(VmOp::kEnterSym, dest, 0, 0, memo, &node);
+    switch (node.op) {
+      case PlanOp::kConstFormula:
+        Emit(VmOp::kConstFormula, dest, 0, 0, 0, &node);
+        break;
+      case PlanOp::kInRegion:
+        Emit(VmOp::kInRegion, dest, RegionSlot(node.region_args[0]), 0, 0,
+             &node);
+        break;
+      case PlanOp::kLiftBool: {
+        const uint32_t b = AllocB();
+        LowerBool(*node.children[0], b);
+        Emit(VmOp::kLiftBool, dest, b, 0, 0, &node);
+        FreeB();
+        break;
+      }
+      case PlanOp::kNegateSym:
+        LowerSym(*node.children[0], dest);
+        Emit(VmOp::kNegSym, dest, 0, 0, 0, &node);
+        break;
+      case PlanOp::kAndSym: {
+        LowerSym(*node.children[0], dest);
+        const size_t skip = Emit(VmOp::kJmpIfSymFalse, dest);
+        const uint32_t rhs = AllocS();
+        LowerSym(*node.children[1], rhs);
+        Emit(VmOp::kAndSym, dest, rhs, 0, 0, &node);
+        FreeS();
+        PatchB(skip);
+        break;
+      }
+      case PlanOp::kOrSym: {
+        LowerSym(*node.children[0], dest);
+        const size_t skip = Emit(VmOp::kJmpIfSymTrue, dest);
+        const uint32_t rhs = AllocS();
+        LowerSym(*node.children[1], rhs);
+        Emit(VmOp::kOrSym, dest, rhs, 0, 0, &node);
+        FreeS();
+        PatchB(skip);
+        break;
+      }
+      case PlanOp::kImpliesSym: {
+        // a false => True(m); otherwise !a | b, negating before the rhs
+        // evaluates — the tree's `a.Negate().Or(Eval(rhs))` sequencing.
+        LowerSym(*node.children[0], dest);
+        const size_t to_true = Emit(VmOp::kJmpIfSymFalse, dest);
+        Emit(VmOp::kNegSym, dest, 0, 0, 0, &node);
+        const uint32_t rhs = AllocS();
+        LowerSym(*node.children[1], rhs);
+        Emit(VmOp::kOrSym, dest, rhs, 0, 0, &node);
+        FreeS();
+        const size_t to_end = Emit(VmOp::kJmp);
+        PatchB(to_true);
+        Emit(VmOp::kLoadTrueSym, dest, 0, 0, 0, &node);
+        PatchB(to_end);
+        break;
+      }
+      case PlanOp::kIffSym: {
+        LowerSym(*node.children[0], dest);
+        const uint32_t rhs = AllocS();
+        LowerSym(*node.children[1], rhs);
+        Emit(VmOp::kIffSym, dest, rhs, 0, 0, &node);
+        FreeS();
+        break;
+      }
+      case PlanOp::kHull: {
+        Emit(VmOp::kBeginOp, 0, 0, 0, kOpTimed, &node);
+        const uint32_t src = AllocS();
+        LowerSym(*node.children[0], src);
+        Emit(VmOp::kHullFinish, dest, src, 0, 0, &node);
+        FreeS();
+        Emit(VmOp::kEndOp, 0, 0, 0, kOpTimed, &node);
+        break;
+      }
+      case PlanOp::kExistsElim:
+      case PlanOp::kForallElim: {
+        Emit(VmOp::kBeginOp, 0, 0, 0, kOpTimed | kOpCountQe, &node);
+        const uint32_t src = AllocS();
+        LowerSym(*node.children[0], src);
+        Emit(node.op == PlanOp::kExistsElim ? VmOp::kQeExists
+                                            : VmOp::kQeForall,
+             dest, src, 0, 0, &node);
+        FreeS();
+        Emit(VmOp::kEndOp, 0, 0, 0, kOpTimed, &node);
+        break;
+      }
+      case PlanOp::kExpandExists:
+      case PlanOp::kExpandForall: {
+        const bool exists = node.op == PlanOp::kExpandExists;
+        Emit(VmOp::kBeginOp, 0, 0, 0, kOpTimed | kOpCountExpand, &node);
+        Emit(exists ? VmOp::kLoadFalseSym : VmOp::kLoadTrueSym, dest, 0, 0, 0,
+             &node);
+        const uint32_t ir = AllocI();
+        Emit(VmOp::kLoadImm, ir, 0, 0, 0, &node);
+        const uint32_t head = Here();
+        // Stride 0: body Enter instructions already checkpoint at the tree
+        // walk's per-iteration cadence (DESIGN.md, "Governor checkpoints").
+        const size_t loop = Emit(VmOp::kLoopHead, ir, 0, 0, 0, &node);
+        Emit(VmOp::kSetRegion, RegionSlot(node.region_var), ir, 0, 0, &node);
+        const uint32_t src = AllocS();
+        LowerSym(*node.children[0], src);
+        Emit(exists ? VmOp::kOrSym : VmOp::kAndSym, dest, src, 0, 0, &node);
+        FreeS();
+        const size_t brk =
+            Emit(exists ? VmOp::kJmpIfSymTrue : VmOp::kJmpIfSymFalse, dest);
+        Emit(VmOp::kLoopNext, ir, head, 0, 0, &node);
+        PatchB(loop);
+        PatchB(brk);
+        FreeI();
+        Emit(VmOp::kEndOp, 0, 0, 0, kOpTimed, &node);
+        break;
+      }
+      default:
+        LCDB_CHECK_MSG(false, "boolean operator in symbolic lowering");
+    }
+    Emit(VmOp::kLeaveSym, dest, 0, 0, memo, &node);
+    Cur().code[enter].b = Here();  // memo hit resumes after Leave
+  }
+
+  void EmitBoolNode(const PlanNode& node, uint32_t dest) {
+    const uint32_t memo = MemoDescId(node);
+    const size_t enter = Emit(VmOp::kEnterBool, dest, 0, 0, memo, &node);
+    switch (node.op) {
+      case PlanOp::kConstBool:
+        Emit(VmOp::kLoadBool, dest, 0, 0, node.const_bool ? 1 : 0, &node);
+        break;
+      case PlanOp::kNotBool:
+        LowerBool(*node.children[0], dest);
+        Emit(VmOp::kNotBool, dest, 0, 0, 0, &node);
+        break;
+      case PlanOp::kAndBool: {
+        LowerBool(*node.children[0], dest);
+        const size_t skip = Emit(VmOp::kJmpIfFalseBool, dest);
+        LowerBool(*node.children[1], dest);
+        PatchB(skip);
+        break;
+      }
+      case PlanOp::kOrBool: {
+        LowerBool(*node.children[0], dest);
+        const size_t skip = Emit(VmOp::kJmpIfTrueBool, dest);
+        LowerBool(*node.children[1], dest);
+        PatchB(skip);
+        break;
+      }
+      case PlanOp::kImpliesBool: {
+        LowerBool(*node.children[0], dest);
+        const size_t to_true = Emit(VmOp::kJmpIfFalseBool, dest);
+        LowerBool(*node.children[1], dest);
+        const size_t to_end = Emit(VmOp::kJmp);
+        PatchB(to_true);
+        Emit(VmOp::kLoadBool, dest, 0, 0, 1, &node);
+        PatchB(to_end);
+        break;
+      }
+      case PlanOp::kIffBool: {
+        LowerBool(*node.children[0], dest);
+        const uint32_t rhs = AllocB();
+        LowerBool(*node.children[1], rhs);
+        Emit(VmOp::kEqBool, dest, rhs, 0, 0, &node);
+        FreeB();
+        break;
+      }
+      case PlanOp::kAnyRegion:
+      case PlanOp::kAllRegion: {
+        const bool any = node.op == PlanOp::kAnyRegion;
+        // Counter bracket only: the tree walk times expand.* but not the
+        // boolean region loops.
+        Emit(VmOp::kBeginOp, 0, 0, 0, kOpCountExpand, &node);
+        Emit(VmOp::kLoadBool, dest, 0, 0, any ? 0 : 1, &node);
+        const uint32_t ir = AllocI();
+        Emit(VmOp::kLoadImm, ir, 0, 0, 0, &node);
+        const uint32_t head = Here();
+        const size_t loop = Emit(VmOp::kLoopHead, ir, 0, 0, 0, &node);
+        Emit(VmOp::kSetRegion, RegionSlot(node.region_var), ir, 0, 0, &node);
+        LowerBool(*node.children[0], dest);
+        const size_t brk =
+            Emit(any ? VmOp::kJmpIfTrueBool : VmOp::kJmpIfFalseBool, dest);
+        Emit(VmOp::kLoopNext, ir, head, 0, 0, &node);
+        PatchB(loop);
+        PatchB(brk);
+        FreeI();
+        break;
+      }
+      case PlanOp::kRegionAtom: {
+        const uint32_t s0 = RegionSlot(node.region_args[0]);
+        const uint32_t s1 = node.region_args.size() > 1
+                                ? RegionSlot(node.region_args[1])
+                                : 0;
+        Emit(VmOp::kRegionAtom, dest, s0, s1, 0, &node);
+        break;
+      }
+      case PlanOp::kSetMember: {
+        program_.slot_lists.push_back(Slots(node.region_args));
+        Emit(VmOp::kSetMember, dest, SetSlot(node.set_var), 0,
+             static_cast<uint32_t>(program_.slot_lists.size() - 1), &node);
+        break;
+      }
+      case PlanOp::kFixpointMember: {
+        VmFixpointSite site;
+        site.body_proc = ProcFor(*node.children[0], /*symbolic=*/false);
+        site.set_slot = SetSlot(node.set_var);
+        site.bound_slots = Slots(node.bound_vars);
+        site.arg_slots = Slots(node.region_args);
+        program_.fixpoint_sites.push_back(std::move(site));
+        Emit(VmOp::kFixpointMember, dest, 0, 0,
+             static_cast<uint32_t>(program_.fixpoint_sites.size() - 1),
+             &node);
+        break;
+      }
+      case PlanOp::kClosureMember: {
+        VmClosureSite site;
+        site.body_proc = ProcFor(*node.children[0], /*symbolic=*/false);
+        site.bound_slots = Slots(node.bound_vars);
+        site.arg_slots = Slots(node.region_args);
+        site.arg2_slots = Slots(node.region_args2);
+        program_.closure_sites.push_back(std::move(site));
+        Emit(VmOp::kClosureMember, dest, 0, 0,
+             static_cast<uint32_t>(program_.closure_sites.size() - 1), &node);
+        break;
+      }
+      case PlanOp::kRbitMember: {
+        Emit(VmOp::kBeginOp, 0, 0, 0, kOpTimed, &node);
+        const uint32_t src = AllocS();
+        LowerSym(*node.children[0], src);
+        program_.rbit_sites.push_back(
+            VmRbitSite{RegionSlot(node.region_args[0]),
+                       RegionSlot(node.region_args[1])});
+        Emit(VmOp::kRbitFinish, dest, src, NextIcache(),
+             static_cast<uint32_t>(program_.rbit_sites.size() - 1), &node);
+        FreeS();
+        Emit(VmOp::kEndOp, 0, 0, 0, kOpTimed, &node);
+        break;
+      }
+      case PlanOp::kNonEmpty: {
+        const uint32_t src = AllocS();
+        LowerSym(*node.children[0], src);
+        Emit(VmOp::kNonEmpty, dest, src, NextIcache(), 0, &node);
+        FreeS();
+        break;
+      }
+      default:
+        LCDB_CHECK_MSG(false, "symbolic operator in boolean lowering");
+    }
+    Emit(VmOp::kLeaveBool, dest, 0, 0, memo, &node);
+    Cur().code[enter].b = Here();
+  }
+
+  uint32_t NextIcache() { return next_icache_++; }
+
+  const CompiledPlan& plan_;
+  BytecodeProgram program_;
+  std::vector<ProcBuild> builds_;
+  std::vector<uint32_t> stack_;  ///< emit-context proc indices
+  std::map<const PlanNode*, size_t> use_count_;
+  std::map<const PlanNode*, int> node_ids_;
+  std::map<const PlanNode*, uint32_t> proc_ids_;
+  std::map<const PlanNode*, uint32_t> memo_ids_;
+  std::set<std::string> region_names_;
+  std::set<std::string> set_names_;
+  std::map<std::string, uint32_t> region_slots_;
+  std::map<std::string, uint32_t> set_slots_;
+  uint32_t next_icache_ = 0;
+};
+
+std::string Pc(size_t pc) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04zu", pc);
+  return buf;
+}
+
+}  // namespace
+
+BytecodeProgram CompileToBytecode(const CompiledPlan& plan) {
+  LCDB_CHECK(plan.root != nullptr);
+  return Lowerer(plan).Lower();
+}
+
+std::string DisassembleBytecode(const BytecodeProgram& program) {
+  // Stable node ids in first-listing order — never pointers, so the
+  // disassembly is byte-identical across runs (the goldens pin it).
+  std::map<const PlanNode*, int> ids;
+  auto node_ref = [&](const PlanNode* node) -> std::string {
+    if (node == nullptr) return "";
+    auto it = ids.find(node);
+    if (it == ids.end()) {
+      it = ids.emplace(node, static_cast<int>(ids.size())).first;
+    }
+    return "#" + std::to_string(it->second);
+  };
+  auto rname = [&](uint32_t slot) {
+    return slot < program.region_slot_names.size()
+               ? program.region_slot_names[slot]
+               : "?";
+  };
+
+  std::string out;
+  for (size_t p = 0; p < program.procs.size(); ++p) {
+    const VmProc& proc = program.procs[p];
+    out += "proc " + std::to_string(p);
+    if (proc.origin == nullptr) {
+      out += " (main)";
+    } else {
+      out += " (" + PlanOpName(proc.origin->op) + " " +
+             node_ref(proc.origin) + ")";
+    }
+    out += ": " + std::string(proc.symbolic ? "sym" : "bool");
+    out += " sregs=" + std::to_string(proc.num_sregs);
+    out += " bregs=" + std::to_string(proc.num_bregs);
+    out += " iregs=" + std::to_string(proc.num_iregs);
+    out += "\n";
+    for (size_t pc = 0; pc < proc.code.size(); ++pc) {
+      const VmInstr& in = proc.code[pc];
+      out += "  " + Pc(pc) + "  ";
+      std::string line = VmOpName(in.op);
+      line.resize(std::max<size_t>(line.size(), 14), ' ');
+      switch (in.op) {
+        case VmOp::kEnterSym:
+        case VmOp::kEnterBool:
+          line += (in.op == VmOp::kEnterSym ? "s" : "b") +
+                  std::to_string(in.a) + " " + node_ref(in.node) + " " +
+                  PlanOpName(in.node->op);
+          if (in.imm != 0) {
+            line += " memo=m" + std::to_string(in.imm - 1) + " skip->" +
+                    Pc(in.b);
+          }
+          break;
+        case VmOp::kLeaveSym:
+        case VmOp::kLeaveBool:
+          line += (in.op == VmOp::kLeaveSym ? "s" : "b") +
+                  std::to_string(in.a);
+          if (in.imm != 0) line += " memo=m" + std::to_string(in.imm - 1);
+          break;
+        case VmOp::kConstFormula: {
+          std::string f = in.node->const_formula->ToString();
+          if (f.size() > 32) f = f.substr(0, 29) + "...";
+          line += "s" + std::to_string(in.a) + " {" + f + "}";
+          break;
+        }
+        case VmOp::kInRegion:
+          line += "s" + std::to_string(in.a) + " " + rname(in.b);
+          break;
+        case VmOp::kLiftBool:
+          line += "s" + std::to_string(in.a) + " b" + std::to_string(in.b);
+          break;
+        case VmOp::kNegSym:
+        case VmOp::kLoadTrueSym:
+        case VmOp::kLoadFalseSym:
+          line += "s" + std::to_string(in.a);
+          break;
+        case VmOp::kAndSym:
+        case VmOp::kOrSym:
+        case VmOp::kIffSym:
+          line += "s" + std::to_string(in.a) + " s" + std::to_string(in.b);
+          break;
+        case VmOp::kHullFinish:
+        case VmOp::kQeExists:
+        case VmOp::kQeForall:
+          line += "s" + std::to_string(in.a) + " s" + std::to_string(in.b);
+          if (in.op != VmOp::kHullFinish) {
+            line += " col" + std::to_string(in.node->column);
+          }
+          break;
+        case VmOp::kLoadBool:
+          line += "b" + std::to_string(in.a) + " " +
+                  (in.imm != 0 ? "true" : "false");
+          break;
+        case VmOp::kNotBool:
+          line += "b" + std::to_string(in.a);
+          break;
+        case VmOp::kEqBool:
+          line += "b" + std::to_string(in.a) + " b" + std::to_string(in.b);
+          break;
+        case VmOp::kRegionAtom:
+          line += "b" + std::to_string(in.a) + " " + rname(in.b);
+          if (in.node->region_args.size() > 1) line += "," + rname(in.c);
+          break;
+        case VmOp::kSetMember:
+          line += "b" + std::to_string(in.a) + " " + in.node->set_var +
+                  " tuple=t" + std::to_string(in.imm);
+          break;
+        case VmOp::kFixpointMember:
+          line += "b" + std::to_string(in.a) + " site=f" +
+                  std::to_string(in.imm) + " body=proc" +
+                  std::to_string(program.fixpoint_sites[in.imm].body_proc);
+          break;
+        case VmOp::kClosureMember:
+          line += "b" + std::to_string(in.a) + " site=c" +
+                  std::to_string(in.imm) + " body=proc" +
+                  std::to_string(program.closure_sites[in.imm].body_proc);
+          break;
+        case VmOp::kRbitFinish:
+          line += "b" + std::to_string(in.a) + " s" + std::to_string(in.b) +
+                  " ic" + std::to_string(in.c);
+          break;
+        case VmOp::kNonEmpty:
+          line += "b" + std::to_string(in.a) + " s" + std::to_string(in.b) +
+                  " ic" + std::to_string(in.c);
+          break;
+        case VmOp::kJmp:
+          line += "->" + Pc(in.b);
+          break;
+        case VmOp::kJmpIfSymFalse:
+        case VmOp::kJmpIfSymTrue:
+          line += "s" + std::to_string(in.a) + " ->" + Pc(in.b);
+          break;
+        case VmOp::kJmpIfFalseBool:
+        case VmOp::kJmpIfTrueBool:
+          line += "b" + std::to_string(in.a) + " ->" + Pc(in.b);
+          break;
+        case VmOp::kLoadImm:
+          line += "i" + std::to_string(in.a) + " " + std::to_string(in.imm);
+          break;
+        case VmOp::kLoopHead:
+          line += "i" + std::to_string(in.a) + " exit->" + Pc(in.b) +
+                  " stride=" + std::to_string(in.imm);
+          break;
+        case VmOp::kLoopNext:
+          line += "i" + std::to_string(in.a) + " ->" + Pc(in.b);
+          break;
+        case VmOp::kSetRegion:
+          line += rname(in.a) + " = i" + std::to_string(in.b);
+          break;
+        case VmOp::kBeginOp:
+        case VmOp::kEndOp: {
+          line += PlanOpName(in.node->op);
+          if (in.op == VmOp::kBeginOp) {
+            std::string flags;
+            if (in.imm & kOpTimed) flags += ",timed";
+            if (in.imm & kOpCountQe) flags += ",qe";
+            if (in.imm & kOpCountExpand) flags += ",expand";
+            if (!flags.empty()) line += " [" + flags.substr(1) + "]";
+          }
+          break;
+        }
+        case VmOp::kCallSym:
+        case VmOp::kCallBool:
+          line += (in.op == VmOp::kCallSym ? "s" : "b") +
+                  std::to_string(in.a) + " proc" + std::to_string(in.imm) +
+                  " " + node_ref(in.node);
+          break;
+        case VmOp::kRet:
+        case VmOp::kHalt:
+          break;
+      }
+      out += line + "\n";
+    }
+  }
+  for (size_t i = 0; i < program.memo_descs.size(); ++i) {
+    const VmMemoDesc& d = program.memo_descs[i];
+    out += "memo m" + std::to_string(i) + ": regions={";
+    for (size_t j = 0; j < d.region_slots.size(); ++j) {
+      if (j > 0) out += ",";
+      out += rname(d.region_slots[j]);
+    }
+    out += "}";
+    if (!d.set_slots.empty()) {
+      out += " sets={";
+      for (size_t j = 0; j < d.set_slots.size(); ++j) {
+        if (j > 0) out += ",";
+        out += d.set_slots[j] < program.set_slot_names.size()
+                   ? program.set_slot_names[d.set_slots[j]]
+                   : "?";
+      }
+      out += "}";
+    }
+    out += "\n";
+  }
+  out += "-- " + std::to_string(program.procs.size()) + " proc(s), " +
+         std::to_string(program.TotalInstructions()) + " instruction(s), " +
+         std::to_string(program.num_icache_slots) + " inline cache slot(s)\n";
+  return out;
+}
+
+}  // namespace lcdb

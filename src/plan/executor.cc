@@ -126,6 +126,9 @@ DnfFormula PlanExecutor::Eval(const PlanNode& node, RegionEnv& renv,
     if (it != per_node.end()) {
       ++stats_->memo_hits;
       if (profile_ != nullptr) ++(*profile_)[&node].memo_hits;
+      if (IsTimedPlanOp(node.op)) {
+        ++stats_->op_timings[PlanOpName(node.op)].memo_hits;
+      }
       return it->second;
     }
   }
@@ -241,6 +244,9 @@ bool PlanExecutor::EvalBool(const PlanNode& node, RegionEnv& renv,
     if (it != per_node.end()) {
       ++stats_->memo_hits;
       if (profile_ != nullptr) ++(*profile_)[&node].memo_hits;
+      if (IsTimedPlanOp(node.op)) {
+        ++stats_->op_timings[PlanOpName(node.op)].memo_hits;
+      }
       return it->second;
     }
   }

@@ -200,8 +200,9 @@ void CountNodesImpl(const PlanNode& node, std::set<const PlanNode*>* seen) {
 
 class PlanPrinter {
  public:
-  PlanPrinter(size_t num_regions, const PlanProfile* profile)
-      : num_regions_(num_regions), profile_(profile) {}
+  PlanPrinter(size_t num_regions, const PlanProfile* profile,
+              const PlanCostMap* costs)
+      : num_regions_(num_regions), profile_(profile), costs_(costs) {}
 
   void Print(const PlanNode& node, size_t depth) {
     out_.append(2 * depth, ' ');
@@ -216,6 +217,7 @@ class PlanPrinter {
     const std::string detail = Detail(node);
     if (!detail.empty()) out_ += " " + detail;
     out_ += Annotations(node);
+    if (costs_ != nullptr) out_ += Estimated(node);
     if (profile_ != nullptr) out_ += Measured(node);
     out_ += "\n";
     for (const PlanPtr& child : node.children) Print(*child, depth + 1);
@@ -282,6 +284,25 @@ class PlanPrinter {
     return out;
   }
 
+  /// Tier-2 cost column: the analyzer's predicted execution of the node.
+  /// Quantities are estimates (deterministic, plan-shape-only), printed in
+  /// compact %.3g form so huge tuple spaces stay readable.
+  std::string Estimated(const PlanNode& node) {
+    auto it = costs_->find(&node);
+    if (it == costs_->end()) return "";
+    const PlanCostEstimate& c = it->second;
+    auto fmt = [](double v) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3g", v);
+      return std::string(buf);
+    };
+    std::string out = "  | est: calls=" + fmt(c.est_calls);
+    out += " rows=" + fmt(c.est_rows);
+    out += " bigint-ops=" + fmt(c.est_bigint_ops);
+    if (c.dead_cache) out += " cache=dead";
+    return out;
+  }
+
   /// EXPLAIN ANALYZE column: measured execution of the node. Times are
   /// inclusive (parents contain children), so the root line is the query's
   /// wall-clock and each level shows where inside it the time went.
@@ -305,6 +326,7 @@ class PlanPrinter {
 
   size_t num_regions_;
   const PlanProfile* profile_;
+  const PlanCostMap* costs_;
   std::string out_;
   std::map<const PlanNode*, int> ids_;
   int next_id_ = 0;
@@ -318,9 +340,10 @@ size_t CountPlanNodes(const PlanNode& root) {
   return seen.size();
 }
 
-std::string PrintPlan(const CompiledPlan& plan, const PlanProfile* profile) {
+std::string PrintPlan(const CompiledPlan& plan, const PlanProfile* profile,
+                      const PlanCostMap* costs) {
   LCDB_CHECK(plan.root != nullptr);
-  PlanPrinter printer(plan.num_regions, profile);
+  PlanPrinter printer(plan.num_regions, profile, costs);
   printer.Print(*plan.root, 0);
   return printer.Take();
 }

@@ -131,6 +131,26 @@ struct CompiledPlan {
 /// Human-readable operator name (explain output, timing keys).
 std::string PlanOpName(PlanOp op);
 
+/// Operators whose executions are wall-clocked into Stats::op_timings (the
+/// expensive ones: QE, region expansion, hull, fixpoints, closures, rBIT).
+/// Memo hits on these ops are broken out as OpTiming::memo_hits so per-op
+/// profiles stay comparable between the tree walk and the bytecode VM.
+inline bool IsTimedPlanOp(PlanOp op) {
+  switch (op) {
+    case PlanOp::kHull:
+    case PlanOp::kExistsElim:
+    case PlanOp::kForallElim:
+    case PlanOp::kExpandExists:
+    case PlanOp::kExpandForall:
+    case PlanOp::kRbitMember:
+    case PlanOp::kFixpointMember:
+    case PlanOp::kClosureMember:
+      return true;
+    default:
+      return false;
+  }
+}
+
 /// Recomputes the derived annotations of `node` from its payload and its
 /// children's (already correct) annotations. Optimizer passes call this
 /// after every structural rewrite; the planner uses it bottom-up.
@@ -148,8 +168,13 @@ size_t CountPlanNodes(const PlanNode& root);
 /// its measured execution: calls, inclusive wall-clock, kernel decisions
 /// (with cache hits), executor memo hits, governor checkpoints and result
 /// cardinality; nodes the execution never reached are marked as such.
+///
+/// With `costs` (the tier-2 analyzer's estimates, analysis/plan_cost.h)
+/// each node line carries the predicted execution: estimated evaluations,
+/// result rows and node-local BigInt operations, with dead cache marks.
 std::string PrintPlan(const CompiledPlan& plan,
-                      const PlanProfile* profile = nullptr);
+                      const PlanProfile* profile = nullptr,
+                      const PlanCostMap* costs = nullptr);
 
 }  // namespace lcdb
 

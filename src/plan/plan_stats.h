@@ -57,11 +57,71 @@ struct PlanPassStats {
 struct OpTiming {
   uint64_t count = 0;
   uint64_t total_ns = 0;
+  /// Evaluations of this operator served from the executor memo instead of
+  /// running (and being timed). Without this the time a memoized re-visit
+  /// *saves* silently inflates the parent's inclusive share — breaking out
+  /// the hit count keeps tree and VM profiles comparable.
+  uint64_t memo_hits = 0;
 };
 
 using OpTimings = std::map<std::string, OpTiming>;
 
+/// Telemetry of one bytecode-VM execution (plan/vm.h). Zero when the tree
+/// backend ran; reset at each Evaluate entry like op_timings.
+struct VmStats {
+  /// Instructions the dispatch loop executed.
+  uint64_t instructions = 0;
+  /// Inline-cache outcomes at kernel call sites (kNonEmpty / kRbitFinish):
+  /// hits skip the kernel entirely; invalidations are kernel swaps observed
+  /// under ScopedKernel; bypasses are formulas over the disjunct cap.
+  uint64_t icache_hits = 0;
+  uint64_t icache_misses = 0;
+  uint64_t icache_invalidations = 0;
+  uint64_t icache_bypasses = 0;
+  /// Shape of the lowered program (gauges): procedures and total code size.
+  uint64_t procs = 0;
+  uint64_t code_instructions = 0;
+};
+
 struct PlanNode;
+
+/// Tier-2 cost estimate of one plan node (analysis/plan_cost.h). All
+/// quantities are deterministic functions of the plan shape and the region
+/// count — no wall-clock, no randomness — so EXPLAIN output is byte-stable.
+struct PlanCostEstimate {
+  /// Evaluations one execution performs (after the memo collapses repeats).
+  double est_calls = 0;
+  /// Result disjuncts of one evaluation (symbolic nodes; 1 for boolean).
+  double est_rows = 0;
+  /// Node-local BigInt operations over all evaluations (children excluded —
+  /// their own entries carry them).
+  double est_bigint_ops = 0;
+  /// Cache-marked but the estimate says no memo key can ever repeat
+  /// (LCDB011).
+  bool dead_cache = false;
+};
+
+/// Per-node cost estimates keyed by node identity, like PlanProfile.
+using PlanCostMap = std::map<const PlanNode*, PlanCostEstimate>;
+
+/// Tier-2 (plan-level) cost-analyzer telemetry (analysis/plan_cost.h),
+/// aggregated over the optimized plan of the most recent compile. The
+/// estimates use the Grimson–Heintz–Kuijpers cost unit: BigInt arithmetic
+/// operations, the native cost of linear-constraint evaluation.
+struct PlanCostStats {
+  /// Nodes the cost pass visited (== optimized plan DAG nodes).
+  uint64_t nodes = 0;
+  /// Estimated total BigInt operations of one execution (capped).
+  uint64_t total_bigint_ops = 0;
+  /// Estimated disjunct count of the answer formula.
+  uint64_t est_answer_rows = 0;
+  /// Cache-marked nodes whose estimated calls can never repeat a memo key
+  /// (each emitted as an LCDB011 warning).
+  uint64_t dead_caches = 0;
+  /// Diagnostics the pass emitted (LCDB011 dead caches + cost-refined
+  /// LCDB004 budget warnings).
+  uint64_t warnings = 0;
+};
 
 /// Measured execution profile of one plan node (EXPLAIN ANALYZE). All
 /// quantities are *inclusive* — a parent's time/queries contain its

@@ -3,8 +3,10 @@
 // produce *byte-identical* QueryAnswer formulas through
 //   (a) the legacy single-pass tree walk (Options::use_plan = false, kept
 //       for one release as the oracle),
-//   (b) the raw plan (use_plan = true, optimize = false), and
-//   (c) the optimized plan (use_plan = true, optimize = true).
+//   (b) the raw plan (use_plan = true, optimize = false),
+//   (c) the optimized plan (use_plan = true, optimize = true), and
+//   (d) the bytecode VM over the optimized plan (use_bytecode = true),
+//       traced and untraced — tracing must never change an answer.
 // The optimizer's contract is representation preservation, not mere logical
 // equivalence, so the comparison is on ToString() output.
 // LCDB_TEST_DATA_DIR is injected by CMake.
@@ -21,6 +23,8 @@
 #include "db/io.h"
 #include "db/region_extension.h"
 #include "db/workloads.h"
+#include "engine/trace.h"
+#include "util/status.h"
 
 namespace lcdb {
 namespace {
@@ -36,10 +40,12 @@ ConstraintDatabase Load(const std::string& name) {
 }
 
 std::string AnswerVia(const RegionExtension& ext, const FormulaNode& query,
-                      bool use_plan, bool optimize) {
+                      bool use_plan, bool optimize,
+                      bool use_bytecode = false) {
   Evaluator::Options options;
   options.use_plan = use_plan;
   options.optimize = optimize;
+  options.use_bytecode = use_bytecode;
   Evaluator evaluator(ext, options);
   auto answer = evaluator.Evaluate(query);
   EXPECT_TRUE(answer.ok()) << answer.status().ToString();
@@ -61,6 +67,16 @@ void ExpectAllModesAgree(const RegionExtension& ext, const std::string& text,
   }
   EXPECT_EQ(legacy, AnswerVia(ext, **query, true, true))
       << "optimized plan diverges on: " << text;
+  EXPECT_EQ(legacy, AnswerVia(ext, **query, true, true, true))
+      << "bytecode VM diverges on: " << text;
+  {
+    // Traced VM run: span emission sits on the dispatch hot path, so it is
+    // swept too — tracing must be observation only.
+    QueryTracer tracer;
+    ScopedTracer scoped(tracer);
+    EXPECT_EQ(legacy, AnswerVia(ext, **query, true, true, true))
+        << "traced bytecode VM diverges on: " << text;
+  }
 }
 
 /// Queries exercising every operator family, parameterized on the
@@ -164,6 +180,31 @@ TEST(PlanEquivalenceTest, MemoizationOffAgrees) {
   auto answer = plan.Evaluate(**query);
   ASSERT_TRUE(answer.ok());
   EXPECT_EQ(oracle->ToString(), answer->ToString());
+  Evaluator::Options vm_opts;
+  vm_opts.memoize = false;
+  vm_opts.use_bytecode = true;
+  Evaluator vm(*ext, vm_opts);
+  auto vm_answer = vm.Evaluate(**query);
+  ASSERT_TRUE(vm_answer.ok());
+  EXPECT_EQ(oracle->ToString(), vm_answer->ToString());
+}
+
+TEST(PlanEquivalenceTest, BytecodeRequiresOptimizedPlan) {
+  // Lowering is defined over optimized plans only; the combination must be
+  // a clean argument error, never a silent fallback to the tree walk.
+  ConstraintDatabase db = MakeComb(2, true);
+  auto ext = MakeArrangementExtension(db);
+  auto query = ParseQuery("exists y . (S(y) & y >= 0)", db.relation_name());
+  ASSERT_TRUE(query.ok());
+  Evaluator::Options options;
+  options.use_bytecode = true;
+  options.optimize = false;
+  Evaluator evaluator(*ext, options);
+  auto answer = evaluator.Evaluate(**query);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(answer.status().message().find("optimized plan"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -138,6 +138,9 @@ TEST(TraceTest, GoldenSpanTree) {
             "    pass.order_conjuncts\n"
             "    pass.cse\n"
             "    pass.mark_cacheable\n"
+            // Tier-2 cost estimation over the optimized plan (its
+            // est_bigint_ops counter is plan-shape arithmetic, stable).
+            "  plan.cost est_bigint_ops=2\n"
             "  plan.execute rows=1\n"
             "    qe.exists\n"
             "      qe.project disjuncts_in=1 disjuncts_out=1\n");
