@@ -21,6 +21,8 @@
 //                                  of the GovernorLimits fields, <n> a count
 //                                  or 'unlimited'
 //   \show limits                   print the budgets in effect
+//   \show cache                    print the kernel's lemma-database
+//                                  occupancy, tier breakdown and hit rates
 //   help, quit
 //
 // Every query runs under its own QueryGovernor built from the session's
@@ -52,6 +54,7 @@
 #include "db/io.h"
 #include "db/region_extension.h"
 #include "engine/governor.h"
+#include "engine/kernel.h"
 #include "util/interrupt.h"
 #include "util/strings.h"
 
@@ -294,6 +297,45 @@ void CmdShowLimits(const Session& session) {
   show("max_bigint_bits", l.max_bigint_bits);
 }
 
+void CmdShowCache() {
+  lcdb::ConstraintKernel& kernel = lcdb::CurrentKernel();
+  const std::shared_ptr<lcdb::LemmaDatabase>& db = kernel.lemma_db();
+  if (db == nullptr) {
+    std::printf("  lemma db                 off (%s backend)\n",
+                kernel.options().memoize ? "LRU" : "memoize-off");
+    return;
+  }
+  const std::array<size_t, 3> tiers = db->TierCounts();
+  const lcdb::KernelStats s = kernel.stats();
+  std::printf("  lemma db                 %llu / %llu entries\n",
+              static_cast<unsigned long long>(db->size()),
+              static_cast<unsigned long long>(db->capacity()));
+  std::printf("  tiers (core/freq/trans)  %llu / %llu / %llu\n",
+              static_cast<unsigned long long>(tiers[0]),
+              static_cast<unsigned long long>(tiers[1]),
+              static_cast<unsigned long long>(tiers[2]));
+  auto rate = [](uint64_t hits, uint64_t misses) {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : 100.0 * static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  };
+  std::printf("  feasibility hit rate     %.1f%% (%llu/%llu)\n",
+              rate(s.cache_hits, s.cache_misses),
+              static_cast<unsigned long long>(s.cache_hits),
+              static_cast<unsigned long long>(s.cache_hits + s.cache_misses));
+  std::printf("  implication hit rate     %.1f%% (%llu/%llu)\n",
+              rate(s.implication_cache_hits, s.implication_cache_misses),
+              static_cast<unsigned long long>(s.implication_cache_hits),
+              static_cast<unsigned long long>(s.implication_cache_hits +
+                                              s.implication_cache_misses));
+  std::printf(
+      "  evictions (c/f/t)        %llu / %llu / %llu   invalidations %llu\n",
+      static_cast<unsigned long long>(s.lemma_evictions_core),
+      static_cast<unsigned long long>(s.lemma_evictions_frequent),
+      static_cast<unsigned long long>(s.lemma_evictions_transient),
+      static_cast<unsigned long long>(s.lemma_invalidations));
+}
+
 }  // namespace
 
 int main() {
@@ -329,6 +371,7 @@ int main() {
             "  \\set timeout <ms>       per-query deadline (0/'off' disables)\n"
             "  \\set budget <name> <n>  per-query resource budget\n"
             "  \\show limits            print the budgets in effect\n"
+            "  \\show cache             lemma-db occupancy, tiers, hit rates\n"
             "  quit\n");
       } else if (cmd == "db") {
         CmdDb(session, rest);
@@ -357,7 +400,11 @@ int main() {
       } else if (cmd == "\\set") {
         CmdSet(session, rest);
       } else if (cmd == "\\show") {
-        CmdShowLimits(session);
+        if (lcdb::StripWhitespace(rest) == "cache") {
+          CmdShowCache();
+        } else {
+          CmdShowLimits(session);
+        }
       } else {
         std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
       }

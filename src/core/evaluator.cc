@@ -78,8 +78,23 @@ Status BytecodeNeedsOptimizer() {
 
 }  // namespace
 
-void Evaluator::SettleAmbient(const KernelStats& kernel_before) {
-  stats_.kernel += CurrentKernel().stats() - kernel_before;
+void Evaluator::SettleAmbient(const KernelStats& kernel_before,
+                              TraceSpan* span) {
+  const KernelStats delta = CurrentKernel().stats() - kernel_before;
+  stats_.kernel += delta;
+  if (span != nullptr) {
+    // Lemma-database share of this query's kernel work; zero counters are
+    // suppressed so the LRU / memoize-off configurations keep their span
+    // shapes unchanged.
+    if (delta.lemma_hits > 0) span->Counter("lemma.hits", delta.lemma_hits);
+    const uint64_t lemma_evictions = delta.lemma_evictions_core +
+                                     delta.lemma_evictions_frequent +
+                                     delta.lemma_evictions_transient;
+    if (lemma_evictions > 0) span->Counter("lemma.evictions", lemma_evictions);
+    if (delta.lemma_invalidations > 0) {
+      span->Counter("lemma.invalidations", delta.lemma_invalidations);
+    }
+  }
   if (QueryGovernor* g = CurrentGovernorOrNull()) stats_.governor = g->stats();
 }
 
@@ -120,6 +135,11 @@ Result<QueryAnswer> Evaluator::EvaluateImpl(const FormulaNode& query,
   // between these two snapshots of the ambient kernel. Plan compilation
   // happens inside the window because the optimizer's folding pass issues
   // feasibility queries of its own.
+  // Bind the lemma store's occurrence index to this extension's database
+  // representation (cheap no-op when it is already bound or under the
+  // LRU/memoize-off backends), so lemmas learned below carry per-disjunct
+  // occurrence lists for targeted invalidation.
+  CurrentKernel().BindLemmaOccurrences(ext_.database().representation());
   const KernelStats kernel_before = CurrentKernel().stats();
   stats_.governor = GovernorStats();
   // Bookkeeping shared by the success and interrupt exits. Every cache the
@@ -127,7 +147,7 @@ Result<QueryAnswer> Evaluator::EvaluateImpl(const FormulaNode& query,
   // above are cleared on entry, so a tripped query leaves the evaluator
   // ready for the next one with no residue.
   auto settle = [&] {
-    SettleAmbient(kernel_before);
+    SettleAmbient(kernel_before, &evaluate_span);
     info_ = nullptr;
   };
   DnfFormula result = DnfFormula::False(num_columns_);

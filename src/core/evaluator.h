@@ -14,6 +14,7 @@
 #include "engine/governor.h"
 #include "engine/kernel_stats.h"
 #include "engine/metrics.h"
+#include "engine/trace.h"
 #include "plan/plan_stats.h"
 #include "qe/fourier_motzkin.h"
 
@@ -197,8 +198,11 @@ class Evaluator {
                                    CompiledPlan* plan_out);
 
   /// Settles ambient per-query telemetry into stats_: the kernel delta
-  /// since `kernel_before` and the installed governor's counters.
-  void SettleAmbient(const KernelStats& kernel_before);
+  /// since `kernel_before` and the installed governor's counters. When
+  /// `span` is non-null, the lemma-database share of the delta is emitted
+  /// as counters on that span (the evaluate span in EvaluateImpl).
+  void SettleAmbient(const KernelStats& kernel_before,
+                     TraceSpan* span = nullptr);
 
   // Core symbolic recursion (evaluator.cc).
   DnfFormula Eval(const FormulaNode& node, RegionEnv& renv, SetEnv& senv);

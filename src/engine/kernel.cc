@@ -83,7 +83,7 @@ FeasibilityResult ConstraintKernel::CachedFeasibility(
       ++stats_.trivial_answers;
       return {true, Vec(canon.num_vars)};
     }
-    if (options_.memoize) {
+    if (options_.memoize && lemma_db_ == nullptr) {
       if (const FeasibilityResult* hit = feasibility_cache_.Lookup(
               canon.hash, canon.encoding,
               &stats_.canonicalization_collisions)) {
@@ -92,6 +92,16 @@ FeasibilityResult ConstraintKernel::CachedFeasibility(
       }
       ++stats_.cache_misses;
     }
+  }
+  if (lemma_db_ != nullptr) {
+    // The lemma DB takes its own lock; never nested under mu_.
+    std::optional<FeasibilityResult> hit = lemma_db_->LookupFeasibility(canon);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (hit.has_value()) {
+      ++stats_.cache_hits;
+      return *hit;
+    }
+    ++stats_.cache_misses;
   }
   // The LP solve runs outside the lock so a future parallel caller is not
   // serialized on the simplex; a concurrent duplicate miss only costs a
@@ -110,10 +120,15 @@ FeasibilityResult ConstraintKernel::CachedFeasibility(
     ++stats_.oracle_calls;
     stats_.simplex_invocations += after.invocations - before.invocations;
     stats_.simplex_pivots += after.pivots - before.pivots;
-    if (options_.memoize) {
+    if (options_.memoize && lemma_db_ == nullptr) {
       feasibility_cache_.Insert(canon.hash, canon.encoding, result,
                                 &stats_.cache_evictions);
     }
+  }
+  if (lemma_db_ != nullptr) {
+    // The solve cost drives the tier: expensive proofs and infeasible
+    // cores are worth keeping regardless of activity.
+    lemma_db_->InsertFeasibility(canon, result, after.pivots - before.pivots);
   }
   return result;
 }
@@ -142,7 +157,7 @@ bool ConstraintKernel::DecideConsistentWithNegation(
   key.push_back('!');
   AppendAtomEncoding(atom, &key);
   const uint64_t hash = StableHash64(key);
-  if (options_.memoize) {
+  if (options_.memoize && lemma_db_ == nullptr) {
     std::lock_guard<std::mutex> lock(mu_);
     if (const bool* hit = implication_cache_.Lookup(
             hash, key, &stats_.canonicalization_collisions)) {
@@ -151,9 +166,19 @@ bool ConstraintKernel::DecideConsistentWithNegation(
     }
     ++stats_.implication_cache_misses;
   }
+  if (lemma_db_ != nullptr) {
+    std::optional<bool> hit = lemma_db_->LookupImplication(hash, key);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (hit.has_value()) {
+      ++stats_.implication_cache_hits;
+      return *hit;
+    }
+    ++stats_.implication_cache_misses;
+  }
   // Decide each branch of the negation through the feasibility cache, so
   // the per-branch systems are shared with every other consumer that asks
   // about them directly.
+  const SimplexCounters before = GetSimplexCounters();
   bool consistent = false;
   for (const LinearAtom& negated : atom.Negate()) {
     std::vector<LinearAtom> atoms = canon.atoms;
@@ -164,28 +189,69 @@ bool ConstraintKernel::DecideConsistentWithNegation(
       break;
     }
   }
-  if (options_.memoize) {
+  if (options_.memoize && lemma_db_ == nullptr) {
     std::lock_guard<std::mutex> lock(mu_);
     implication_cache_.Insert(hash, std::move(key), consistent,
                               &stats_.cache_evictions);
   }
+  if (lemma_db_ != nullptr) {
+    // A proved implication (consistent == false) is pinned core inside the
+    // store; the pivot delta across the branch solves prices the proof.
+    const SimplexCounters after = GetSimplexCounters();
+    lemma_db_->InsertImplication(hash, key, canon.atoms, consistent,
+                                 after.pivots - before.pivots);
+  }
   return consistent;
+}
+
+void ConstraintKernel::BindLemmaOccurrences(const DnfFormula& representation) {
+  if (lemma_db_ != nullptr) lemma_db_->BindDisjuncts(representation);
+}
+
+size_t ConstraintKernel::InvalidateDisjunct(DisjunctId disjunct) {
+  return lemma_db_ != nullptr ? lemma_db_->InvalidateDisjunct(disjunct) : 0;
 }
 
 KernelStats ConstraintKernel::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  KernelStats out = stats_;
+  if (lemma_db_ != nullptr) {
+    // Fold in this kernel's share of the (possibly shared) lemma store:
+    // the cumulative DB counters minus the attach/ResetStats baseline.
+    // Lock order is always kernel -> lemma DB, never the reverse.
+    const LemmaDbStats d = lemma_db_->stats() - lemma_baseline_;
+    out.lemma_hits = d.hits;
+    out.lemma_misses = d.misses;
+    out.lemma_insertions = d.insertions;
+    out.lemma_evictions_core = d.evictions_core;
+    out.lemma_evictions_frequent = d.evictions_frequent;
+    out.lemma_evictions_transient = d.evictions_transient;
+    out.lemma_invalidations = d.invalidations;
+    out.lemma_decays = d.decays;
+    out.lemma_occupancy = lemma_db_->size();
+    // The aggregate counters keep their backend-independent meaning.
+    out.cache_evictions += d.evictions_total();
+    out.canonicalization_collisions += d.collisions;
+  }
+  return out;
 }
 
 void ConstraintKernel::ResetStats() {
   std::lock_guard<std::mutex> lock(mu_);
   stats_ = KernelStats();
+  if (lemma_db_ != nullptr) lemma_baseline_ = lemma_db_->stats();
 }
 
 void ConstraintKernel::ClearCache() {
-  std::lock_guard<std::mutex> lock(mu_);
-  feasibility_cache_.Clear();
-  implication_cache_.Clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    feasibility_cache_.Clear();
+    implication_cache_.Clear();
+  }
+  if (lemma_db_ != nullptr) lemma_db_->Clear();
+  // The epoch move is what lets the VM's inline caches observe the clear
+  // (satellite contract: a cleared kernel never serves a stale icache hit).
+  clear_epoch_.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace lcdb

@@ -2,8 +2,10 @@
 #define LCDB_ENGINE_KERNEL_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -12,6 +14,7 @@
 #include "constraint/canonical.h"
 #include "constraint/conjunction.h"
 #include "engine/kernel_stats.h"
+#include "engine/lemma_db.h"
 #include "lp/feasibility.h"
 
 namespace lcdb {
@@ -89,35 +92,69 @@ class CanonicalLruCache {
 /// Systems are canonicalized (constraint/canonical.h) before lookup, so the
 /// same conjunction reaching the oracle from different layers, in different
 /// atom orders or scalings, is decided once and served from cache after.
-/// Two caches are kept, both LRU-bounded by Options::max_entries:
+/// Both question kinds are memoized:
 ///
-///  * the feasibility cache:  canonical system -> FeasibilityResult
+///  * feasibility:  canonical system -> FeasibilityResult
 ///    (decision plus rational witness);
-///  * the implication cache:  (canonical system, canonical atom) ->
+///  * implication:  (canonical system, canonical atom) ->
 ///    whether `system AND NOT(atom)` is satisfiable, the redundancy /
 ///    implication primitive.
 ///
-/// All state is guarded by a mutex so a later PR can fan region-quantifier
-/// expansion out across threads against one shared kernel; the underlying
-/// LP solve runs outside the lock.
+/// The default backing store is an activity-managed lemma database
+/// (engine/lemma_db.h): lemmas survive across queries, are scored by
+/// activity with periodic decay, evicted by quality tier instead of
+/// recency, and carry per-database-disjunct occurrence lists that make
+/// InvalidateDisjunct() possible. The lemma DB's lifetime is decoupled
+/// from the kernel — pass a shared_ptr to share one store across several
+/// kernels (ScopedKernel scopes, server worker kernels); by default a
+/// memoizing kernel creates its own. Options::use_lemma_db = false keeps
+/// the original per-kernel LRU maps as a measured baseline
+/// (bench_reglfp's BM_LemmaDbVsLru); verdicts are byte-identical under
+/// either backend, or with memoization off — only hit rates differ.
 ///
-/// Options::memoize turns both caches off (every query pays an oracle
-/// call); canonicalization, trivial-answer short-circuits and telemetry
-/// stay active, which is exactly what the cache ablation measures.
+/// All kernel state is guarded by a mutex (the lemma DB has its own) so a
+/// later PR can fan region-quantifier expansion out across threads against
+/// one shared kernel; the underlying LP solve runs outside any lock.
+///
+/// Options::memoize turns memoization off entirely (every query pays an
+/// oracle call); canonicalization, trivial-answer short-circuits and
+/// telemetry stay active, which is exactly what the cache ablation
+/// measures.
 class ConstraintKernel {
  public:
   struct Options {
-    /// Off switch for both caches (ablation).
+    /// Off switch for all memoization (ablation).
     bool memoize = true;
-    /// LRU bound, applied to each cache separately.
+    /// Occupancy bound: the lemma DB's unified pool, or each LRU map
+    /// separately under use_lemma_db = false.
     size_t max_entries = 1u << 18;
+    /// Backend selector: the activity-managed lemma database (default) or
+    /// the legacy per-kernel LRU maps (the measured baseline).
+    bool use_lemma_db = true;
   };
 
   ConstraintKernel() : ConstraintKernel(Options()) {}
   explicit ConstraintKernel(Options options)
+      : ConstraintKernel(options, nullptr) {}
+  /// Attaches an externally owned lemma database (shared across kernels;
+  /// ignored under memoize = false). When `lemmas` is null and the options
+  /// ask for the lemma backend, the kernel creates its own store sized by
+  /// Options::max_entries.
+  ConstraintKernel(Options options, std::shared_ptr<LemmaDatabase> lemmas)
       : options_(options),
         feasibility_cache_(options.max_entries),
-        implication_cache_(options.max_entries) {}
+        implication_cache_(options.max_entries) {
+    if (options_.memoize && options_.use_lemma_db) {
+      if (lemmas != nullptr) {
+        lemma_db_ = std::move(lemmas);
+      } else {
+        LemmaDatabase::Options db_options;
+        db_options.max_entries = options_.max_entries;
+        lemma_db_ = std::make_shared<LemmaDatabase>(db_options);
+      }
+      lemma_baseline_ = lemma_db_->stats();
+    }
+  }
 
   ConstraintKernel(const ConstraintKernel&) = delete;
   ConstraintKernel& operator=(const ConstraintKernel&) = delete;
@@ -158,9 +195,37 @@ class ConstraintKernel {
 
   const Options& options() const { return options_; }
 
+  /// The backing lemma database, or null (LRU backend / memoize off). Its
+  /// lifetime is independent of this kernel: hold the shared_ptr to keep
+  /// lemmas alive across ScopedKernel scopes and kernel teardowns.
+  const std::shared_ptr<LemmaDatabase>& lemma_db() const { return lemma_db_; }
+
+  /// Inline-cache invalidation epoch (plan/vm.h): moves whenever cached
+  /// verdict identity changes — ClearCache(), lemma invalidation, lemma-DB
+  /// Clear(). The VM pins (kernel pointer, epoch) per inline-cache slot
+  /// and drops the slot when either moves, so a cleared kernel can never
+  /// serve a stale inline-cache hit.
+  uint64_t CacheEpoch() const {
+    const uint64_t own = clear_epoch_.load(std::memory_order_relaxed);
+    return lemma_db_ != nullptr ? own + lemma_db_->epoch() : own;
+  }
+
+  /// Forwards to LemmaDatabase::BindDisjuncts (no-op under LRU/memoize
+  /// off): indexes the representation's disjuncts so subsequent lemmas
+  /// carry occurrence lists. The evaluator calls this once per Evaluate
+  /// with the extension's database representation.
+  void BindLemmaOccurrences(const DnfFormula& representation);
+
+  /// Forwards to LemmaDatabase::InvalidateDisjunct (returns 0 under
+  /// LRU/memoize off): drops exactly the lemmas whose occurrence lists
+  /// mention `disjunct` and bumps the cache epoch.
+  size_t InvalidateDisjunct(DisjunctId disjunct);
+
   KernelStats stats() const;
   void ResetStats();
-  /// Drops all cached entries (stats are kept).
+  /// Drops all cached entries (stats are kept) and bumps the cache epoch.
+  /// Under the lemma backend this clears the attached store — which may be
+  /// shared with other kernels.
   void ClearCache();
 
  private:
@@ -171,6 +236,11 @@ class ConstraintKernel {
   const Options options_;
   mutable std::mutex mu_;
   KernelStats stats_;
+  /// Stats snapshot of the (possibly pre-warmed, possibly shared) lemma DB
+  /// at attach/ResetStats time: stats() reports the delta since then.
+  LemmaDbStats lemma_baseline_;
+  std::shared_ptr<LemmaDatabase> lemma_db_;
+  std::atomic<uint64_t> clear_epoch_{0};
   internal::CanonicalLruCache<FeasibilityResult> feasibility_cache_;
   internal::CanonicalLruCache<bool> implication_cache_;
 };

@@ -35,6 +35,24 @@ struct KernelStats {
   uint64_t simplex_invocations = 0;
   uint64_t simplex_pivots = 0;
 
+  /// Lemma-database family (engine/lemma_db.h) — populated when the kernel
+  /// delegates its caches to an activity-managed lemma store, all zero
+  /// under the legacy LRU backend. Hits/misses count lemma lookups (the
+  /// union of the feasibility and implication keyspaces); evictions are
+  /// split by the quality tier of the dropped lemma; invalidations count
+  /// lemmas dropped through per-disjunct occurrence lists.
+  uint64_t lemma_hits = 0;
+  uint64_t lemma_misses = 0;
+  uint64_t lemma_insertions = 0;
+  uint64_t lemma_evictions_core = 0;
+  uint64_t lemma_evictions_frequent = 0;
+  uint64_t lemma_evictions_transient = 0;
+  uint64_t lemma_invalidations = 0;
+  uint64_t lemma_decays = 0;
+  /// Gauge, not a counter: live lemmas at snapshot time. Difference and
+  /// accumulation both keep the most recent value.
+  uint64_t lemma_occupancy = 0;
+
   KernelStats& operator+=(const KernelStats& o) {
     feasibility_queries += o.feasibility_queries;
     implication_queries += o.implication_queries;
@@ -48,6 +66,15 @@ struct KernelStats {
     cache_evictions += o.cache_evictions;
     simplex_invocations += o.simplex_invocations;
     simplex_pivots += o.simplex_pivots;
+    lemma_hits += o.lemma_hits;
+    lemma_misses += o.lemma_misses;
+    lemma_insertions += o.lemma_insertions;
+    lemma_evictions_core += o.lemma_evictions_core;
+    lemma_evictions_frequent += o.lemma_evictions_frequent;
+    lemma_evictions_transient += o.lemma_evictions_transient;
+    lemma_invalidations += o.lemma_invalidations;
+    lemma_decays += o.lemma_decays;
+    lemma_occupancy = o.lemma_occupancy;  // gauge: latest wins
     return *this;
   }
 
@@ -66,6 +93,15 @@ struct KernelStats {
     d.cache_evictions -= o.cache_evictions;
     d.simplex_invocations -= o.simplex_invocations;
     d.simplex_pivots -= o.simplex_pivots;
+    d.lemma_hits -= o.lemma_hits;
+    d.lemma_misses -= o.lemma_misses;
+    d.lemma_insertions -= o.lemma_insertions;
+    d.lemma_evictions_core -= o.lemma_evictions_core;
+    d.lemma_evictions_frequent -= o.lemma_evictions_frequent;
+    d.lemma_evictions_transient -= o.lemma_evictions_transient;
+    d.lemma_invalidations -= o.lemma_invalidations;
+    d.lemma_decays -= o.lemma_decays;
+    // d.lemma_occupancy stays *this's value (gauge semantics).
     return d;
   }
 
@@ -82,6 +118,11 @@ struct KernelStats {
     out += " evictions=" + std::to_string(cache_evictions);
     out += " simplex_invocations=" + std::to_string(simplex_invocations);
     out += " simplex_pivots=" + std::to_string(simplex_pivots);
+    out += " lemma_hits=" + std::to_string(lemma_hits);
+    out += " lemma_evictions=" +
+           std::to_string(lemma_evictions_core + lemma_evictions_frequent +
+                          lemma_evictions_transient);
+    out += " lemma_invalidations=" + std::to_string(lemma_invalidations);
     return out;
   }
 };

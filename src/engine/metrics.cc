@@ -80,6 +80,15 @@ void MetricsRegistry::RegisterKernelStats(const KernelStats& s) {
   Count("kernel.cache_evictions", s.cache_evictions);
   Count("kernel.simplex_invocations", s.simplex_invocations);
   Count("kernel.simplex_pivots", s.simplex_pivots);
+  Count("kernel.lemma.hits", s.lemma_hits);
+  Count("kernel.lemma.misses", s.lemma_misses);
+  Count("kernel.lemma.insertions", s.lemma_insertions);
+  Count("kernel.lemma.evictions.core", s.lemma_evictions_core);
+  Count("kernel.lemma.evictions.frequent", s.lemma_evictions_frequent);
+  Count("kernel.lemma.evictions.transient", s.lemma_evictions_transient);
+  Count("kernel.lemma.invalidations", s.lemma_invalidations);
+  Count("kernel.lemma.decays", s.lemma_decays);
+  Gauge("kernel.lemma.occupancy", s.lemma_occupancy);
 }
 
 void MetricsRegistry::RegisterGovernorStats(const GovernorStats& s) {

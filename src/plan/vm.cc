@@ -128,9 +128,11 @@ bool BytecodeVm::IcacheLookup(uint32_t slot, const std::string& key,
                               bool* verdict) {
   IcacheSlot& s = icache_[slot];
   const ConstraintKernel* kernel = &CurrentKernel();
-  if (s.kernel != nullptr && s.kernel != kernel) {
-    // A ScopedKernel swap changed the ambient oracle under us: the cached
-    // verdict belongs to the old kernel's semantics, drop it.
+  const uint64_t epoch = kernel->CacheEpoch();
+  if (s.kernel != nullptr && (s.kernel != kernel || s.epoch != epoch)) {
+    // A ScopedKernel swap changed the ambient oracle under us, or the
+    // kernel's caches were cleared / lemma-invalidated since the fill: the
+    // cached verdict belongs to a retired cache generation, drop it.
     ++stats_->vm.icache_invalidations;
     s.kernel = nullptr;
     s.key.clear();
@@ -147,6 +149,7 @@ bool BytecodeVm::IcacheLookup(uint32_t slot, const std::string& key,
 void BytecodeVm::IcacheStore(uint32_t slot, std::string key, bool verdict) {
   IcacheSlot& s = icache_[slot];
   s.kernel = &CurrentKernel();
+  s.epoch = s.kernel->CacheEpoch();
   s.key = std::move(key);
   s.verdict = verdict;
 }

@@ -81,11 +81,15 @@ class BytecodeVm {
     bool governed = false;
   };
   /// Per-site kernel verdict slot. `kernel` identifies the owning kernel
-  /// (CurrentKernel() at fill time); `key` is the *full* canonical
-  /// encoding, compared exactly — a colliding hash can therefore never
-  /// break tree/VM byte-identity.
+  /// (CurrentKernel() at fill time) and `epoch` pins its
+  /// ConstraintKernel::CacheEpoch() at fill time — a ScopedKernel swap,
+  /// ClearCache(), or lemma-database invalidation moves one of the two and
+  /// drops the slot, so a cleared kernel never serves a stale hit. `key`
+  /// is the *full* canonical encoding, compared exactly — a colliding hash
+  /// can therefore never break tree/VM byte-identity.
   struct IcacheSlot {
     const ConstraintKernel* kernel = nullptr;
+    uint64_t epoch = 0;
     std::string key;
     bool verdict = false;
   };

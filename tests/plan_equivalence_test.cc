@@ -23,6 +23,7 @@
 #include "db/io.h"
 #include "db/region_extension.h"
 #include "db/workloads.h"
+#include "engine/kernel.h"
 #include "engine/trace.h"
 #include "util/status.h"
 
@@ -187,6 +188,56 @@ TEST(PlanEquivalenceTest, MemoizationOffAgrees) {
   auto vm_answer = vm.Evaluate(**query);
   ASSERT_TRUE(vm_answer.ok());
   EXPECT_EQ(oracle->ToString(), vm_answer->ToString());
+}
+
+TEST(PlanEquivalenceTest, KernelBackendSweep) {
+  // Kernel-backend sweep (satellite of the lemma-database PR): the LRU
+  // baseline, the activity-managed lemma database, and memoize-off must all
+  // produce byte-identical answers, on both the tree walk and the bytecode
+  // VM, across the data/ seed databases and the canned query set. Lemma
+  // truth is a pure function of the canonical encoding, so the backend can
+  // only change hit rates — this sweep is the executable form of that
+  // contract.
+  struct Backend {
+    const char* name;
+    ConstraintKernel::Options options;
+  };
+  const Backend backends[] = {
+      {"lru", {/*memoize=*/true, /*max_entries=*/1u << 18,
+               /*use_lemma_db=*/false}},
+      {"lemma-db", {/*memoize=*/true, /*max_entries=*/1u << 18,
+                    /*use_lemma_db=*/true}},
+      {"memoize-off", {/*memoize=*/false, /*max_entries=*/1u << 18,
+                       /*use_lemma_db=*/false}},
+  };
+  for (const char* name : {"triangle.lcdb", "comb.lcdb", "intervals.lcdb",
+                           "pentagon.lcdb", "wedge.lcdb"}) {
+    SCOPED_TRACE(name);
+    ConstraintDatabase db = Load(name);
+    auto ext = MakeArrangementExtension(db);
+    for (const std::string& text : QueriesForArity(db.arity())) {
+      SCOPED_TRACE(text);
+      auto query = ParseQuery(text, db.relation_name());
+      ASSERT_TRUE(query.ok()) << query.status().ToString();
+      std::string tree_oracle;
+      std::string vm_oracle;
+      for (const Backend& backend : backends) {
+        SCOPED_TRACE(backend.name);
+        ConstraintKernel kernel(backend.options);
+        ScopedKernel scope(kernel);
+        const std::string tree = AnswerVia(*ext, **query, true, true);
+        const std::string vm = AnswerVia(*ext, **query, true, true, true);
+        EXPECT_EQ(tree, vm);
+        if (tree_oracle.empty()) {
+          tree_oracle = tree;
+          vm_oracle = vm;
+        } else {
+          EXPECT_EQ(tree, tree_oracle);
+          EXPECT_EQ(vm, vm_oracle);
+        }
+      }
+    }
+  }
 }
 
 TEST(PlanEquivalenceTest, BytecodeRequiresOptimizedPlan) {

@@ -118,7 +118,10 @@ TEST(TraceTest, GoldenSpanTree) {
     ASSERT_TRUE(r.ok()) << r.status().ToString();
   }
   EXPECT_EQ(tracer.ToTreeString(/*zero_timestamps=*/true),
-            "evaluate\n"
+            // The evaluate span carries the lemma-database share of the
+            // query's kernel work: the optimizer's folding pass re-asks one
+            // system the analyzer already proved, hence exactly one hit.
+            "evaluate lemma.hits=1\n"
             "  typecheck\n"
             // The analyzer classifies the element-pure guard `x > 2` (sat
             // both ways -> unknown); its two oracle decisions land in the

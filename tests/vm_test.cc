@@ -224,6 +224,59 @@ TEST(VmTest, InlineCacheHitsAndKernelSwapInvalidation) {
   EXPECT_GT(stats.vm.icache_misses, misses_after_first);
 }
 
+TEST(VmTest, ClearCacheInvalidatesInlineCaches) {
+  // Satellite contract: a cleared kernel must never serve a stale inline-
+  // cache hit. ClearCache() bumps the kernel's cache epoch; every filled
+  // slot was pinned under the old epoch, so the next probe invalidates and
+  // re-misses instead of serving the retired verdict.
+  ConstraintDatabase db = IntervalsDb();
+  auto ext = MakeArrangementExtension(db);
+  ConstraintKernel kernel;
+  Evaluator::Options options;
+  options.memoize = false;
+  options.use_bytecode = true;
+  Evaluator::Stats stats;
+  BytecodeProgram program = [&] {
+    ScopedKernel scoped(kernel);
+    return Compile(*ext, "exists R R' . [rbit x : x > 0](R, R')");
+  }();
+  ASSERT_GT(program.num_icache_slots, 0u);
+  BytecodeVm vm(program, *ext, options, &stats);
+  ScopedKernel scoped(kernel);
+
+  const std::string first = vm.Run().ToString();
+  ASSERT_GT(stats.vm.icache_misses, 0u);
+  const uint64_t misses_after_first = stats.vm.icache_misses;
+
+  // Sanity: without a clear, the re-run is pure hits — no new misses.
+  EXPECT_EQ(vm.Run().ToString(), first);
+  EXPECT_EQ(stats.vm.icache_misses, misses_after_first);
+  EXPECT_GT(stats.vm.icache_hits, 0u);
+
+  const uint64_t epoch_before = kernel.CacheEpoch();
+  kernel.ClearCache();
+  EXPECT_GT(kernel.CacheEpoch(), epoch_before);
+
+  // Post-clear: same kernel pointer, new epoch — every filled slot's first
+  // probe must drop the stale verdict (counted as an invalidation) and
+  // re-miss into the kernel; later probes of the refilled slot may hit
+  // again under the *new* epoch, which is correct.
+  EXPECT_EQ(vm.Run().ToString(), first);
+  EXPECT_GT(stats.vm.icache_invalidations, 0u);
+  EXPECT_GT(stats.vm.icache_misses, misses_after_first);
+
+  // InvalidateDisjunct moves the epoch too (lemma backend only): another
+  // run after it re-misses again rather than serving stale slots.
+  if (kernel.lemma_db() != nullptr) {
+    const uint64_t misses_after_clear = stats.vm.icache_misses;
+    const uint64_t invalidations_after_clear = stats.vm.icache_invalidations;
+    kernel.InvalidateDisjunct(0);
+    EXPECT_EQ(vm.Run().ToString(), first);
+    EXPECT_GT(stats.vm.icache_misses, misses_after_clear);
+    EXPECT_GT(stats.vm.icache_invalidations, invalidations_after_clear);
+  }
+}
+
 TEST(VmTest, GovernorBudgetsTripMidLoop) {
   // Each budget must trip from inside bytecode execution (fixpoint loops,
   // dispatch checkpoints) and surface as the documented Status, with the
