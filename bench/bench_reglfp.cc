@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "constraint/simplify.h"
+#include "util/failpoint.h"
 #include "core/evaluator.h"
 #include "core/parser.h"
 #include "core/queries.h"
@@ -440,6 +441,88 @@ BENCHMARK(BM_VmDispatch)
     ->Args({3, 1})
     ->Args({4, 0})
     ->Args({4, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/// Checkpoint/resume acceptance experiment (EXPERIMENTS.md, "Chaos and
+/// resilience telemetry"): the connectivity sentence under four modes.
+///   mode 0  uninterrupted, checkpoint capture OFF — the baseline;
+///   mode 1  uninterrupted, checkpoint capture ON — prices the capture
+///           tax on the no-trip path (acceptance: within 2% of mode 0);
+///   mode 2  the fixpoint.stage failpoint trips the Kleene loop after its
+///           second stage, then the run resumes from the returned token;
+///   mode 3  same trip, but the token is dropped and the query recomputes
+///           from scratch — what resume saves.
+/// Compare mode 2 vs mode 3 timings; `fixpoints_resumed`/`sets_restored`
+/// confirm the resumed run actually continued from the checkpoint, and
+/// every mode's answer must equal the uninterrupted reference byte for
+/// byte (the resume contract from core/resume.h).
+void BM_ResumeVsRecompute(benchmark::State& state) {
+  const size_t teeth = static_cast<size_t>(state.range(0));
+  const int mode = static_cast<int>(state.range(1));
+  lcdb::ConstraintDatabase db = lcdb::MakeComb(teeth, /*connected=*/true);
+  auto ext = lcdb::MakeArrangementExtension(db);
+  auto query = lcdb::ParseQuery(lcdb::RegionConnQueryText(), "S");
+  std::string reference;
+  {
+    lcdb::Evaluator evaluator(*ext);
+    auto answer = evaluator.Evaluate(**query);
+    if (!answer.ok()) {
+      state.SkipWithError(answer.status().ToString().c_str());
+      return;
+    }
+    reference = answer->ToString();
+  }
+  lcdb::Evaluator::Stats last;
+  for (auto _ : state) {
+    lcdb::Evaluator::Options options;
+    options.capture_resume = mode != 0;
+    lcdb::Evaluator evaluator(*ext, options);
+    uint64_t token = 0;
+    if (mode >= 2) {
+      lcdb::ArmFailpoint("fixpoint.stage",
+                         lcdb::StatusCode::kResourceExhausted,
+                         "bench-injected trip", /*skip_hits=*/1);
+      auto tripped = evaluator.Evaluate(**query);
+      lcdb::DisarmAllFailpoints();
+      if (tripped.ok()) {
+        state.SkipWithError("expected the injected trip to fire");
+        break;
+      }
+      if (mode == 2) token = tripped.status().resume_token();
+    }
+    auto answer = evaluator.Evaluate(**query, token);
+    if (!answer.ok()) {
+      state.SkipWithError(answer.status().ToString().c_str());
+      break;
+    }
+    if (answer->ToString() != reference) {
+      state.SkipWithError("post-trip answer diverged from the reference");
+      break;
+    }
+    last = evaluator.stats();
+    benchmark::DoNotOptimize(answer->formula);
+  }
+  state.counters["regions"] = static_cast<double>(ext->num_regions());
+  state.counters["mode"] = mode;
+  state.counters["fixpoint_iterations"] =
+      static_cast<double>(last.fixpoint_iterations);
+  state.counters["fixpoints_resumed"] =
+      static_cast<double>(last.resume_fixpoints_resumed);
+  state.counters["sets_restored"] =
+      static_cast<double>(last.resume_sets_restored);
+  state.counters["stages_skipped"] =
+      static_cast<double>(last.resume_stages_skipped);
+}
+
+BENCHMARK(BM_ResumeVsRecompute)
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->Args({3, 2})
+    ->Args({3, 3})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({4, 2})
+    ->Args({4, 3})
     ->Unit(benchmark::kMillisecond);
 
 void BM_RegLfpStaircase(benchmark::State& state) {

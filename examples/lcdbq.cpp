@@ -30,15 +30,26 @@
 //   --timeout <ms>     run under a QueryGovernor with a wall-clock deadline;
 //                      a tripped deadline is a clean error, not a hang.
 //                      Covers extension construction too.
+//   --retries <n>      allow n retries through the resilient QuerySession
+//                      (engine/session.h): resource trips escalate the
+//                      budget and resume from the checkpoint; engine faults
+//                      drop a degradation-ladder rung (default 0)
+//   --failpoint=SITE[:skip_hits]
+//                      arm the named failpoint site (util/failpoint.h) with
+//                      a kResourceExhausted injection after skip_hits hits —
+//                      the chaos harness's knob, exposed for reproduction
 //   --trace=FILE       record a span trace of the whole run (extension
 //                      build + query) and write it to FILE as Chrome
 //                      trace-event JSON (loadable in Perfetto /
 //                      chrome://tracing); --trace FILE also accepted
 //
-// Exit code: 0 = query evaluated (sentences print true/false), 1 = error
-// (including a tripped budget — the message names it). Under --lint, 0 =
-// no error-severity diagnostics (warnings and notes are fine), 1 = errors.
+// Exit code: 0 = query evaluated (sentences print true/false), 1 = invalid
+// input or engine error, 2 = resource failure (tripped budget, deadline,
+// cancel — Status::IsResourceFailure), so scripts can tell "fix the query"
+// from "give it more budget". Under --lint, 0 = no error-severity
+// diagnostics (warnings and notes are fine), 1 = errors.
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,9 +64,16 @@
 #include "db/io.h"
 #include "db/region_extension.h"
 #include "engine/governor.h"
+#include "engine/session.h"
 #include "engine/trace.h"
+#include "util/failpoint.h"
 
 namespace {
+
+/// 2 for resource failures, 1 for everything else (see the header comment).
+int ExitCodeFor(const lcdb::Status& status) {
+  return status.IsResourceFailure() ? 2 : 1;
+}
 
 /// Writes the tracer's Chrome trace JSON to `path`; returns false on I/O
 /// failure (reported, but the query result still stands).
@@ -88,6 +106,8 @@ int main(int argc, char** argv) {
   bool lint_json = false;
   bool optimize = true;
   std::optional<uint64_t> timeout_ms;
+  size_t retries = 0;
+  std::string failpoint_spec;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--decomposition") == 0) {
       use_decomposition = true;
@@ -122,6 +142,14 @@ int main(int argc, char** argv) {
         return 1;
       }
       timeout_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--retries") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--retries requires a count\n");
+        return 1;
+      }
+      retries = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strncmp(argv[i], "--failpoint=", 12) == 0) {
+      failpoint_spec = argv[i] + 12;
     } else if (std::strcmp(argv[i], "--conn") == 0) {
       query = lcdb::RegionConnQueryText();
     } else if (db_path.empty()) {
@@ -138,9 +166,26 @@ int main(int argc, char** argv) {
                  "usage: lcdbq <database-file> <query> "
                  "[--decomposition] [--stats] [--lint[=json]] [--explain] "
                  "[--explain-analyze] [--explain-bytecode] [--vm] "
-                 "[--no-optimize] [--timeout <ms>] [--trace=out.json]\n"
+                 "[--no-optimize] [--timeout <ms>] [--retries <n>] "
+                 "[--failpoint=SITE[:skip_hits]] [--trace=out.json]\n"
                  "       lcdbq <database-file> --conn\n");
     return 1;
+  }
+
+  if (!failpoint_spec.empty()) {
+    std::string site = failpoint_spec;
+    uint64_t skip_hits = 0;
+    const size_t colon = site.rfind(':');
+    if (colon != std::string::npos) {
+      skip_hits = std::strtoull(site.c_str() + colon + 1, nullptr, 10);
+      site.erase(colon);
+    }
+    // Armed before the extension build so arrangement.split is reachable;
+    // injections surface as resource failures (exit code 2).
+    lcdb::ArmFailpoint(site, lcdb::StatusCode::kResourceExhausted,
+                       "injected failure (--failpoint=" + failpoint_spec +
+                           ")",
+                       skip_hits);
   }
 
   auto db = lcdb::LoadDatabaseFromFile(db_path);
@@ -191,7 +236,7 @@ int main(int argc, char** argv) {
   if (!built.ok()) {
     std::fprintf(stderr, "error: %s\n", built.status().ToString().c_str());
     write_trace();
-    return 1;
+    return ExitCodeFor(built.status());
   }
   std::unique_ptr<lcdb::RegionExtension> ext = std::move(built).value();
 
@@ -212,23 +257,35 @@ int main(int argc, char** argv) {
     if (!plan.ok()) {
       std::fprintf(stderr, "error: %s\n", plan.status().ToString().c_str());
       write_trace();
-      return 1;
+      return ExitCodeFor(plan.status());
     }
     std::printf("%s", plan->c_str());
     write_trace();
     return 0;
   }
-  auto answer = evaluator.Evaluate(**parsed);
+
+  // Evaluation routes through the resilient session: one attempt by
+  // default, escalating retries with checkpoint/resume and the degradation
+  // ladder under --retries. Its governor carries the --timeout budget per
+  // attempt (the outer governor above still covers the extension build).
+  lcdb::SessionOptions session_options;
+  session_options.eval = options;
+  session_options.max_retries = retries;
+  if (timeout_ms.has_value()) {
+    session_options.limits.wall_clock_ms = *timeout_ms;
+  }
+  lcdb::QuerySession session(*ext, session_options);
+  auto answer = session.Evaluate(query);
   if (!answer.ok()) {
     std::fprintf(stderr, "error: %s\n", answer.status().ToString().c_str());
     if (show_stats) {
-      std::fprintf(stderr, "# governor: %s\n",
-                   evaluator.stats().governor.ToString().c_str());
+      std::fprintf(stderr, "# session: %s\n",
+                   session.stats().ToString().c_str());
       std::fprintf(stderr, "# metrics: %s\n",
-                   evaluator.stats().ToJson().c_str());
+                   session.Metrics().ToJson().c_str());
     }
     write_trace();
-    return 1;
+    return ExitCodeFor(answer.status());
   }
   if (answer->free_vars.empty()) {
     std::printf("%s\n", answer->formula.IsEmpty() ? "false" : "true");
@@ -236,17 +293,26 @@ int main(int argc, char** argv) {
     std::printf("%s\n", answer->ToString().c_str());
   }
   if (show_stats) {
-    const lcdb::Evaluator::Stats& s = evaluator.stats();
+    const lcdb::MetricsSnapshot metrics = session.Metrics();
+    auto metric = [&](const char* name) -> uint64_t {
+      auto it = metrics.values.find(name);
+      return it == metrics.values.end() ? 0 : it->second;
+    };
     std::fprintf(stderr,
-                 "# extension=%s regions=%zu node_evals=%zu bool_evals=%zu "
-                 "memo_hits=%zu lfp_iters=%zu qe=%zu\n",
+                 "# extension=%s regions=%zu node_evals=%" PRIu64
+                 " bool_evals=%" PRIu64 " memo_hits=%" PRIu64
+                 " lfp_iters=%" PRIu64 " qe=%" PRIu64 "\n",
                  ext->kind().c_str(), ext->num_regions(),
-                 s.node_evaluations, s.bool_evaluations, s.memo_hits,
-                 s.fixpoint_iterations, s.qe_eliminations);
-    std::fprintf(stderr, "# kernel: %s\n", s.kernel.ToString().c_str());
-    std::fprintf(stderr, "# governor: %s\n", s.governor.ToString().c_str());
-    // The same flat namespace the bench harness and EXPLAIN ANALYZE read.
-    std::fprintf(stderr, "# metrics: %s\n", s.ToJson().c_str());
+                 metric("evaluator.node_evaluations"),
+                 metric("evaluator.bool_evaluations"),
+                 metric("evaluator.memo_hits"),
+                 metric("evaluator.fixpoint_iterations"),
+                 metric("evaluator.qe_eliminations"));
+    std::fprintf(stderr, "# session: %s\n",
+                 session.stats().ToString().c_str());
+    // The same flat namespace the bench harness and EXPLAIN ANALYZE read,
+    // now including the session.* resilience family.
+    std::fprintf(stderr, "# metrics: %s\n", metrics.ToJson().c_str());
   }
   write_trace();
   return 0;

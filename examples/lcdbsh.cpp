@@ -20,15 +20,25 @@
 //   \set budget <name> <n>         per-query resource budget; <name> is one
 //                                  of the GovernorLimits fields, <n> a count
 //                                  or 'unlimited'
+//   \set retries <n>               QuerySession retry budget per query
+//   \set failpoint SITE [skip]     arm a fault-injection site (util/
+//                                  failpoint.h names); 'off' as SITE (or as
+//                                  the argument) disarms
 //   \show limits                   print the budgets in effect
 //   \show cache                    print the kernel's lemma-database
 //                                  occupancy, tier breakdown and hit rates
+//   \show session                  print the QuerySession's resilience
+//                                  telemetry: retry/resume/degradation
+//                                  counters, the degradation log, quarantine
 //   help, quit
 //
-// Every query runs under its own QueryGovernor built from the session's
-// limits; a failure of any kind (parse error, type error, tripped budget,
-// injected fault) prints a one-line diagnostic — naming the tripped budget
-// when there is one — and the shell keeps going.
+// Every query runs through a persistent QuerySession (engine/session.h):
+// budgets reset per attempt, resource trips retry with escalated budgets
+// resuming from fixpoint checkpoints, and persistent faults walk the
+// degradation ladder (vm->tree, lemma->lru, memoize->off, trace->off). A
+// failure of any kind (parse error, type error, tripped budget, injected
+// fault) prints a one-line diagnostic — naming the tripped budget when
+// there is one — and the shell keeps going.
 //
 // Example session:
 //   db S(x) : (x > 0 & x < 1) | x = 5
@@ -55,6 +65,8 @@
 #include "db/region_extension.h"
 #include "engine/governor.h"
 #include "engine/kernel.h"
+#include "engine/session.h"
+#include "util/failpoint.h"
 #include "util/interrupt.h"
 #include "util/strings.h"
 
@@ -65,6 +77,15 @@ struct Session {
   std::unique_ptr<lcdb::RegionExtension> ext;
   bool use_decomposition = false;
   lcdb::GovernorLimits limits;  // applied to every query via ScopedGovernor
+  size_t retries = 2;           // QuerySession retry budget per query
+  // The persistent retry/resume/quarantine engine. Holds a reference to
+  // *ext, so every path that resets the extension resets it first.
+  std::unique_ptr<lcdb::QuerySession> qsession;
+
+  void ResetExtension() {
+    qsession.reset();
+    ext.reset();
+  }
 
   bool RebuildExtension() {
     if (!db.has_value()) {
@@ -88,6 +109,21 @@ struct Session {
     }
     return true;
   }
+
+  /// The shell's QuerySession, built lazily against the current extension.
+  /// Stats, quarantine and the degradation log accumulate across queries
+  /// until the extension (or the retry budget) changes.
+  lcdb::QuerySession* QueryEngine() {
+    if (!RebuildExtension()) return nullptr;
+    if (qsession == nullptr) {
+      lcdb::SessionOptions options;
+      options.limits = limits;
+      options.max_retries = retries;
+      qsession = std::make_unique<lcdb::QuerySession>(*ext, options);
+    }
+    qsession->set_limits(limits);
+    return qsession.get();
+  }
 };
 
 void CmdDb(Session& session, const std::string& args) {
@@ -105,7 +141,7 @@ void CmdDb(Session& session, const std::string& args) {
     return;
   }
   session.db = *loaded;
-  session.ext.reset();
+  session.ResetExtension();
   std::printf("ok: %s\n", session.db->ToString().c_str());
 }
 
@@ -117,7 +153,7 @@ void CmdLoad(Session& session, const std::string& path) {
     return;
   }
   session.db = *loaded;
-  session.ext.reset();
+  session.ResetExtension();
   std::printf("ok: %s\n", session.db->ToString().c_str());
 }
 
@@ -136,16 +172,20 @@ void CmdRegions(Session& session) {
 }
 
 void CmdQuery(Session& session, const std::string& text) {
-  // One governor per query: budgets reset each time, so a tripped query
-  // does not poison the next one.
+  // The extension build still runs under an outer governor (the session's
+  // per-attempt governors only cover evaluation); budgets reset each query
+  // so a tripped build does not poison the next one.
   lcdb::QueryGovernor governor(session.limits);
   lcdb::ScopedGovernor scoped(governor);
-  if (!session.RebuildExtension()) return;
-  auto answer = lcdb::EvaluateQueryText(*session.ext, text);
+  lcdb::QuerySession* engine = session.QueryEngine();
+  if (engine == nullptr) return;
+  auto answer = engine->Evaluate(text);
   if (!answer.ok()) {
-    const lcdb::GovernorStats gstats = governor.stats();
-    if (answer.status().IsResourceFailure() && !gstats.tripped_budget.empty()) {
-      std::printf("!! query stopped [%s] %s\n", gstats.tripped_budget.c_str(),
+    const lcdb::MetricsSnapshot metrics = engine->Metrics();
+    auto tripped = metrics.labels.find("governor.tripped_budget");
+    if (answer.status().IsResourceFailure() &&
+        tripped != metrics.labels.end()) {
+      std::printf("!! query stopped [%s] %s\n", tripped->second.c_str(),
                   answer.status().ToString().c_str());
     } else {
       std::printf("!! %s\n", answer.status().ToString().c_str());
@@ -219,7 +259,30 @@ void CmdExplain(Session& session, const std::string& args) {
   std::printf("%s", text->c_str());
 }
 
-/// \set timeout <ms> | \set budget <name> <n|unlimited>
+void CmdShowSession(const Session& session) {
+  if (session.qsession == nullptr) {
+    std::printf("  no session yet — run a query first\n");
+    return;
+  }
+  const lcdb::QuerySession& qs = *session.qsession;
+  std::printf("  stats      %s\n", qs.stats().ToString().c_str());
+  std::printf("  retries    %zu per query\n", session.retries);
+  if (qs.degradation_log().empty()) {
+    std::printf("  ladder     intact (no degradations)\n");
+  } else {
+    for (const lcdb::DegradationStep& step : qs.degradation_log()) {
+      std::printf("  degraded   %s (attempt %zu)\n", step.rung.c_str(),
+                  step.attempt);
+    }
+  }
+  const lcdb::MetricsSnapshot metrics = qs.Metrics();
+  auto last = metrics.labels.find("session.last_failure_class");
+  std::printf("  last class %s\n",
+              last != metrics.labels.end() ? last->second.c_str() : "none");
+}
+
+/// \set timeout <ms> | \set budget <name> <n|unlimited> |
+/// \set retries <n> | \set failpoint SITE [skip_hits|off] | \set failpoint off
 void CmdSet(Session& session, const std::string& args) {
   std::istringstream in(args);
   std::string what;
@@ -243,6 +306,48 @@ void CmdSet(Session& session, const std::string& args) {
     session.limits.wall_clock_ms =
         ms == 0 ? lcdb::GovernorLimits::kUnlimited : ms;
     std::printf("ok\n");
+    return;
+  }
+  if (what == "retries") {
+    uint64_t n = 0;
+    if (!parse_count(&n)) {
+      std::printf("usage: \\set retries <n>\n");
+      return;
+    }
+    session.retries = static_cast<size_t>(n);
+    // The retry budget is baked into the QuerySession at construction;
+    // rebuild it (stats reset too — the old ladder no longer applies).
+    session.qsession.reset();
+    std::printf("ok\n");
+    return;
+  }
+  if (what == "failpoint") {
+    std::string site;
+    if (!(in >> site)) {
+      std::printf(
+          "usage: \\set failpoint SITE [skip_hits] | \\set failpoint off\n"
+          "  sites: kernel.decide qe.project arrangement.split "
+          "fixpoint.stage closure.build plan.execute\n");
+      return;
+    }
+    if (site == "off") {
+      lcdb::DisarmAllFailpoints();
+      std::printf("ok: all failpoints disarmed\n");
+      return;
+    }
+    std::string arg;
+    if (in >> arg && arg == "off") {
+      lcdb::DisarmFailpoint(site);
+      std::printf("ok: %s disarmed\n", site.c_str());
+      return;
+    }
+    const uint64_t skip =
+        arg.empty() ? 0 : std::strtoull(arg.c_str(), nullptr, 10);
+    lcdb::ArmFailpoint(site, lcdb::StatusCode::kResourceExhausted,
+                       "injected failure (\\set failpoint " + site + ")",
+                       skip);
+    std::printf("ok: %s armed (skip %llu hits)\n", site.c_str(),
+                static_cast<unsigned long long>(skip));
     return;
   }
   if (what == "budget") {
@@ -370,8 +475,12 @@ int main() {
             "  explain bytecode <text> print the plan's VM disassembly\n"
             "  \\set timeout <ms>       per-query deadline (0/'off' disables)\n"
             "  \\set budget <name> <n>  per-query resource budget\n"
+            "  \\set retries <n>        session retry budget per query\n"
+            "  \\set failpoint SITE [k] arm fault injection (skip k hits);\n"
+            "                          '\\set failpoint off' disarms all\n"
             "  \\show limits            print the budgets in effect\n"
             "  \\show cache             lemma-db occupancy, tiers, hit rates\n"
+            "  \\show session           retry/resume/degradation telemetry\n"
             "  quit\n");
       } else if (cmd == "db") {
         CmdDb(session, rest);
@@ -379,7 +488,7 @@ int main() {
         CmdLoad(session, rest);
       } else if (cmd == "use") {
         session.use_decomposition = lcdb::StripWhitespace(rest) == "dec";
-        session.ext.reset();
+        session.ResetExtension();
         std::printf("using %s extension\n",
                     session.use_decomposition ? "decomposition"
                                               : "arrangement");
@@ -402,6 +511,8 @@ int main() {
       } else if (cmd == "\\show") {
         if (lcdb::StripWhitespace(rest) == "cache") {
           CmdShowCache();
+        } else if (lcdb::StripWhitespace(rest) == "session") {
+          CmdShowSession(session);
         } else {
           CmdShowLimits(session);
         }

@@ -1,8 +1,10 @@
 #include "core/evaluator.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "analysis/analyzer.h"
+#include "constraint/canonical.h"
 #include "analysis/plan_cost.h"
 #include "core/parser.h"
 #include "engine/governor.h"
@@ -102,9 +104,28 @@ Result<QueryAnswer> Evaluator::Evaluate(const FormulaNode& query) {
   return EvaluateImpl(query, nullptr, nullptr);
 }
 
+Result<QueryAnswer> Evaluator::Evaluate(const FormulaNode& query,
+                                        uint64_t resume_token) {
+  return EvaluateImpl(query, nullptr, nullptr, resume_token);
+}
+
+uint64_t Evaluator::ResumeFingerprint(const FormulaNode& query) const {
+  // Site ordinals are pre-order positions in the executed artifact, which
+  // is determined by the query text plus the backend-selection options:
+  // plan vs legacy walk (use_bytecode forces the plan path) and optimized
+  // vs raw plan. memoize and the tree-vs-VM choice do not move sites — both
+  // plan backends execute the same plan nodes and share its numbering, so a
+  // token survives a VM -> tree-walk degradation step.
+  std::string key = query.ToString();
+  key += (options_.use_plan || options_.use_bytecode) ? "|plan" : "|walk";
+  key += options_.optimize ? "|opt" : "|raw";
+  return StableHash64(key);
+}
+
 Result<QueryAnswer> Evaluator::EvaluateImpl(const FormulaNode& query,
                                             PlanProfile* profile,
-                                            CompiledPlan* plan_out) {
+                                            CompiledPlan* plan_out,
+                                            uint64_t resume_token) {
   if (options_.use_bytecode && !options_.optimize) {
     return BytecodeNeedsOptimizer();
   }
@@ -129,6 +150,36 @@ Result<QueryAnswer> Evaluator::EvaluateImpl(const FormulaNode& query,
   stats_.op_timings.clear();
   stats_.vm = VmStats();
   stats_.plan_cost = PlanCostStats();
+
+  // Checkpoint/resume plumbing (core/resume.h). A nonzero token re-installs
+  // the ResumeState a prior interrupted run stashed; the collector is
+  // published thread-locally so all three fixpoint engines reach it without
+  // signature changes. Tokens are single-use: the stored state is consumed
+  // here whether or not the continuation succeeds.
+  std::optional<ResumeCollector> resume_collector;
+  std::optional<ScopedResumeCollector> scoped_resume;
+  if (options_.capture_resume) {
+    ResumeState resume_seed;
+    if (resume_token != 0) {
+      auto stored = resume_states_.find(resume_token);
+      if (stored == resume_states_.end()) {
+        return Status::InvalidArgument("unknown or expired resume token");
+      }
+      const bool matches =
+          stored->second.fingerprint == ResumeFingerprint(query);
+      if (matches) resume_seed = std::move(stored->second.state);
+      resume_states_.erase(stored);
+      if (!matches) {
+        return Status::InvalidArgument(
+            "resume token does not match this query/backend");
+      }
+    }
+    resume_collector.emplace(std::move(resume_seed));
+    scoped_resume.emplace(*resume_collector);
+  } else if (resume_token != 0) {
+    return Status::InvalidArgument(
+        "resume token passed but Options::capture_resume is off");
+  }
 
   // Attribute the kernel's oracle work to this evaluation: everything the
   // pipeline spends (DNF algebra, constant folding, QE, region tests) lands
@@ -203,10 +254,16 @@ Result<QueryAnswer> Evaluator::EvaluateImpl(const FormulaNode& query,
         stats_.plan.plan_nodes = CountPlanNodes(*plan.root);
       }
       if (plan_out != nullptr) *plan_out = plan;
+      if (resume_collector.has_value()) {
+        RegisterResumeSites(*plan.root, *resume_collector);
+      }
       TraceSpan execute_span("plan.execute");
       result = ExecutePlan(plan, ext_, options_, &stats_, profile);
       execute_span.Counter("rows", result.disjuncts().size());
     } else {
+      if (resume_collector.has_value()) {
+        RegisterResumeSites(query, *resume_collector);
+      }
       TraceSpan walk_span("legacy.walk");
       RegionEnv renv;
       SetEnv senv;
@@ -217,7 +274,34 @@ Result<QueryAnswer> Evaluator::EvaluateImpl(const FormulaNode& query,
     // Recovery boundary: budget trips, cancellation and injected faults all
     // surface here as the Status naming what went wrong.
     settle();
-    return interrupt.status();
+    Status status = interrupt.status();
+    if (resume_collector.has_value() && status.IsResourceFailure()) {
+      // The legacy walk's fixpoint/closure caches are evaluator members and
+      // are still intact here (cleared at Evaluate *entry*, complete entries
+      // only); harvest them. The plan backends' caches are stack-local, so
+      // those engines harvest inside their own unwind instead. Anything
+      // collected becomes a single-use token on the returned Status.
+      for (const auto& entry : fixpoint_cache_) {
+        if (uint64_t site = resume_collector->SiteKey(entry.first)) {
+          resume_collector->CaptureCompletedFixpoint(site, entry.second);
+        }
+      }
+      for (const auto& entry : closure_cache_) {
+        if (uint64_t site = resume_collector->SiteKey(entry.first)) {
+          resume_collector->CaptureCompletedClosure(site, entry.second);
+        }
+      }
+      if (resume_collector->has_progress()) {
+        const uint64_t token = ++next_resume_token_;
+        resume_states_[token] = StoredResumeState{
+            ResumeFingerprint(query), resume_collector->TakeState()};
+        while (resume_states_.size() > kMaxStoredResumeStates) {
+          resume_states_.erase(resume_states_.begin());
+        }
+        status.set_resume_token(token);
+      }
+    }
+    return status;
   }
   settle();
 
@@ -394,8 +478,9 @@ Result<std::string> Evaluator::ExplainAnalyze(const FormulaNode& query) {
   return out;
 }
 
-Result<bool> Evaluator::EvaluateSentence(const FormulaNode& query) {
-  LCDB_ASSIGN_OR_RETURN(QueryAnswer answer, Evaluate(query));
+Result<bool> Evaluator::EvaluateSentence(const FormulaNode& query,
+                                         uint64_t resume_token) {
+  LCDB_ASSIGN_OR_RETURN(QueryAnswer answer, Evaluate(query, resume_token));
   if (!answer.free_vars.empty()) {
     return Status::InvalidArgument("sentence has free element variables");
   }
@@ -760,6 +845,10 @@ MetricsSnapshot Evaluator::Stats::ToMetrics() const {
                  fixpoint_feasibility_queries);
   registry.Count("evaluator.closure_feasibility_queries",
                  closure_feasibility_queries);
+  registry.Count("evaluator.resume.sets_restored", resume_sets_restored);
+  registry.Count("evaluator.resume.fixpoints_resumed",
+                 resume_fixpoints_resumed);
+  registry.Count("evaluator.resume.stages_skipped", resume_stages_skipped);
   registry.RegisterKernelStats(kernel);
   registry.RegisterGovernorStats(governor);
   registry.RegisterPlanPassStats(plan);

@@ -9,6 +9,7 @@
 
 #include "analysis/analysis_stats.h"
 #include "core/ast.h"
+#include "core/resume.h"
 #include "core/typecheck.h"
 #include "db/region_extension.h"
 #include "engine/governor.h"
@@ -84,6 +85,13 @@ class Evaluator {
     /// defined over optimized plans only, and Evaluate fails with
     /// kInvalidArgument on the combination use_bytecode && !optimize.
     bool use_bytecode = false;
+    /// Checkpoint fixpoint progress (core/resume.h) so a resource failure
+    /// returns a Status carrying a resume token and Evaluate(query, token)
+    /// continues from the saved stage. The never-tripped cost is one
+    /// thread-local read plus a map lookup per fixpoint/closure operator
+    /// (BM_ResumeVsRecompute bounds it under 2%); the off switch exists for
+    /// that ablation.
+    bool capture_resume = true;
   };
 
   struct Stats {
@@ -124,6 +132,13 @@ class Evaluator {
     /// Tier-2 cost-analyzer aggregates of the most recent compile
     /// (analysis/plan_cost.h). Zeros when optimization was off.
     PlanCostStats plan_cost;
+    /// Checkpoint/resume telemetry (core/resume.h), cumulative like the
+    /// counters above: completed fixpoint/closure sets reused from a resume
+    /// token, in-progress Kleene loops continued mid-iteration, and the
+    /// total stage transitions those continuations did not recompute.
+    size_t resume_sets_restored = 0;
+    size_t resume_fixpoints_resumed = 0;
+    size_t resume_stages_skipped = 0;
 
     /// Unified named view over all the telemetry above: the evaluator's own
     /// counters as `evaluator.*` plus the kernel.*, governor.*, plan.* and
@@ -148,8 +163,22 @@ class Evaluator {
   /// variables in first-appearance order.
   Result<QueryAnswer> Evaluate(const FormulaNode& query);
 
+  /// Resume continuation: re-evaluates `query` seeded with the checkpoint a
+  /// prior resource failure left behind (Status::resume_token), skipping
+  /// every completed fixpoint stage instead of recomputing it. The final
+  /// answer is byte-identical to an uninterrupted run. Tokens are
+  /// single-use, bound to this evaluator instance, and validated against
+  /// the query text and backend options that produced them (kInvalidArgument
+  /// on mismatch, or on an unknown/expired token). Token 0 degrades to a
+  /// plain Evaluate.
+  Result<QueryAnswer> Evaluate(const FormulaNode& query,
+                               uint64_t resume_token);
+
   /// Evaluates a sentence (no free variables at all) to its truth value.
-  Result<bool> EvaluateSentence(const FormulaNode& query);
+  /// A nonzero `resume_token` continues from a saved checkpoint, as in
+  /// Evaluate(query, token).
+  Result<bool> EvaluateSentence(const FormulaNode& query,
+                                uint64_t resume_token = 0);
 
   /// Compiles (and, per Options::optimize, optimizes) the query and returns
   /// the plan rendered as an annotated tree plus the optimizer's pass
@@ -176,6 +205,16 @@ class Evaluator {
   const Stats& stats() const { return stats_; }
   const RegionExtension& extension() const { return ext_; }
 
+  const Options& options() const { return options_; }
+  /// Degradation hook for QuerySession (engine/session.h): lets the retry
+  /// ladder flip backend knobs (use_bytecode, memoize) between attempts on
+  /// *this* evaluator, because resume tokens are scoped to the instance.
+  /// ResumeFingerprint deliberately treats the VM and the tree executor as
+  /// one backend, so a checkpoint taken on the VM replays after a
+  /// vm->tree degradation; flipping use_plan or optimize instead changes
+  /// the fingerprint and invalidates outstanding tokens.
+  Options& mutable_options() { return options_; }
+
  private:
   using RegionEnv = std::map<std::string, size_t>;
   using Tuple = std::vector<size_t>;
@@ -192,10 +231,12 @@ class Evaluator {
   /// Shared engine of Evaluate and ExplainAnalyze: the full pipeline with
   /// optional per-plan-node profiling. When `plan_out` is non-null the
   /// compiled plan is copied out (it owns the nodes the profile's keys point
-  /// at) and the plan pipeline runs regardless of Options::use_plan.
+  /// at) and the plan pipeline runs regardless of Options::use_plan. A
+  /// nonzero `resume_token` seeds execution with a saved checkpoint.
   Result<QueryAnswer> EvaluateImpl(const FormulaNode& query,
                                    PlanProfile* profile,
-                                   CompiledPlan* plan_out);
+                                   CompiledPlan* plan_out,
+                                   uint64_t resume_token = 0);
 
   /// Settles ambient per-query telemetry into stats_: the kernel delta
   /// since `kernel_before` and the installed governor's counters. When
@@ -250,6 +291,19 @@ class Evaluator {
   std::map<const FormulaNode*, TupleSet> fixpoint_cache_;
   size_t set_version_counter_ = 0;
   std::map<const FormulaNode*, std::vector<std::vector<bool>>> closure_cache_;
+
+  /// Checkpoints stashed by interrupted Evaluate calls, keyed by the token
+  /// carried on the failure Status. `fingerprint` pins the query text and
+  /// the site-numbering-relevant options, so a token cannot replay against
+  /// a different query or backend. Bounded (oldest evicted) and single-use.
+  struct StoredResumeState {
+    uint64_t fingerprint = 0;
+    ResumeState state;
+  };
+  static constexpr size_t kMaxStoredResumeStates = 4;
+  uint64_t ResumeFingerprint(const FormulaNode& query) const;
+  std::map<uint64_t, StoredResumeState> resume_states_;
+  uint64_t next_resume_token_ = 0;
 };
 
 /// Convenience: parse + evaluate in one step (used by examples and tests).

@@ -2,6 +2,7 @@
 
 #include "core/evaluator.h"
 #include "core/pfp_cycle.h"
+#include "core/resume.h"
 #include "engine/governor.h"
 #include "engine/kernel.h"
 #include "engine/trace.h"
@@ -30,6 +31,17 @@ namespace lcdb {
 const Evaluator::TupleSet& Evaluator::FixpointSet(const FormulaNode& node) {
   auto cached = fixpoint_cache_.find(&node);
   if (cached != fixpoint_cache_.end()) return cached->second;
+
+  // Resume fast path: a prior interrupted run already finished this
+  // operator; install its set without recomputing (core/resume.h).
+  ResumeCollector* resume = CurrentResumeCollectorOrNull();
+  const uint64_t site = resume != nullptr ? resume->SiteKey(&node) : 0;
+  if (site != 0) {
+    if (const TupleSet* done = resume->CompletedFixpoint(site)) {
+      ++stats_.resume_sets_restored;
+      return fixpoint_cache_.emplace(&node, *done).first->second;
+    }
+  }
 
   ++stats_.fixpoints_computed;
   // How many oracle decisions the Kleene iteration spends — the quantity
@@ -91,32 +103,59 @@ const Evaluator::TupleSet& Evaluator::FixpointSet(const FormulaNode& node) {
   };
 
   TupleSet current;
+  size_t iteration = 0;
   PfpCycleDetector cycle;  // PFP only; stores 8 bytes per stage
-  for (size_t iteration = 0;; ++iteration) {
-    LCDB_FAILPOINT("fixpoint.stage");
-    GovernorOnFixpointIteration();
-    if (is_pfp) {
-      if (iteration > options_.max_pfp_iterations) {
-        throw QueryInterrupt(Status::ResourceExhausted(
-            "PFP exceeded max_pfp_iterations (" +
-            std::to_string(options_.max_pfp_iterations) + ")"));
-      }
-      if (cycle.SeenBefore(current, iteration, kleene_stage)) {
-        // Revisited a state without reaching a fixed point: diverges.
-        account();
-        return fixpoint_cache_.emplace(&node, TupleSet{}).first->second;
-      }
+  if (site != 0) {
+    // Continue an interrupted Kleene loop from its last completed stage.
+    // Valid here because Definition 5.1 makes the stage sequence a pure
+    // function of the operator, not of the environment we were called in.
+    FixpointResumePoint point;
+    if (resume->TakeInProgress(site, &point)) {
+      current = std::move(point.approximation);
+      iteration = point.iteration;
+      cycle.SeedHashes(point.pfp_hashes);
+      ++stats_.resume_fixpoints_resumed;
+      stats_.resume_stages_skipped += point.iteration;
     }
-    ++stats_.fixpoint_iterations;
-    TupleSet next;
-    {
-      TraceSpan stage_span("fixpoint.stage");
-      next = kleene_stage(current);
-      stage_span.Counter("iteration", iteration);
-      stage_span.Counter("tuples", next.size());
+  }
+  try {
+    for (;; ++iteration) {
+      LCDB_FAILPOINT("fixpoint.stage");
+      GovernorOnFixpointIteration();
+      if (is_pfp) {
+        if (iteration > options_.max_pfp_iterations) {
+          throw QueryInterrupt(Status::ResourceExhausted(
+              "PFP exceeded max_pfp_iterations (" +
+              std::to_string(options_.max_pfp_iterations) + ")"));
+        }
+        if (cycle.SeenBefore(current, iteration, kleene_stage)) {
+          // Revisited a state without reaching a fixed point: diverges.
+          account();
+          return fixpoint_cache_.emplace(&node, TupleSet{}).first->second;
+        }
+      }
+      ++stats_.fixpoint_iterations;
+      TupleSet next;
+      {
+        TraceSpan stage_span("fixpoint.stage");
+        next = kleene_stage(current);
+        stage_span.Counter("iteration", iteration);
+        stage_span.Counter("tuples", next.size());
+      }
+      if (next == current) break;
+      current = std::move(next);
     }
-    if (next == current) break;
-    current = std::move(next);
+  } catch (const QueryInterrupt&) {
+    // Checkpoint the last completed stage before unwinding. `current` is
+    // whole even when the interrupt landed mid-stage: the partial `next`
+    // was local to kleene_stage and the stage recomputes deterministically.
+    if (site != 0) {
+      std::vector<uint64_t> pfp_hashes =
+          is_pfp ? cycle.ExportHashes(current) : std::vector<uint64_t>{};
+      resume->CaptureInProgress(site, std::move(current), iteration,
+                                std::move(pfp_hashes));
+    }
+    throw;
   }
   account();
   return fixpoint_cache_.emplace(&node, std::move(current)).first->second;

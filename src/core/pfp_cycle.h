@@ -42,13 +42,41 @@ class PfpCycleDetector {
     if (hashes_.insert(Hash(state)).second) return false;  // fresh state
     ++exact_replays_;
     TupleSet replayed;  // the 0th stage is always the empty set
+    // Divergence means some stage j < iteration equals `state`; replaying
+    // past that point would only re-derive `state` itself (the sequence is
+    // deterministic), so a full pass without a match is a hash collision.
     for (size_t i = 0; i < iteration; ++i) {
       if (replayed == state) return true;
       replayed = replay_stage(replayed);
     }
-    if (replayed == state) return true;
     ++hash_collisions_;  // two distinct states shared a 64-bit hash
     return false;
+  }
+
+  /// Checkpoint support (core/resume.h): the recorded history minus the
+  /// hash of `resume_state` — the interrupted loop's current approximation,
+  /// whose hash the resumed loop's first SeenBefore call re-records. (The
+  /// interrupt may land before or after that call within an iteration, so
+  /// whether the hash is present here is not knowable at capture time;
+  /// exporting without it makes the seeded detector's state canonical.)
+  std::vector<uint64_t> ExportHashes(const TupleSet& resume_state) const {
+    const uint64_t current = Hash(resume_state);
+    std::vector<uint64_t> out;
+    out.reserve(hashes_.size());
+    bool dropped = false;
+    for (uint64_t h : hashes_) {
+      if (!dropped && h == current) {
+        dropped = true;
+        continue;
+      }
+      out.push_back(h);
+    }
+    return out;
+  }
+
+  /// Seeds a fresh detector with an exported history.
+  void SeedHashes(const std::vector<uint64_t>& hashes) {
+    hashes_.insert(hashes.begin(), hashes.end());
   }
 
   uint64_t exact_replays() const { return exact_replays_; }

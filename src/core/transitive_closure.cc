@@ -2,6 +2,7 @@
 #include <string>
 
 #include "core/evaluator.h"
+#include "core/resume.h"
 #include "engine/governor.h"
 #include "engine/kernel.h"
 #include "util/failpoint.h"
@@ -35,6 +36,18 @@ const std::vector<std::vector<bool>>& Evaluator::ClosureMatrix(
     const FormulaNode& node) {
   auto cached = closure_cache_.find(&node);
   if (cached != closure_cache_.end()) return cached->second;
+
+  // Resume fast path (core/resume.h): a prior interrupted run finished this
+  // operator; reuse its matrix. Closures checkpoint at completed-matrix
+  // granularity only — an interrupt mid-edge-build restarts the operator.
+  if (ResumeCollector* resume = CurrentResumeCollectorOrNull()) {
+    if (uint64_t site = resume->SiteKey(&node)) {
+      if (const auto* done = resume->CompletedClosure(site)) {
+        ++stats_.resume_sets_restored;
+        return closure_cache_.emplace(&node, *done).first->second;
+      }
+    }
+  }
 
   ++stats_.closures_computed;
   // Oracle decisions spent building the edge relation — the NLOGSPACE /

@@ -176,6 +176,23 @@ MetricsSnapshot MetricsSnapshot::Diff(const MetricsSnapshot& before) const {
   return out;
 }
 
+MetricsSnapshot& MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.values) values[name] += value;
+  for (const auto& [name, value] : other.labels) labels[name] = value;
+  for (const auto& [name, h] : other.histograms) {
+    HistogramValue& mine = histograms[name];
+    if (mine.buckets.size() < h.buckets.size()) {
+      mine.buckets.resize(h.buckets.size(), 0);
+    }
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      mine.buckets[i] += h.buckets[i];
+    }
+    mine.count += h.count;
+    mine.sum += h.sum;
+  }
+  return *this;
+}
+
 std::string MetricsSnapshot::ToJson() const {
   std::string out = "{";
   bool first = true;

@@ -35,6 +35,12 @@ struct MetricsSnapshot {
   /// labels keep the later value; histogram buckets/count/sum subtract.
   MetricsSnapshot Diff(const MetricsSnapshot& before) const;
 
+  /// Field-wise union with `other`: numeric values add, labels take
+  /// `other`'s value on collision, histogram buckets/count/sum add. How
+  /// QuerySession::Metrics folds the session.* family over the wrapped
+  /// evaluator's families into one flat namespace.
+  MetricsSnapshot& Merge(const MetricsSnapshot& other);
+
   /// Flat single-line JSON object: numeric fields under their dotted
   /// names, labels as strings, histograms as {"buckets":[...],"count":n,
   /// "sum":n} objects. The schema the CI job validates.

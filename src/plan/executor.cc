@@ -7,6 +7,7 @@
 
 #include "constraint/simplify.h"
 #include "core/pfp_cycle.h"
+#include "core/resume.h"
 #include "engine/governor.h"
 #include "engine/kernel.h"
 #include "engine/trace.h"
@@ -88,9 +89,32 @@ DnfFormula PlanExecutor::Run() {
   // Named injection site for the whole-plan path (failpoint_test.cc): fires
   // after compilation/optimization but before the first operator runs.
   LCDB_FAILPOINT("plan.execute");
-  RegionEnv renv;
-  SetEnv senv;
-  return Eval(*plan_.root, renv, senv);
+  try {
+    RegionEnv renv;
+    SetEnv senv;
+    return Eval(*plan_.root, renv, senv);
+  } catch (...) {
+    // This executor dies with the unwind, so completed fixpoint/closure
+    // entries must be harvested into the ambient resume collector here —
+    // the Evaluate boundary only sees the evaluator's own (legacy) caches.
+    HarvestResumeState();
+    throw;
+  }
+}
+
+void PlanExecutor::HarvestResumeState() {
+  ResumeCollector* resume = CurrentResumeCollectorOrNull();
+  if (resume == nullptr) return;
+  for (const auto& entry : fixpoint_cache_) {
+    if (uint64_t site = resume->SiteKey(entry.first)) {
+      resume->CaptureCompletedFixpoint(site, entry.second);
+    }
+  }
+  for (const auto& entry : closure_cache_) {
+    if (uint64_t site = resume->SiteKey(entry.first)) {
+      resume->CaptureCompletedClosure(site, entry.second);
+    }
+  }
 }
 
 bool PlanExecutor::CacheKey(const PlanNode& node, const RegionEnv& renv,
@@ -402,6 +426,17 @@ const PlanExecutor::TupleSet& PlanExecutor::FixpointSet(const PlanNode& node) {
   auto cached = fixpoint_cache_.find(&node);
   if (cached != fixpoint_cache_.end()) return cached->second;
 
+  // Resume fast path (core/resume.h): reuse a completed set from a prior
+  // interrupted run instead of recomputing it.
+  ResumeCollector* resume = CurrentResumeCollectorOrNull();
+  const uint64_t site = resume != nullptr ? resume->SiteKey(&node) : 0;
+  if (site != 0) {
+    if (const TupleSet* done = resume->CompletedFixpoint(site)) {
+      ++stats_->resume_sets_restored;
+      return fixpoint_cache_.emplace(&node, *done).first->second;
+    }
+  }
+
   ScopedOpTimer timer(&stats_->op_timings, node.op);
   ++stats_->fixpoints_computed;
   const uint64_t kernel_queries_before =
@@ -458,32 +493,57 @@ const PlanExecutor::TupleSet& PlanExecutor::FixpointSet(const PlanNode& node) {
   };
 
   TupleSet current;
+  size_t iteration = 0;
   PfpCycleDetector cycle;  // PFP only; stores 8 bytes per stage
-  for (size_t iteration = 0;; ++iteration) {
-    LCDB_FAILPOINT("fixpoint.stage");
-    GovernorOnFixpointIteration();
-    if (is_pfp) {
-      if (iteration > options_.max_pfp_iterations) {
-        throw QueryInterrupt(Status::ResourceExhausted(
-            "PFP exceeded max_pfp_iterations (" +
-            std::to_string(options_.max_pfp_iterations) + ")"));
-      }
-      if (cycle.SeenBefore(current, iteration, kleene_stage)) {
-        // Revisited a state without reaching a fixed point: diverges.
-        account();
-        return fixpoint_cache_.emplace(&node, TupleSet{}).first->second;
-      }
+  if (site != 0) {
+    // Continue an interrupted Kleene loop from its last completed stage
+    // (pure in the environment by Definition 5.1; see core/fixpoint.cc).
+    FixpointResumePoint point;
+    if (resume->TakeInProgress(site, &point)) {
+      current = std::move(point.approximation);
+      iteration = point.iteration;
+      cycle.SeedHashes(point.pfp_hashes);
+      ++stats_->resume_fixpoints_resumed;
+      stats_->resume_stages_skipped += point.iteration;
     }
-    ++stats_->fixpoint_iterations;
-    TupleSet next;
-    {
-      TraceSpan stage_span("fixpoint.stage");
-      next = kleene_stage(current);
-      stage_span.Counter("iteration", iteration);
-      stage_span.Counter("tuples", next.size());
+  }
+  try {
+    for (;; ++iteration) {
+      LCDB_FAILPOINT("fixpoint.stage");
+      GovernorOnFixpointIteration();
+      if (is_pfp) {
+        if (iteration > options_.max_pfp_iterations) {
+          throw QueryInterrupt(Status::ResourceExhausted(
+              "PFP exceeded max_pfp_iterations (" +
+              std::to_string(options_.max_pfp_iterations) + ")"));
+        }
+        if (cycle.SeenBefore(current, iteration, kleene_stage)) {
+          // Revisited a state without reaching a fixed point: diverges.
+          account();
+          return fixpoint_cache_.emplace(&node, TupleSet{}).first->second;
+        }
+      }
+      ++stats_->fixpoint_iterations;
+      TupleSet next;
+      {
+        TraceSpan stage_span("fixpoint.stage");
+        next = kleene_stage(current);
+        stage_span.Counter("iteration", iteration);
+        stage_span.Counter("tuples", next.size());
+      }
+      if (next == current) break;
+      current = std::move(next);
     }
-    if (next == current) break;
-    current = std::move(next);
+  } catch (const QueryInterrupt&) {
+    // Checkpoint the last completed stage; a mid-stage interrupt only
+    // discards the partial `next` local to kleene_stage.
+    if (site != 0) {
+      std::vector<uint64_t> pfp_hashes =
+          is_pfp ? cycle.ExportHashes(current) : std::vector<uint64_t>{};
+      resume->CaptureInProgress(site, std::move(current), iteration,
+                                std::move(pfp_hashes));
+    }
+    throw;
   }
   account();
   return fixpoint_cache_.emplace(&node, std::move(current)).first->second;
@@ -505,6 +565,16 @@ const std::vector<std::vector<bool>>& PlanExecutor::ClosureMatrix(
     const PlanNode& node) {
   auto cached = closure_cache_.find(&node);
   if (cached != closure_cache_.end()) return cached->second;
+
+  // Resume fast path (core/resume.h): completed-matrix granularity only.
+  if (ResumeCollector* resume = CurrentResumeCollectorOrNull()) {
+    if (uint64_t site = resume->SiteKey(&node)) {
+      if (const auto* done = resume->CompletedClosure(site)) {
+        ++stats_->resume_sets_restored;
+        return closure_cache_.emplace(&node, *done).first->second;
+      }
+    }
+  }
 
   ScopedOpTimer timer(&stats_->op_timings, node.op);
   ++stats_->closures_computed;

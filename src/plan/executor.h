@@ -67,6 +67,11 @@ class PlanExecutor {
 
   bool EvalRegionAtom(const PlanNode& node, RegionEnv& renv);
   bool EvalRbit(const PlanNode& node, RegionEnv& renv, SetEnv& senv);
+  /// Deposits completed fixpoint/closure cache entries into the ambient
+  /// ResumeCollector (core/resume.h). Called from Run's unwind path: the
+  /// executor's caches are stack-local and die with the interrupt, unlike
+  /// the legacy walk's evaluator-member caches.
+  void HarvestResumeState();
   const TupleSet& FixpointSet(const PlanNode& node);
   const std::vector<std::vector<bool>>& ClosureMatrix(const PlanNode& node);
   size_t TupleIndex(const Tuple& tuple) const;

@@ -9,6 +9,7 @@
 #include "constraint/canonical.h"
 #include "constraint/simplify.h"
 #include "core/pfp_cycle.h"
+#include "core/resume.h"
 #include "engine/governor.h"
 #include "engine/kernel.h"
 #include "engine/trace.h"
@@ -76,7 +77,25 @@ DnfFormula BytecodeVm::Run() {
     // Profiled: a tripped node never produced a result to attribute.
     while (!op_stack_.empty()) CloseOpFrame();
     profile_stack_.clear();
+    // The VM dies with this unwind; deposit completed fixpoint/closure
+    // entries into the ambient resume collector (core/resume.h).
+    HarvestResumeState();
     throw;
+  }
+}
+
+void BytecodeVm::HarvestResumeState() {
+  ResumeCollector* resume = CurrentResumeCollectorOrNull();
+  if (resume == nullptr) return;
+  for (const auto& entry : fixpoint_cache_) {
+    if (uint64_t site = resume->SiteKey(entry.first)) {
+      resume->CaptureCompletedFixpoint(site, entry.second);
+    }
+  }
+  for (const auto& entry : closure_cache_) {
+    if (uint64_t site = resume->SiteKey(entry.first)) {
+      resume->CaptureCompletedClosure(site, entry.second);
+    }
   }
 }
 
@@ -561,6 +580,17 @@ const BytecodeVm::TupleSet& BytecodeVm::FixpointSet(
   auto cached = fixpoint_cache_.find(&node);
   if (cached != fixpoint_cache_.end()) return cached->second;
 
+  // Resume fast path (core/resume.h): site keys are plan-node ordinals, so
+  // a checkpoint taken under the tree executor restores here and vice versa.
+  ResumeCollector* resume = CurrentResumeCollectorOrNull();
+  const uint64_t resume_site = resume != nullptr ? resume->SiteKey(&node) : 0;
+  if (resume_site != 0) {
+    if (const TupleSet* done = resume->CompletedFixpoint(resume_site)) {
+      ++stats_->resume_sets_restored;
+      return fixpoint_cache_.emplace(&node, *done).first->second;
+    }
+  }
+
   ScopedOpTimer timer(&stats_->op_timings, node.op);
   ++stats_->fixpoints_computed;
   const uint64_t kernel_queries_before =
@@ -609,31 +639,56 @@ const BytecodeVm::TupleSet& BytecodeVm::FixpointSet(
   };
 
   TupleSet current;
+  size_t iteration = 0;
   PfpCycleDetector cycle;
-  for (size_t iteration = 0;; ++iteration) {
-    LCDB_FAILPOINT("fixpoint.stage");
-    GovernorOnFixpointIteration();
-    if (is_pfp) {
-      if (iteration > options_.max_pfp_iterations) {
-        throw QueryInterrupt(Status::ResourceExhausted(
-            "PFP exceeded max_pfp_iterations (" +
-            std::to_string(options_.max_pfp_iterations) + ")"));
-      }
-      if (cycle.SeenBefore(current, iteration, kleene_stage)) {
-        account();
-        return fixpoint_cache_.emplace(&node, TupleSet{}).first->second;
-      }
+  if (resume_site != 0) {
+    // Continue an interrupted Kleene loop from its last completed stage
+    // (pure in the environment by Definition 5.1; see core/fixpoint.cc).
+    FixpointResumePoint point;
+    if (resume->TakeInProgress(resume_site, &point)) {
+      current = std::move(point.approximation);
+      iteration = point.iteration;
+      cycle.SeedHashes(point.pfp_hashes);
+      ++stats_->resume_fixpoints_resumed;
+      stats_->resume_stages_skipped += point.iteration;
     }
-    ++stats_->fixpoint_iterations;
-    TupleSet next;
-    {
-      TraceSpan stage_span("fixpoint.stage");
-      next = kleene_stage(current);
-      stage_span.Counter("iteration", iteration);
-      stage_span.Counter("tuples", next.size());
+  }
+  try {
+    for (;; ++iteration) {
+      LCDB_FAILPOINT("fixpoint.stage");
+      GovernorOnFixpointIteration();
+      if (is_pfp) {
+        if (iteration > options_.max_pfp_iterations) {
+          throw QueryInterrupt(Status::ResourceExhausted(
+              "PFP exceeded max_pfp_iterations (" +
+              std::to_string(options_.max_pfp_iterations) + ")"));
+        }
+        if (cycle.SeenBefore(current, iteration, kleene_stage)) {
+          account();
+          return fixpoint_cache_.emplace(&node, TupleSet{}).first->second;
+        }
+      }
+      ++stats_->fixpoint_iterations;
+      TupleSet next;
+      {
+        TraceSpan stage_span("fixpoint.stage");
+        next = kleene_stage(current);
+        stage_span.Counter("iteration", iteration);
+        stage_span.Counter("tuples", next.size());
+      }
+      if (next == current) break;
+      current = std::move(next);
     }
-    if (next == current) break;
-    current = std::move(next);
+  } catch (const QueryInterrupt&) {
+    // Checkpoint the last completed stage; a mid-stage interrupt only
+    // discards the partial `next` local to kleene_stage.
+    if (resume_site != 0) {
+      std::vector<uint64_t> pfp_hashes =
+          is_pfp ? cycle.ExportHashes(current) : std::vector<uint64_t>{};
+      resume->CaptureInProgress(resume_site, std::move(current), iteration,
+                                std::move(pfp_hashes));
+    }
+    throw;
   }
   account();
   return fixpoint_cache_.emplace(&node, std::move(current)).first->second;
@@ -645,6 +700,16 @@ const std::vector<std::vector<bool>>& BytecodeVm::ClosureMatrix(
     const VmClosureSite& site, const PlanNode& node) {
   auto cached = closure_cache_.find(&node);
   if (cached != closure_cache_.end()) return cached->second;
+
+  // Resume fast path (core/resume.h): completed-matrix granularity only.
+  if (ResumeCollector* resume = CurrentResumeCollectorOrNull()) {
+    if (uint64_t resume_site = resume->SiteKey(&node)) {
+      if (const auto* done = resume->CompletedClosure(resume_site)) {
+        ++stats_->resume_sets_restored;
+        return closure_cache_.emplace(&node, *done).first->second;
+      }
+    }
+  }
 
   ScopedOpTimer timer(&stats_->op_timings, node.op);
   ++stats_->closures_computed;

@@ -113,6 +113,11 @@ class BytecodeVm {
   bool IcacheLookup(uint32_t slot, const std::string& key, bool* verdict);
   void IcacheStore(uint32_t slot, std::string key, bool verdict);
 
+  /// Deposits completed fixpoint/closure cache entries into the ambient
+  /// ResumeCollector (core/resume.h) during Run's unwind — mirrors
+  /// PlanExecutor::HarvestResumeState.
+  void HarvestResumeState();
+
   /// Native ports of the tree executor's member-operator engines; the
   /// boolean body runs as a proc call instead of a recursive EvalBool.
   const TupleSet& FixpointSet(const VmFixpointSite& site,

@@ -1,6 +1,7 @@
 #ifndef LCDB_UTIL_STATUS_H_
 #define LCDB_UTIL_STATUS_H_
 
+#include <cstdint>
 #include <cstdlib>
 #include <iosfwd>
 #include <string>
@@ -75,12 +76,22 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Checkpoint/resume transport (core/resume.h): when a resource failure
+  /// interrupted an Evaluate that had checkpointable fixpoint progress, the
+  /// returned Status carries an opaque token; passing it to
+  /// Evaluator::Evaluate(query, token) with a fresh budget continues from
+  /// the saved stage. 0 means "nothing to resume". Tokens are single-use
+  /// and scoped to the evaluator instance that issued them.
+  uint64_t resume_token() const { return resume_token_; }
+  void set_resume_token(uint64_t token) { resume_token_ = token; }
+
   /// Human-readable rendering, e.g. "ParseError: unexpected token ')'".
   std::string ToString() const;
 
  private:
   StatusCode code_;
   std::string message_;
+  uint64_t resume_token_ = 0;
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& status);

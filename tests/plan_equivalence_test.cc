@@ -25,6 +25,7 @@
 #include "db/workloads.h"
 #include "engine/kernel.h"
 #include "engine/trace.h"
+#include "util/failpoint.h"
 #include "util/status.h"
 
 namespace lcdb {
@@ -238,6 +239,157 @@ TEST(PlanEquivalenceTest, KernelBackendSweep) {
       }
     }
   }
+}
+
+TEST(PlanEquivalenceTest, InterruptResumeSweep) {
+  // Checkpoint/resume equivalence (core/resume.h): interrupt the Kleene
+  // loop at stage k via the fixpoint.stage failpoint, resume with the token
+  // the failure Status carries, and require the final answer byte-identical
+  // to an uninterrupted run — across every backend (legacy walk, plan tree,
+  // bytecode VM) x kernel backend (lemma DB, LRU) x interrupt stage.
+  struct Backend {
+    const char* name;
+    bool use_plan;
+    bool use_bytecode;
+  };
+  const Backend backends[] = {
+      {"legacy", false, false}, {"tree", true, false}, {"vm", true, true}};
+  ConstraintDatabase db = MakeComb(2, true);
+  auto ext = MakeArrangementExtension(db);
+  const std::string text = RegionConnQueryText();
+  auto query = ParseQuery(text, db.relation_name());
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  for (const Backend& backend : backends) {
+    SCOPED_TRACE(backend.name);
+    for (bool lemma_db : {true, false}) {
+      SCOPED_TRACE(lemma_db ? "lemma-db" : "lru");
+      ConstraintKernel::Options kernel_options;
+      kernel_options.use_lemma_db = lemma_db;
+      ConstraintKernel kernel(kernel_options);
+      ScopedKernel scope(kernel);
+      Evaluator::Options options;
+      options.use_plan = backend.use_plan;
+      options.use_bytecode = backend.use_bytecode;
+      Evaluator reference_evaluator(*ext, options);
+      auto reference = reference_evaluator.Evaluate(**query);
+      ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+      for (uint64_t stage : {0u, 1u, 2u}) {
+        SCOPED_TRACE("interrupt at stage " + std::to_string(stage));
+        Evaluator evaluator(*ext, options);
+        ArmFailpoint("fixpoint.stage", StatusCode::kResourceExhausted,
+                     "injected stage interrupt", stage);
+        auto interrupted = evaluator.Evaluate(**query);
+        DisarmAllFailpoints();
+        ASSERT_FALSE(interrupted.ok());
+        ASSERT_TRUE(interrupted.status().IsResourceFailure());
+        const uint64_t token = interrupted.status().resume_token();
+        ASSERT_NE(token, 0u) << "resource failure carried no resume token";
+        auto resumed = evaluator.Evaluate(**query, token);
+        ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+        EXPECT_EQ(resumed->ToString(), reference->ToString());
+        const Evaluator::Stats& s = evaluator.stats();
+        EXPECT_GT(s.resume_fixpoints_resumed + s.resume_sets_restored, 0u)
+            << "resume did not reuse the checkpoint";
+      }
+    }
+  }
+}
+
+TEST(PlanEquivalenceTest, ResumeRestoresCompletedFixpoints) {
+  // Interrupt *after* the left conjunct's fixpoint completed (the
+  // closure.build site fires when the right conjunct's TC matrix starts):
+  // the resumed run must restore the finished fixpoint set wholesale
+  // instead of recomputing it.
+  ConstraintDatabase db = MakeComb(2, true);
+  auto ext = MakeArrangementExtension(db);
+  const std::string text =
+      "(" + RegionConnQueryText() + ") & (" + RegionConnTcQueryText() + ")";
+  auto query = ParseQuery(text, db.relation_name());
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  for (bool use_bytecode : {false, true}) {
+    SCOPED_TRACE(use_bytecode ? "vm" : "tree");
+    Evaluator::Options options;
+    options.use_bytecode = use_bytecode;
+    Evaluator reference_evaluator(*ext, options);
+    auto reference = reference_evaluator.Evaluate(**query);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    Evaluator evaluator(*ext, options);
+    ArmFailpoint("closure.build", StatusCode::kDeadlineExceeded,
+                 "injected post-fixpoint interrupt");
+    auto interrupted = evaluator.Evaluate(**query);
+    DisarmAllFailpoints();
+    ASSERT_FALSE(interrupted.ok());
+    const uint64_t token = interrupted.status().resume_token();
+    ASSERT_NE(token, 0u);
+    auto resumed = evaluator.Evaluate(**query, token);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+    EXPECT_EQ(resumed->ToString(), reference->ToString());
+    EXPECT_GT(evaluator.stats().resume_sets_restored, 0u);
+  }
+}
+
+TEST(PlanEquivalenceTest, ResumeSurvivesVmToTreeDegradation) {
+  // The QuerySession's vm->tree rung: a checkpoint captured on the VM must
+  // replay on the tree executor (site keys are shared plan ordinals and the
+  // resume fingerprint treats the two as one backend).
+  ConstraintDatabase db = MakeComb(2, true);
+  auto ext = MakeArrangementExtension(db);
+  auto query = ParseQuery(RegionConnQueryText(), db.relation_name());
+  ASSERT_TRUE(query.ok());
+  Evaluator::Options tree_options;
+  Evaluator tree_reference(*ext, tree_options);
+  auto reference = tree_reference.Evaluate(**query);
+  ASSERT_TRUE(reference.ok());
+  Evaluator::Options options;
+  options.use_bytecode = true;
+  Evaluator evaluator(*ext, options);
+  ArmFailpoint("fixpoint.stage", StatusCode::kResourceExhausted,
+               "injected stage interrupt", 1);
+  auto interrupted = evaluator.Evaluate(**query);
+  DisarmAllFailpoints();
+  ASSERT_FALSE(interrupted.ok());
+  const uint64_t token = interrupted.status().resume_token();
+  ASSERT_NE(token, 0u);
+  evaluator.mutable_options().use_bytecode = false;  // degrade to the tree
+  auto resumed = evaluator.Evaluate(**query, token);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->ToString(), reference->ToString());
+  EXPECT_GT(evaluator.stats().resume_fixpoints_resumed, 0u);
+}
+
+TEST(PlanEquivalenceTest, ResumeTokenValidation) {
+  // Tokens are single-use, instance-scoped and query-bound: replay, cross-
+  // query use and unknown tokens are clean argument errors.
+  ConstraintDatabase db = MakeComb(2, true);
+  auto ext = MakeArrangementExtension(db);
+  auto query = ParseQuery(RegionConnQueryText(), db.relation_name());
+  ASSERT_TRUE(query.ok());
+  Evaluator evaluator(*ext, Evaluator::Options{});
+  ArmFailpoint("fixpoint.stage", StatusCode::kResourceExhausted,
+               "injected stage interrupt", 1);
+  auto interrupted = evaluator.Evaluate(**query);
+  DisarmAllFailpoints();
+  ASSERT_FALSE(interrupted.ok());
+  const uint64_t token = interrupted.status().resume_token();
+  ASSERT_NE(token, 0u);
+
+  // Wrong query: the fingerprint rejects and the token is consumed.
+  auto other = ParseQuery("exists R . subset(R)", db.relation_name());
+  ASSERT_TRUE(other.ok());
+  auto mismatch = evaluator.Evaluate(**other, token);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.status().code(), StatusCode::kInvalidArgument);
+  // Replay of the consumed token: unknown.
+  auto replay = evaluator.Evaluate(**query, token);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kInvalidArgument);
+  // A token the evaluator never issued.
+  auto unknown = evaluator.Evaluate(**query, token + 1234);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+  // Token 0 is a plain evaluation.
+  auto plain = evaluator.Evaluate(**query, 0);
+  EXPECT_TRUE(plain.ok()) << plain.status().ToString();
 }
 
 TEST(PlanEquivalenceTest, BytecodeRequiresOptimizedPlan) {
