@@ -20,6 +20,8 @@
 #include "db/workloads.h"
 #include "engine/governor.h"
 #include "engine/kernel.h"
+#include "engine/obslog.h"
+#include "engine/profiler.h"
 #include "engine/trace.h"
 
 namespace {
@@ -144,6 +146,66 @@ void BM_TracingOverhead(benchmark::State& state) {
 }
 
 BENCHMARK(BM_TracingOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// Fleet-observability overhead experiment (EXPERIMENTS.md, "Fleet
+/// observability"): the connectivity run without any observability (Arg 0)
+/// and with the full always-on stack (Arg 1) — a flight recorder appending
+/// one record per query plus the continuous profiler at its production
+/// 1-in-64 sampling rate, driven exactly as QuerySession drives it. The CI
+/// acceptance gate compares the two timings: the Arg(1) tax must stay
+/// under 2%, since a recorder that distorts the fleet it observes is
+/// useless for attribution. Only every 64th iteration pays for span
+/// recording; the other 63 pay one relaxed atomic load per span site plus
+/// one record append.
+void BM_ObsLogOverhead(benchmark::State& state) {
+  const size_t teeth = 3;
+  const bool enabled = state.range(0) != 0;
+  lcdb::ConstraintDatabase db = lcdb::MakeComb(teeth, /*connected=*/true);
+  auto ext = lcdb::MakeArrangementExtension(db);
+  auto query = lcdb::ParseQuery(lcdb::RegionConnQueryText(), "S");
+  std::unique_ptr<lcdb::QueryFlightRecorder> recorder;
+  std::unique_ptr<lcdb::ScopedFlightRecorder> scoped_recorder;
+  std::unique_ptr<lcdb::ContinuousProfiler> profiler;
+  if (enabled) {
+    recorder = std::make_unique<lcdb::QueryFlightRecorder>();
+    scoped_recorder = std::make_unique<lcdb::ScopedFlightRecorder>(*recorder);
+    lcdb::ContinuousProfiler::Options options;
+    options.sample_every = 64;
+    profiler = std::make_unique<lcdb::ContinuousProfiler>(options);
+  }
+  for (auto _ : state) {
+    const bool sampled = profiler != nullptr && profiler->ShouldSample();
+    std::unique_ptr<lcdb::QueryTracer> tracer;
+    std::unique_ptr<lcdb::ScopedTracer> scoped_tracer;
+    if (sampled) {
+      tracer = std::make_unique<lcdb::QueryTracer>();
+      scoped_tracer = std::make_unique<lcdb::ScopedTracer>(*tracer);
+    }
+    const uint64_t start_ns = lcdb::ObsNowNs();
+    lcdb::Evaluator evaluator(*ext);
+    auto result = evaluator.EvaluateSentence(**query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    if (!*result) state.SkipWithError("comb should be connected");
+    if (profiler != nullptr) {
+      profiler->RecordQuery(lcdb::ObsNowNs() - start_ns, !result.ok(),
+                            tracer.get());
+    }
+    benchmark::DoNotOptimize(*result);
+  }
+  state.counters["obslog_enabled"] = enabled ? 1 : 0;
+  if (recorder != nullptr) {
+    state.counters["records_appended"] =
+        static_cast<double>(recorder->appended());
+    state.counters["records_dropped"] =
+        static_cast<double>(recorder->dropped());
+  }
+  if (profiler != nullptr) {
+    state.counters["queries_sampled"] =
+        static_cast<double>(profiler->queries_sampled());
+  }
+}
+
+BENCHMARK(BM_ObsLogOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 /// Kernel-memoization acceptance experiment on a full fixed-point workload:
 /// the river-pollution sentence (Figure 6 — LFP with element-sort side

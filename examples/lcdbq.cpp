@@ -42,6 +42,16 @@
 //                      build + query) and write it to FILE as Chrome
 //                      trace-event JSON (loadable in Perfetto /
 //                      chrome://tracing); --trace FILE also accepted
+//   --query-log=FILE   install the query flight recorder (engine/obslog.h)
+//                      and write its records to FILE as JSONL, one
+//                      schema-stable lcdb.query_record.v1 line per
+//                      evaluated query (attempt retries included)
+//   --sample-rate=N    enable the continuous profiler: every Nth query is
+//                      traced deterministically and its spans fold into the
+//                      profile.op.* histograms shown under --stats
+//   --postmortem=DIR   on any failed query, serialize a post-mortem bundle
+//                      (span tree, metrics, ladder history, flight-recorder
+//                      tail) into DIR as lcdb.postmortem.v1 JSON
 //
 // Exit code: 0 = query evaluated (sentences print true/false), 1 = invalid
 // input or engine error, 2 = resource failure (tripped budget, deadline,
@@ -64,6 +74,7 @@
 #include "db/io.h"
 #include "db/region_extension.h"
 #include "engine/governor.h"
+#include "engine/obslog.h"
 #include "engine/session.h"
 #include "engine/trace.h"
 #include "util/failpoint.h"
@@ -108,6 +119,9 @@ int main(int argc, char** argv) {
   std::optional<uint64_t> timeout_ms;
   size_t retries = 0;
   std::string failpoint_spec;
+  std::string query_log_path;
+  uint64_t sample_rate = 0;
+  std::string postmortem_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--decomposition") == 0) {
       use_decomposition = true;
@@ -150,6 +164,12 @@ int main(int argc, char** argv) {
       retries = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strncmp(argv[i], "--failpoint=", 12) == 0) {
       failpoint_spec = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--query-log=", 12) == 0) {
+      query_log_path = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--sample-rate=", 14) == 0) {
+      sample_rate = std::strtoull(argv[i] + 14, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--postmortem=", 13) == 0) {
+      postmortem_dir = argv[i] + 13;
     } else if (std::strcmp(argv[i], "--conn") == 0) {
       query = lcdb::RegionConnQueryText();
     } else if (db_path.empty()) {
@@ -167,7 +187,9 @@ int main(int argc, char** argv) {
                  "[--decomposition] [--stats] [--lint[=json]] [--explain] "
                  "[--explain-analyze] [--explain-bytecode] [--vm] "
                  "[--no-optimize] [--timeout <ms>] [--retries <n>] "
-                 "[--failpoint=SITE[:skip_hits]] [--trace=out.json]\n"
+                 "[--failpoint=SITE[:skip_hits]] [--trace=out.json] "
+                 "[--query-log=out.jsonl] [--sample-rate=N] "
+                 "[--postmortem=DIR]\n"
                  "       lcdbq <database-file> --conn\n");
     return 1;
   }
@@ -227,8 +249,31 @@ int main(int argc, char** argv) {
     governor = std::make_unique<lcdb::QueryGovernor>(limits);
     scoped = std::make_unique<lcdb::ScopedGovernor>(*governor);
   }
+  // The flight recorder covers every evaluation of the run — retry
+  // attempts land as individual records with the session's annotation on
+  // the last one.
+  std::unique_ptr<lcdb::QueryFlightRecorder> recorder;
+  std::unique_ptr<lcdb::ScopedFlightRecorder> scoped_recorder;
+  if (!query_log_path.empty()) {
+    recorder = std::make_unique<lcdb::QueryFlightRecorder>();
+    scoped_recorder = std::make_unique<lcdb::ScopedFlightRecorder>(*recorder);
+  }
   auto write_trace = [&] {
     if (tracer != nullptr) WriteTraceFile(*tracer, trace_path);
+    if (recorder != nullptr) {
+      std::FILE* f = std::fopen(query_log_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "error: cannot write query log %s\n",
+                     query_log_path.c_str());
+        return;
+      }
+      const std::string jsonl = recorder->ToJsonl();
+      if (std::fwrite(jsonl.data(), 1, jsonl.size(), f) != jsonl.size()) {
+        std::fprintf(stderr, "error: short write to %s\n",
+                     query_log_path.c_str());
+      }
+      std::fclose(f);
+    }
   };
 
   auto built = use_decomposition ? lcdb::BuildDecompositionExtension(*db)
@@ -271,6 +316,8 @@ int main(int argc, char** argv) {
   lcdb::SessionOptions session_options;
   session_options.eval = options;
   session_options.max_retries = retries;
+  session_options.profile.sample_every = sample_rate;
+  session_options.postmortem_dir = postmortem_dir;
   if (timeout_ms.has_value()) {
     session_options.limits.wall_clock_ms = *timeout_ms;
   }
@@ -278,6 +325,10 @@ int main(int argc, char** argv) {
   auto answer = session.Evaluate(query);
   if (!answer.ok()) {
     std::fprintf(stderr, "error: %s\n", answer.status().ToString().c_str());
+    if (!session.last_postmortem_path().empty()) {
+      std::fprintf(stderr, "# postmortem: %s\n",
+                   session.last_postmortem_path().c_str());
+    }
     if (show_stats) {
       std::fprintf(stderr, "# session: %s\n",
                    session.stats().ToString().c_str());

@@ -21,6 +21,9 @@
 //                                  of the GovernorLimits fields, <n> a count
 //                                  or 'unlimited'
 //   \set retries <n>               QuerySession retry budget per query
+//   \set sample <n>                continuous profiler: trace every nth
+//                                  query (0 disables), folding sampled spans
+//                                  into the profile.op.* histograms
 //   \set failpoint SITE [skip]     arm a fault-injection site (util/
 //                                  failpoint.h names); 'off' as SITE (or as
 //                                  the argument) disarms
@@ -30,6 +33,12 @@
 //   \show session                  print the QuerySession's resilience
 //                                  telemetry: retry/resume/degradation
 //                                  counters, the degradation log, quarantine
+//   \show recent                   print the flight recorder's tail: one
+//                                  line per recent query (backend, outcome,
+//                                  per-phase time, retries)
+//   \show profile                  print the continuous profiler's state:
+//                                  sample counts and per-op latency
+//                                  percentiles from the sampled traces
 //   help, quit
 //
 // Every query runs through a persistent QuerySession (engine/session.h):
@@ -65,6 +74,8 @@
 #include "db/region_extension.h"
 #include "engine/governor.h"
 #include "engine/kernel.h"
+#include "engine/obslog.h"
+#include "engine/profiler.h"
 #include "engine/session.h"
 #include "util/failpoint.h"
 #include "util/interrupt.h"
@@ -78,6 +89,10 @@ struct Session {
   bool use_decomposition = false;
   lcdb::GovernorLimits limits;  // applied to every query via ScopedGovernor
   size_t retries = 2;           // QuerySession retry budget per query
+  size_t sample_every = 0;      // profiler sampling period (0 = off)
+  // Flight recorder behind `\show recent`; installed process-wide in main()
+  // so it survives extension resets and QuerySession rebuilds.
+  lcdb::QueryFlightRecorder recorder;
   // The persistent retry/resume/quarantine engine. Holds a reference to
   // *ext, so every path that resets the extension resets it first.
   std::unique_ptr<lcdb::QuerySession> qsession;
@@ -119,6 +134,7 @@ struct Session {
       lcdb::SessionOptions options;
       options.limits = limits;
       options.max_retries = retries;
+      options.profile.sample_every = sample_every;
       qsession = std::make_unique<lcdb::QuerySession>(*ext, options);
     }
     qsession->set_limits(limits);
@@ -281,8 +297,51 @@ void CmdShowSession(const Session& session) {
               last != metrics.labels.end() ? last->second.c_str() : "none");
 }
 
+void CmdShowRecent(const Session& session) {
+  if (session.recorder.appended() == 0) {
+    std::printf("  flight recorder empty — run a query first\n");
+    return;
+  }
+  std::printf("  seq   backend  outcome    status              total(us)"
+              "  retries  sampled\n");
+  for (const lcdb::QueryRecord& r : session.recorder.Tail(10)) {
+    std::printf("  %-5llu %-8s %-10s %-19s %9llu  %-7llu %s\n",
+                static_cast<unsigned long long>(r.sequence),
+                r.backend.c_str(), r.outcome.c_str(), r.status_code.c_str(),
+                static_cast<unsigned long long>(r.total_ns / 1000),
+                static_cast<unsigned long long>(r.retries),
+                r.sampled ? "yes" : "no");
+  }
+  std::printf("  [%llu appended, %llu dropped by the ring bound]\n",
+              static_cast<unsigned long long>(session.recorder.appended()),
+              static_cast<unsigned long long>(session.recorder.dropped()));
+}
+
+void CmdShowProfile(const Session& session) {
+  const lcdb::ContinuousProfiler* prof =
+      session.qsession ? session.qsession->profiler() : nullptr;
+  if (prof == nullptr) {
+    std::printf("  sampling off — enable with \\set sample <n>\n");
+    return;
+  }
+  std::printf("  queries %llu   sampled %llu   traces retained %zu\n",
+              static_cast<unsigned long long>(prof->queries_seen()),
+              static_cast<unsigned long long>(prof->queries_sampled()),
+              prof->retained().size());
+  const lcdb::MetricsSnapshot metrics = prof->Metrics();
+  for (const auto& [name, hist] : metrics.histograms) {
+    if (hist.count == 0) continue;
+    std::printf("  %-32s n=%-6llu p50=%lluus p90=%lluus p99=%lluus\n",
+                name.c_str(), static_cast<unsigned long long>(hist.count),
+                static_cast<unsigned long long>(hist.Percentile(0.5) / 1000),
+                static_cast<unsigned long long>(hist.Percentile(0.9) / 1000),
+                static_cast<unsigned long long>(hist.Percentile(0.99) / 1000));
+  }
+}
+
 /// \set timeout <ms> | \set budget <name> <n|unlimited> |
-/// \set retries <n> | \set failpoint SITE [skip_hits|off] | \set failpoint off
+/// \set retries <n> | \set sample <n> |
+/// \set failpoint SITE [skip_hits|off] | \set failpoint off
 void CmdSet(Session& session, const std::string& args) {
   std::istringstream in(args);
   std::string what;
@@ -317,6 +376,19 @@ void CmdSet(Session& session, const std::string& args) {
     session.retries = static_cast<size_t>(n);
     // The retry budget is baked into the QuerySession at construction;
     // rebuild it (stats reset too — the old ladder no longer applies).
+    session.qsession.reset();
+    std::printf("ok\n");
+    return;
+  }
+  if (what == "sample") {
+    uint64_t n = 0;
+    if (!parse_count(&n)) {
+      std::printf("usage: \\set sample <n>   (0 or 'off' disables)\n");
+      return;
+    }
+    session.sample_every =
+        n == lcdb::GovernorLimits::kUnlimited ? 0 : static_cast<size_t>(n);
+    // Like retries, the sampling policy is baked in at construction.
     session.qsession.reset();
     std::printf("ok\n");
     return;
@@ -445,6 +517,9 @@ void CmdShowCache() {
 
 int main() {
   Session session;
+  // Process-wide flight recorder: every Evaluate through the QuerySession
+  // appends here, so `\show recent` works across extension resets.
+  lcdb::ScopedFlightRecorder scoped_recorder(session.recorder);
   std::printf("lcdb shell — 'help' for commands\n");
   std::string line;
   while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
@@ -476,11 +551,14 @@ int main() {
             "  \\set timeout <ms>       per-query deadline (0/'off' disables)\n"
             "  \\set budget <name> <n>  per-query resource budget\n"
             "  \\set retries <n>        session retry budget per query\n"
+            "  \\set sample <n>         profile every nth query (0 disables)\n"
             "  \\set failpoint SITE [k] arm fault injection (skip k hits);\n"
             "                          '\\set failpoint off' disarms all\n"
             "  \\show limits            print the budgets in effect\n"
             "  \\show cache             lemma-db occupancy, tiers, hit rates\n"
             "  \\show session           retry/resume/degradation telemetry\n"
+            "  \\show recent            flight-recorder tail, one line/query\n"
+            "  \\show profile           sampled per-op latency percentiles\n"
             "  quit\n");
       } else if (cmd == "db") {
         CmdDb(session, rest);
@@ -513,6 +591,10 @@ int main() {
           CmdShowCache();
         } else if (lcdb::StripWhitespace(rest) == "session") {
           CmdShowSession(session);
+        } else if (lcdb::StripWhitespace(rest) == "recent") {
+          CmdShowRecent(session);
+        } else if (lcdb::StripWhitespace(rest) == "profile") {
+          CmdShowProfile(session);
         } else {
           CmdShowLimits(session);
         }

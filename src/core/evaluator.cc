@@ -9,6 +9,7 @@
 #include "core/parser.h"
 #include "engine/governor.h"
 #include "engine/kernel.h"
+#include "engine/obslog.h"
 #include "engine/trace.h"
 #include "geometry/convex_closure.h"
 #include "plan/bytecode.h"
@@ -129,15 +130,52 @@ Result<QueryAnswer> Evaluator::EvaluateImpl(const FormulaNode& query,
   if (options_.use_bytecode && !options_.optimize) {
     return BytecodeNeedsOptimizer();
   }
+  // Flight-recorder instrumentation (engine/obslog.h): per-phase clocks are
+  // read only when a recorder is installed, so the uninstrumented path
+  // keeps the one-relaxed-load contract of the tracer/failpoint sites.
+  QueryFlightRecorder* recorder = ActiveFlightRecorderOrNull();
+  QueryRecord record;
+  const uint64_t record_start_ns = recorder != nullptr ? ObsNowNs() : 0;
+  QueryTracer* ambient_tracer = ActiveTracerOrNull();
+  const uint64_t tracer_dropped_before =
+      ambient_tracer != nullptr ? ambient_tracer->spans_dropped() : 0;
+  if (recorder != nullptr) {
+    record.query_hash =
+        StableHash64(source_.empty() ? query.ToString() : source_);
+    record.backend =
+        options_.use_bytecode
+            ? "vm"
+            : ((options_.use_plan || plan_out != nullptr) ? "tree"
+                                                          : "legacy");
+  }
+  // Rejections before the kernel window carry no kernel/governor data.
+  auto append_early_failure = [&](const Status& status) {
+    if (recorder == nullptr) return;
+    record.total_ns = ObsNowNs() - record_start_ns;
+    record.outcome = FailureClassName(ClassifyFailure(status));
+    record.status_code = StatusCodeName(status.code());
+    recorder->Append(std::move(record));
+  };
   TraceSpan evaluate_span("evaluate");
+  const uint64_t typecheck_start_ns = recorder != nullptr ? ObsNowNs() : 0;
   Result<TypeInfo> checked = [&] {
     TraceSpan typecheck_span("typecheck");
     return TypeCheck(query, ext_.database());
   }();
-  if (!checked.ok()) return checked.status();
+  if (recorder != nullptr) {
+    record.typecheck_ns = ObsNowNs() - typecheck_start_ns;
+  }
+  if (!checked.ok()) {
+    append_early_failure(checked.status());
+    return checked.status();
+  }
   TypeInfo info = std::move(checked).value();
-  LCDB_RETURN_IF_ERROR(CheckTupleSpaces(query, ext_.num_regions(),
-                                        options_.max_tuple_space));
+  if (Status tuple_spaces = CheckTupleSpaces(query, ext_.num_regions(),
+                                             options_.max_tuple_space);
+      !tuple_spaces.ok()) {
+    append_early_failure(tuple_spaces);
+    return tuple_spaces;
+  }
   info_ = &info;
   num_columns_ = info.all_element_vars.size();
   // Per-query caches depend on node identity; clear between queries. The
@@ -163,22 +201,29 @@ Result<QueryAnswer> Evaluator::EvaluateImpl(const FormulaNode& query,
     if (resume_token != 0) {
       auto stored = resume_states_.find(resume_token);
       if (stored == resume_states_.end()) {
-        return Status::InvalidArgument("unknown or expired resume token");
+        Status unknown =
+            Status::InvalidArgument("unknown or expired resume token");
+        append_early_failure(unknown);
+        return unknown;
       }
       const bool matches =
           stored->second.fingerprint == ResumeFingerprint(query);
       if (matches) resume_seed = std::move(stored->second.state);
       resume_states_.erase(stored);
       if (!matches) {
-        return Status::InvalidArgument(
+        Status mismatch = Status::InvalidArgument(
             "resume token does not match this query/backend");
+        append_early_failure(mismatch);
+        return mismatch;
       }
     }
     resume_collector.emplace(std::move(resume_seed));
     scoped_resume.emplace(*resume_collector);
   } else if (resume_token != 0) {
-    return Status::InvalidArgument(
+    Status uncapturable = Status::InvalidArgument(
         "resume token passed but Options::capture_resume is off");
+    append_early_failure(uncapturable);
+    return uncapturable;
   }
 
   // Attribute the kernel's oracle work to this evaluation: everything the
@@ -199,7 +244,34 @@ Result<QueryAnswer> Evaluator::EvaluateImpl(const FormulaNode& query,
   // ready for the next one with no residue.
   auto settle = [&] {
     SettleAmbient(kernel_before, &evaluate_span);
+    if (ambient_tracer != nullptr) {
+      // Ring evictions during this query: span-level attribution is now
+      // incomplete, which the trace.spans_dropped counter makes visible.
+      stats_.trace_spans_dropped +=
+          ambient_tracer->spans_dropped() - tracer_dropped_before;
+    }
     info_ = nullptr;
+  };
+  // Settled-exit counterpart of append_early_failure: fills the governor
+  // and kernel columns from the attempt's final stats and appends. Called
+  // with Status::Ok() on the success path.
+  auto finish_record = [&](const Status& status) {
+    if (recorder == nullptr) return;
+    record.total_ns = ObsNowNs() - record_start_ns;
+    record.governor_checkpoints = stats_.governor.checkpoints;
+    record.governor_budget_trips = stats_.governor.budget_trips;
+    record.tripped_budget = stats_.governor.tripped_budget;
+    const KernelStats kernel_delta = CurrentKernel().stats() - kernel_before;
+    record.kernel_cache_hits =
+        kernel_delta.cache_hits + kernel_delta.implication_cache_hits;
+    record.kernel_cache_misses =
+        kernel_delta.cache_misses + kernel_delta.implication_cache_misses;
+    record.lemma_hits = kernel_delta.lemma_hits;
+    record.lemma_misses = kernel_delta.lemma_misses;
+    record.outcome = FailureClassName(ClassifyFailure(status));
+    record.status_code = StatusCodeName(status.code());
+    record.resume_token = status.resume_token();
+    recorder->Append(std::move(record));
   };
   DnfFormula result = DnfFormula::False(num_columns_);
   try {
@@ -211,17 +283,24 @@ Result<QueryAnswer> Evaluator::EvaluateImpl(const FormulaNode& query,
     // any plan is built.
     {
       TraceSpan analyze_span("analyze");
+      const uint64_t analyze_start_ns =
+          recorder != nullptr ? ObsNowNs() : 0;
       AnalyzerOptions analyzer_options;
       analyzer_options.num_regions = ext_.num_regions();
       analyzer_options.max_tuple_space = options_.max_tuple_space;
       AnalysisResult analysis = AnalyzeQuery(query, info, analyzer_options);
       stats_.analysis = analysis.stats;
+      if (recorder != nullptr) {
+        record.analyze_ns = ObsNowNs() - analyze_start_ns;
+      }
       if (!analysis.diagnostics.empty()) {
         analyze_span.Counter("diagnostics", analysis.diagnostics.size());
       }
       if (analysis.has_errors()) {
         settle();
-        return AnalysisErrorStatus(analysis, source_);
+        Status rejected = AnalysisErrorStatus(analysis, source_);
+        finish_record(rejected);
+        return rejected;
       }
     }
     // EXPLAIN ANALYZE's profile keys are plan nodes, so a plan_out request
@@ -231,8 +310,15 @@ Result<QueryAnswer> Evaluator::EvaluateImpl(const FormulaNode& query,
       CompiledPlan plan;
       {
         TraceSpan build_span("plan.build");
+        const uint64_t build_start_ns =
+            recorder != nullptr ? ObsNowNs() : 0;
         plan = BuildPlan(query, info, ext_);
+        if (recorder != nullptr) {
+          record.plan_build_ns = ObsNowNs() - build_start_ns;
+        }
       }
+      const uint64_t optimize_start_ns =
+          recorder != nullptr ? ObsNowNs() : 0;
       if (options_.optimize) {
         {
           TraceSpan optimize_span("plan.optimize");
@@ -253,21 +339,37 @@ Result<QueryAnswer> Evaluator::EvaluateImpl(const FormulaNode& query,
         stats_.plan = PlanPassStats();
         stats_.plan.plan_nodes = CountPlanNodes(*plan.root);
       }
+      if (recorder != nullptr) {
+        // The optimize phase covers the pass pipeline plus the tier-2 cost
+        // pass; the plan fingerprint hashes the final printed plan, so two
+        // records agree exactly when their executions ran the same plan.
+        record.plan_optimize_ns = ObsNowNs() - optimize_start_ns;
+        record.plan_fingerprint = StableHash64(PrintPlan(plan));
+      }
       if (plan_out != nullptr) *plan_out = plan;
       if (resume_collector.has_value()) {
         RegisterResumeSites(*plan.root, *resume_collector);
       }
       TraceSpan execute_span("plan.execute");
+      const uint64_t execute_start_ns =
+          recorder != nullptr ? ObsNowNs() : 0;
       result = ExecutePlan(plan, ext_, options_, &stats_, profile);
+      if (recorder != nullptr) {
+        record.execute_ns = ObsNowNs() - execute_start_ns;
+      }
       execute_span.Counter("rows", result.disjuncts().size());
     } else {
       if (resume_collector.has_value()) {
         RegisterResumeSites(query, *resume_collector);
       }
       TraceSpan walk_span("legacy.walk");
+      const uint64_t walk_start_ns = recorder != nullptr ? ObsNowNs() : 0;
       RegionEnv renv;
       SetEnv senv;
       result = Eval(query, renv, senv);
+      if (recorder != nullptr) {
+        record.execute_ns = ObsNowNs() - walk_start_ns;
+      }
       walk_span.Counter("rows", result.disjuncts().size());
     }
   } catch (const QueryInterrupt& interrupt) {
@@ -301,6 +403,7 @@ Result<QueryAnswer> Evaluator::EvaluateImpl(const FormulaNode& query,
         status.set_resume_token(token);
       }
     }
+    finish_record(status);
     return status;
   }
   settle();
@@ -312,13 +415,16 @@ Result<QueryAnswer> Evaluator::EvaluateImpl(const FormulaNode& query,
   for (size_t col = info.all_element_vars.size(); col-- > 0;) {
     if (free.count(info.all_element_vars[col])) continue;
     if (VariableOccurs(result, col)) {
-      return Status::Internal("bound variable '" +
-                              info.all_element_vars[col] +
-                              "' survived elimination");
+      Status leak = Status::Internal("bound variable '" +
+                                     info.all_element_vars[col] +
+                                     "' survived elimination");
+      finish_record(leak);
+      return leak;
     }
     result = DropVariable(result, col);
   }
   QueryAnswer answer{std::move(result), info.free_element_order};
+  finish_record(Status::Ok());
   return answer;
 }
 
@@ -849,6 +955,9 @@ MetricsSnapshot Evaluator::Stats::ToMetrics() const {
   registry.Count("evaluator.resume.fixpoints_resumed",
                  resume_fixpoints_resumed);
   registry.Count("evaluator.resume.stages_skipped", resume_stages_skipped);
+  // Always registered (usually zero) so tail-latency dashboards can alert
+  // on the first dropped span instead of on a missing series.
+  registry.Count("trace.spans_dropped", trace_spans_dropped);
   registry.RegisterKernelStats(kernel);
   registry.RegisterGovernorStats(governor);
   registry.RegisterPlanPassStats(plan);

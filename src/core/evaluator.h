@@ -139,6 +139,10 @@ class Evaluator {
     size_t resume_sets_restored = 0;
     size_t resume_fixpoints_resumed = 0;
     size_t resume_stages_skipped = 0;
+    /// Completed spans the installed tracer's bounded ring evicted during
+    /// this evaluator's queries (exported as trace.spans_dropped). Nonzero
+    /// means tail-latency attribution from the trace is incomplete.
+    size_t trace_spans_dropped = 0;
 
     /// Unified named view over all the telemetry above: the evaluator's own
     /// counters as `evaluator.*` plus the kernel.*, governor.*, plan.* and

@@ -152,6 +152,36 @@ void MetricsRegistry::RegisterPlanCostStats(const PlanCostStats& s) {
   Gauge("plan.cost.warnings", s.warnings);
 }
 
+uint64_t MetricsSnapshot::HistogramValue::Percentile(double q) const {
+  if (count == 0) return 0;
+  if (q <= 0) q = 0;
+  if (q > 1) q = 1;
+  // 1-based rank of the target observation: ceil(q * count), clamped.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (static_cast<double>(rank) < q * static_cast<double>(count)) ++rank;
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (cumulative + buckets[i] < rank) {
+      cumulative += buckets[i];
+      continue;
+    }
+    // Bucket 0 holds exactly the value 0; bucket i >= 1 holds values in
+    // [2^(i-1), 2^i). The overflow bucket (kHistogramBuckets-1) is open
+    // above but extrapolates to twice its lower bound — the same 2^i
+    // upper edge, so one formula serves all buckets.
+    if (i == 0) return 0;
+    const uint64_t lo = uint64_t{1} << (i - 1);
+    const uint64_t hi = uint64_t{1} << i;
+    const double fraction = static_cast<double>(rank - cumulative) /
+                            static_cast<double>(buckets[i]);
+    return lo + static_cast<uint64_t>(fraction *
+                                      static_cast<double>(hi - lo));
+  }
+  return 0;
+}
+
 MetricsSnapshot MetricsSnapshot::Diff(const MetricsSnapshot& before) const {
   MetricsSnapshot out;
   for (const auto& [name, value] : values) {
@@ -220,7 +250,11 @@ std::string MetricsSnapshot::ToJson() const {
       if (i > 0) out += ",";
       out += std::to_string(h.buckets[i]);
     }
-    out += "]}";
+    // Percentile estimates ride after the buckets so the prefix schema
+    // stays what it always was (tests pin the count/sum/buckets head).
+    out += "],\"p50\":" + std::to_string(h.Percentile(0.50)) +
+           ",\"p90\":" + std::to_string(h.Percentile(0.90)) +
+           ",\"p99\":" + std::to_string(h.Percentile(0.99)) + "}";
   }
   out += "}";
   return out;
@@ -237,6 +271,9 @@ std::string MetricsSnapshot::ToString() const {
   for (const auto& [name, h] : histograms) {
     out += name + ".count=" + std::to_string(h.count) + "\n";
     out += name + ".sum=" + std::to_string(h.sum) + "\n";
+    out += name + ".p50=" + std::to_string(h.Percentile(0.50)) + "\n";
+    out += name + ".p90=" + std::to_string(h.Percentile(0.90)) + "\n";
+    out += name + ".p99=" + std::to_string(h.Percentile(0.99)) + "\n";
   }
   return out;
 }

@@ -24,6 +24,14 @@ struct MetricsSnapshot {
     std::vector<uint64_t> buckets;
     uint64_t count = 0;
     uint64_t sum = 0;
+
+    /// Estimated q-quantile (q in (0, 1]) from the log2 buckets: the
+    /// target rank's bucket is found by cumulative count and the value is
+    /// interpolated linearly inside the bucket's range [2^(i-1), 2^i) —
+    /// so the estimate carries at most one bucket (2x) of error. The
+    /// overflow bucket extrapolates to twice its lower bound; an empty
+    /// histogram reports 0.
+    uint64_t Percentile(double q) const;
   };
 
   std::map<std::string, uint64_t> values;  ///< counters and gauges
@@ -42,11 +50,14 @@ struct MetricsSnapshot {
   MetricsSnapshot& Merge(const MetricsSnapshot& other);
 
   /// Flat single-line JSON object: numeric fields under their dotted
-  /// names, labels as strings, histograms as {"buckets":[...],"count":n,
-  /// "sum":n} objects. The schema the CI job validates.
+  /// names, labels as strings, histograms as {"count":n,"sum":n,
+  /// "buckets":[...],"p50":n,"p90":n,"p99":n} objects (percentiles are
+  /// the interpolated estimates of Percentile). The schema the CI job
+  /// validates.
   std::string ToJson() const;
 
-  /// `name=value` lines for terminals (lcdbq --stats).
+  /// `name=value` lines for terminals (lcdbq --stats). Histograms render
+  /// count, sum and the p50/p90/p99 estimates instead of raw buckets.
   std::string ToString() const;
 };
 

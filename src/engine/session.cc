@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "constraint/canonical.h"
 #include "core/parser.h"
 
 namespace lcdb {
@@ -28,39 +29,6 @@ bool AnyFinite(const GovernorLimits& limits) {
 
 }  // namespace
 
-FailureClass ClassifyFailure(const Status& status) {
-  if (status.ok()) return FailureClass::kNone;
-  switch (status.code()) {
-    case StatusCode::kCancelled:
-      return FailureClass::kCancelled;
-    case StatusCode::kResourceExhausted:
-    case StatusCode::kDeadlineExceeded:
-      return FailureClass::kResource;
-    case StatusCode::kInternal:
-    case StatusCode::kUnsupported:
-      return FailureClass::kFault;
-    default:
-      // Parse, type and argument errors: the input is wrong, not the run.
-      return FailureClass::kInvalid;
-  }
-}
-
-const char* FailureClassName(FailureClass c) {
-  switch (c) {
-    case FailureClass::kNone:
-      return "none";
-    case FailureClass::kInvalid:
-      return "invalid";
-    case FailureClass::kResource:
-      return "resource";
-    case FailureClass::kCancelled:
-      return "cancelled";
-    case FailureClass::kFault:
-      return "fault";
-  }
-  return "unknown";
-}
-
 std::string SessionStats::ToString() const {
   std::string out = "queries=" + std::to_string(queries);
   out += " successes=" + std::to_string(successes);
@@ -78,13 +46,23 @@ std::string SessionStats::ToString() const {
 
 QuerySession::QuerySession(const RegionExtension& extension,
                            SessionOptions options)
-    : ext_(extension), options_(std::move(options)) {}
+    : ext_(extension), options_(std::move(options)) {
+  if (options_.profile.sample_every > 0) {
+    profiler_ = std::make_unique<ContinuousProfiler>(options_.profile);
+  }
+  if (!options_.postmortem_dir.empty()) {
+    PostmortemWriter::Options postmortem_options;
+    postmortem_options.directory = options_.postmortem_dir;
+    postmortem_ = std::make_unique<PostmortemWriter>(postmortem_options);
+  }
+}
 
-QuerySession::LadderState QuerySession::InitialLadder() const {
+QuerySession::LadderState QuerySession::InitialLadder(
+    bool force_trace) const {
   LadderState ladder;
   ladder.kernel = options_.kernel;
   ladder.limits = options_.limits;
-  ladder.trace = options_.trace;
+  ladder.trace = options_.trace || force_trace;
   // The fixed drop order DESIGN.md documents: shed the newest/most
   // speculative machinery first, the answer-preserving basics last.
   if (options_.eval.use_bytecode) ladder.rungs.push_back("vm->tree");
@@ -145,8 +123,12 @@ void QuerySession::RecordDeterministicFailure(const std::string& key) {
 
 Result<QueryAnswer> QuerySession::RunLadder(const FormulaNode& query,
                                             const std::string& key,
-                                            std::string_view source) {
-  LadderState ladder = InitialLadder();
+                                            std::string_view source,
+                                            bool force_trace) {
+  LadderState ladder = InitialLadder(force_trace);
+  // Untraced call: drop the previous call's tracer so the tracer() /
+  // post-mortem surfaces never serve a stale span tree as this call's.
+  if (!ladder.trace) tracer_.reset();
   Evaluator::Options eval_options = options_.eval;
   if (options_.use_resume) eval_options.capture_resume = true;
   // One evaluator spans every attempt of this call: resume tokens are
@@ -231,20 +213,108 @@ Result<QueryAnswer> QuerySession::RunLadder(const FormulaNode& query,
 
 Result<QueryAnswer> QuerySession::Evaluate(std::string_view query_text) {
   ++stats_.queries;
+  // Per-call observability context: the profiler's deterministic sampling
+  // decision (made before the query runs) and the counter baselines whose
+  // deltas annotate the flight record and the post-mortem bundle.
+  const bool sampled = profiler_ != nullptr && profiler_->ShouldSample();
+  const uint64_t attempts_before = stats_.attempts;
+  const uint64_t retries_before = stats_.retries;
+  const uint64_t resumes_before = stats_.resumes;
+  const size_t ladder_log_before = degradation_log_.size();
+  QueryFlightRecorder* recorder = ActiveFlightRecorderOrNull();
+  const uint64_t appended_before =
+      recorder != nullptr ? recorder->appended() : 0;
+  const uint64_t start_ns = ObsNowNs();
+
+  // Observability epilogue shared by every exit of this call.
+  auto finish = [&](const Status& status) {
+    const uint64_t total_ns = ObsNowNs() - start_ns;
+    const bool attempted = stats_.attempts > attempts_before;
+    const char* outcome = FailureClassName(ClassifyFailure(status));
+    if (profiler_ != nullptr) {
+      profiler_->RecordQuery(
+          total_ns, !status.ok(),
+          (sampled && attempted) ? tracer_.get() : nullptr);
+    }
+    if (recorder != nullptr) {
+      if (recorder->appended() == appended_before) {
+        // No attempt ran (quarantine rejection, parse error), so the
+        // evaluator appended nothing; the session appends a minimal record
+        // itself — the flight log covers *every* query, not every attempt.
+        QueryRecord rec;
+        rec.query_hash = StableHash64(std::string(query_text));
+        rec.backend = "none";
+        rec.total_ns = total_ns;
+        rec.outcome = outcome;
+        rec.status_code = StatusCodeName(status.code());
+        recorder->Append(std::move(rec));
+      }
+      recorder->AnnotateLast(stats_.retries - retries_before,
+                             stats_.resumes - resumes_before, outcome,
+                             sampled);
+    }
+    if (!status.ok() && postmortem_ != nullptr) {
+      WritePostmortem(query_text, status,
+                      stats_.attempts - attempts_before,
+                      stats_.retries - retries_before,
+                      stats_.resumes - resumes_before, ladder_log_before,
+                      attempted);
+    }
+  };
+
   const std::string key(query_text);
   if (quarantine_.find(key) != quarantine_.end()) {
     ++stats_.quarantine_rejections;
-    return Status::ResourceExhausted(
+    Status rejected = Status::ResourceExhausted(
         "query is quarantined after repeated deterministic failures; "
         "ClearQuarantine() lifts it");
+    finish(rejected);
+    return rejected;
   }
   auto parsed = ParseQuery(query_text, ext_.database().relation_name());
   if (!parsed.ok()) {
     ++stats_.invalid;
     last_failure_class_ = FailureClassName(FailureClass::kInvalid);
+    finish(parsed.status());
     return parsed.status();
   }
-  return RunLadder(**parsed, key, query_text);
+  auto answer = RunLadder(**parsed, key, query_text, sampled);
+  finish(answer.ok() ? Status::Ok() : answer.status());
+  return answer;
+}
+
+void QuerySession::WritePostmortem(std::string_view query_text,
+                                   const Status& status, uint64_t attempts,
+                                   uint64_t retries, uint64_t resumes,
+                                   size_t ladder_log_before,
+                                   bool attempted) {
+  PostmortemBundle bundle;
+  bundle.query_hash = StableHash64(std::string(query_text));
+  bundle.query_text = std::string(query_text);
+  bundle.status_code = StatusCodeName(status.code());
+  bundle.status_message = status.message();
+  bundle.failure_class = FailureClassName(ClassifyFailure(status));
+  bundle.resume_token = status.resume_token();
+  bundle.attempts = attempts;
+  bundle.retries = retries;
+  bundle.resumes = resumes;
+  for (size_t i = ladder_log_before; i < degradation_log_.size(); ++i) {
+    bundle.ladder.push_back(degradation_log_[i].rung + "@" +
+                            std::to_string(degradation_log_[i].attempt));
+  }
+  if (attempted && tracer_ != nullptr) {
+    bundle.span_tree = tracer_->ToTreeString();
+  }
+  // The metrics delta vs query start: last_eval_metrics_ is exactly the
+  // final attempt's evaluator families (each Evaluate resets its per-query
+  // stats), so no subtraction is needed here.
+  bundle.metrics_json = attempted ? last_eval_metrics_.ToJson() : "{}";
+  if (QueryFlightRecorder* recorder = ActiveFlightRecorderOrNull()) {
+    bundle.flight_tail = recorder->Tail(8);
+  }
+  // Best-effort by contract (see session.h): a failed diagnostic write
+  // must not mask the query's own failure.
+  (void)postmortem_->Write(bundle);
 }
 
 Result<bool> QuerySession::EvaluateSentence(std::string_view query_text) {
@@ -286,6 +356,9 @@ MetricsSnapshot QuerySession::Metrics() const {
   }
   MetricsSnapshot snapshot = registry.Snapshot();
   snapshot.Merge(last_eval_metrics_);
+  // The cross-query profile.* family (histograms fed by sampled traces)
+  // rides along, so one --stats dump carries both scopes.
+  if (profiler_ != nullptr) snapshot.Merge(profiler_->Metrics());
   return snapshot;
 }
 

@@ -14,26 +14,16 @@
 #include "engine/governor.h"
 #include "engine/kernel.h"
 #include "engine/metrics.h"
+#include "engine/obslog.h"
+#include "engine/profiler.h"
 #include "engine/trace.h"
 #include "util/status.h"
 
 namespace lcdb {
 
-/// Classification of a failed attempt, driving QuerySession's retry policy.
-/// Built on Status::IsResourceFailure with cancellation split out: a cancel
-/// is the *caller* changing its mind, so retrying it would be insubordinate,
-/// while budget and deadline trips are failures of the attempt's resource
-/// envelope and retry cleanly with a bigger one.
-enum class FailureClass {
-  kNone,       ///< the attempt succeeded
-  kInvalid,    ///< bad input (parse/type/argument): no retry can help
-  kResource,   ///< budget or deadline trip: escalate + resume and retry
-  kCancelled,  ///< external cancel: never retried, never quarantined
-  kFault,      ///< internal/unsupported: engine fault; retry a rung lower
-};
-
-FailureClass ClassifyFailure(const Status& status);
-const char* FailureClassName(FailureClass c);
+// The failure taxonomy (FailureClass / ClassifyFailure / FailureClassName)
+// lives in engine/obslog.h now — the flight recorder names outcomes with
+// it below the evaluator layer — and is re-exported here unchanged.
 
 /// One rung dropped by the degradation ladder, for the log the tests pin.
 struct DegradationStep {
@@ -67,6 +57,15 @@ struct SessionOptions {
   /// (ladder and retries exhausted) before the text is quarantined and
   /// subsequent evaluations are rejected without running.
   size_t quarantine_threshold = 3;
+  /// Continuous-profiling policy (engine/profiler.h): sample_every == 0
+  /// (the default here) disables it; N > 0 auto-installs a tracer for every
+  /// Nth query and folds its spans into the profile.op.* histograms. The
+  /// sampled tracer is independent of `trace` above, which traces every
+  /// attempt.
+  ContinuousProfiler::Options profile{.sample_every = 0};
+  /// When non-empty, every Evaluate call that ends in a non-OK Status
+  /// serializes a post-mortem bundle (engine/obslog.h) into this directory.
+  std::string postmortem_dir;
 };
 
 /// Cumulative counters of one session, exported as the session.* metrics
@@ -146,8 +145,23 @@ class QuerySession {
   MetricsSnapshot Metrics() const;
 
   /// The span trace of the most recent attempt, when SessionOptions::trace
-  /// was on and the trace->off rung has not been dropped for that call.
+  /// was on (or the profiler sampled the call) and the trace->off rung has
+  /// not been dropped for that call.
   const QueryTracer* tracer() const { return tracer_.get(); }
+
+  /// The continuous profiler, when SessionOptions::profile.sample_every is
+  /// nonzero (lcdbsh `\show profile`); nullptr otherwise.
+  const ContinuousProfiler* profiler() const { return profiler_.get(); }
+
+  /// Post-mortem bundles written so far / the most recent bundle's path
+  /// ("" until the first failure under a configured postmortem_dir).
+  uint64_t postmortems_written() const {
+    return postmortem_ ? postmortem_->written() : 0;
+  }
+  const std::string& last_postmortem_path() const {
+    static const std::string kEmpty;
+    return postmortem_ ? postmortem_->last_path() : kEmpty;
+  }
 
  private:
   /// Mutable per-call ladder state: the remaining rungs plus the attempt
@@ -160,7 +174,9 @@ class QuerySession {
     size_t resource_failures_at_rung = 0;
   };
 
-  LadderState InitialLadder() const;
+  /// `force_trace` ORs the profiler's sampling decision into the starting
+  /// rung, so a sampled call records spans even when options_.trace is off.
+  LadderState InitialLadder(bool force_trace) const;
   /// Drops the next rung, applying it to `ladder` and (for "vm->tree") to
   /// `evaluator`. Returns false when no rung is left.
   bool Degrade(LadderState& ladder, Evaluator& evaluator, size_t attempt);
@@ -169,9 +185,17 @@ class QuerySession {
   /// (the source text).
   Result<QueryAnswer> RunLadder(const FormulaNode& query,
                                 const std::string& key,
-                                std::string_view source);
+                                std::string_view source, bool force_trace);
   /// Bookkeeping for a call that exhausted the ladder.
   void RecordDeterministicFailure(const std::string& key);
+  /// Serializes one post-mortem bundle for a failed call, when
+  /// options_.postmortem_dir is configured. Write errors are swallowed
+  /// (diagnostics must never turn a query failure into a crash), but
+  /// counted nowhere — the chaos CI asserts bundles exist instead.
+  void WritePostmortem(std::string_view query_text, const Status& status,
+                       uint64_t attempts, uint64_t retries,
+                       uint64_t resumes, size_t ladder_log_before,
+                       bool attempted);
 
   const RegionExtension& ext_;
   SessionOptions options_;
@@ -183,6 +207,8 @@ class QuerySession {
   /// Metrics of the most recent call's evaluator, kept past its lifetime.
   MetricsSnapshot last_eval_metrics_;
   std::string last_failure_class_;
+  std::unique_ptr<ContinuousProfiler> profiler_;  ///< when sampling is on
+  std::unique_ptr<PostmortemWriter> postmortem_;  ///< when a dir is set
 };
 
 }  // namespace lcdb

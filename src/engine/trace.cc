@@ -153,6 +153,20 @@ std::string QueryTracer::ToChromeTraceJson() const {
   return out;
 }
 
+void QueryTracer::VisitCompletedSpans(
+    const std::function<void(const std::string&, uint64_t)>& visit) const {
+  std::vector<const Span*> ordered;
+  ordered.reserve(completed_.size());
+  for (const Span& span : completed_) ordered.push_back(&span);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Span* a, const Span* b) { return a->id < b->id; });
+  for (const Span* span : ordered) {
+    const uint64_t dur_ns =
+        span->end_ns >= span->start_ns ? span->end_ns - span->start_ns : 0;
+    visit(span->name, dur_ns);
+  }
+}
+
 std::string QueryTracer::ToTreeString(bool zero_timestamps) const {
   std::vector<const Span*> ordered;
   ordered.reserve(completed_.size());

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,12 @@ class QueryTracer {
   /// `zero_timestamps` the time columns are omitted entirely, leaving only
   /// structure, names and counters — byte-stable across runs.
   std::string ToTreeString(bool zero_timestamps = false) const;
+
+  /// Visits every retained completed span as (name, inclusive duration ns)
+  /// in begin order — the continuous profiler's folding hook
+  /// (engine/profiler.h): per-op histograms need durations, not structure.
+  void VisitCompletedSpans(
+      const std::function<void(const std::string&, uint64_t)>& visit) const;
 
  private:
   struct Span {

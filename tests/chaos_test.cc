@@ -22,9 +22,12 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iterator>
 #include <memory>
 #include <random>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -224,12 +227,17 @@ TEST_F(ChaosTest, SessionLevelSweep) {
   // The same storm through QuerySession: persistent injected faults must
   // come back as the clean final Status of an exhausted ladder (with
   // orderly session telemetry), and the session must serve the reference
-  // answer immediately after the fault clears.
+  // answer immediately after the fault clears. Post-mortem contract: every
+  // failed call under a configured postmortem_dir leaves a readable bundle.
   const uint64_t seed = ChaosSeed() + 1;
   EchoSeed(ChaosSeed());
   std::mt19937_64 rng(seed);
   std::vector<ChaosCase> cases = BuildCorpus();
   ASSERT_FALSE(cases.empty());
+  const std::string postmortem_dir =
+      ::testing::TempDir() + "/lcdb_chaos_postmortems";
+  std::filesystem::remove_all(postmortem_dir);
+  int failures = 0;
   for (int round = 0; round < 30; ++round) {
     const ChaosCase& c = cases[rng() % cases.size()];
     SCOPED_TRACE("round " + std::to_string(round) + ": " + c.db_name +
@@ -238,6 +246,8 @@ TEST_F(ChaosTest, SessionLevelSweep) {
     options.eval.use_bytecode = (rng() % 2) == 0;
     options.max_retries = rng() % 3;
     options.quarantine_threshold = 0;  // never quarantine inside the sweep
+    options.postmortem_dir = postmortem_dir;
+    options.profile.sample_every = 2;  // exercise the profiler under chaos
     QuerySession session(*c.ext, options);
     const char* site = kEvalSites[rng() % std::size(kEvalSites)];
     const StatusCode code = kCodes[rng() % std::size(kCodes)];
@@ -246,14 +256,30 @@ TEST_F(ChaosTest, SessionLevelSweep) {
     DisarmAllFailpoints();
     if (!stormy.ok()) {
       EXPECT_EQ(stormy.status().code(), code);
+      ++failures;
+      // The bundle is on disk, names the injected status, and carries the
+      // schema marker the CI validator pins.
+      EXPECT_EQ(session.postmortems_written(), 1u);
+      const std::string& path = session.last_postmortem_path();
+      ASSERT_FALSE(path.empty());
+      std::ifstream in(path);
+      ASSERT_TRUE(in.good()) << "missing bundle " << path;
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      const std::string bundle = buffer.str();
+      EXPECT_NE(bundle.find("\"schema\":\"lcdb.postmortem.v1\""),
+                std::string::npos);
+      EXPECT_NE(bundle.find("chaos-injected"), std::string::npos);
     } else {
       EXPECT_EQ(stormy->ToString(), c.reference);
+      EXPECT_EQ(session.postmortems_written(), 0u);
     }
     ASSERT_FALSE(session.Metrics().ToJson().empty());
     auto after = session.Evaluate(c.query_text);
     ASSERT_TRUE(after.ok()) << after.status().ToString();
     EXPECT_EQ(after->ToString(), c.reference);
   }
+  std::printf("[chaos] session failures with bundles: %d\n", failures);
 }
 
 }  // namespace

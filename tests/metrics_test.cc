@@ -81,6 +81,88 @@ TEST(MetricsTest, ToJsonIsFlatAndTyped) {
             std::string::npos);
 }
 
+TEST(MetricsTest, HistogramPercentileEstimates) {
+  MetricsRegistry registry;
+  for (int i = 0; i < 100; ++i) registry.Observe("lat", 100);
+  // Every observation lands in the [64, 128) bucket, so every percentile
+  // estimate must interpolate inside it.
+  const MetricsSnapshot snap = registry.Snapshot();
+  const auto& h = snap.histograms.at("lat");
+  EXPECT_GE(h.Percentile(0.5), 64u);
+  EXPECT_LT(h.Percentile(0.5), 128u);
+  EXPECT_GE(h.Percentile(0.99), h.Percentile(0.5));
+
+  // An empty histogram and an all-zeros histogram both report 0.
+  MetricsSnapshot::HistogramValue empty;
+  EXPECT_EQ(empty.Percentile(0.5), 0u);
+  MetricsRegistry zeros;
+  zeros.Observe("z", 0);
+  const MetricsSnapshot zsnap = zeros.Snapshot();
+  EXPECT_EQ(zsnap.histograms.at("z").Percentile(0.9), 0u);
+}
+
+TEST(MetricsTest, HistogramOverflowRoundTripsThroughDiffAndMerge) {
+  const uint64_t huge = uint64_t{1} << 45;  // past the last finite bucket
+  MetricsRegistry registry;
+  registry.Observe("lat", huge);
+  const MetricsSnapshot before = registry.Snapshot();
+  registry.Observe("lat", huge);
+  registry.Observe("lat", 1);
+  const MetricsSnapshot after = registry.Snapshot();
+
+  const MetricsSnapshot delta = after.Diff(before);
+  const auto& d = delta.histograms.at("lat");
+  EXPECT_EQ(d.count, 2u);
+  EXPECT_EQ(d.sum, huge + 1);
+  EXPECT_EQ(d.buckets.back(), 1u);  // the overflow observation in the delta
+
+  // Merge adds bucket-wise, so before + (after - before) == after exactly.
+  MetricsSnapshot merged = before;
+  merged.Merge(delta);
+  const auto& m = merged.histograms.at("lat");
+  const auto& a = after.histograms.at("lat");
+  EXPECT_EQ(m.count, a.count);
+  EXPECT_EQ(m.sum, a.sum);
+  EXPECT_EQ(m.buckets, a.buckets);
+  // The overflow bucket extrapolates beyond the last finite bucket bound.
+  EXPECT_GE(a.Percentile(0.99),
+            uint64_t{1} << (MetricsRegistry::kHistogramBuckets - 2));
+}
+
+TEST(MetricsTest, MergeUnionsDisjointLabelSets) {
+  MetricsRegistry r1;
+  MetricsRegistry r2;
+  r1.Label("governor.tripped_budget", "max_tuple_space");
+  r1.Count("a", 1);
+  r2.Label("session.last_failure_class", "resource");
+  r2.Count("b", 2);
+  MetricsSnapshot merged = r1.Snapshot();
+  merged.Merge(r2.Snapshot());
+  EXPECT_EQ(merged.labels.at("governor.tripped_budget"), "max_tuple_space");
+  EXPECT_EQ(merged.labels.at("session.last_failure_class"), "resource");
+  EXPECT_EQ(merged.values.at("a"), 1u);
+  EXPECT_EQ(merged.values.at("b"), 2u);
+
+  // On a label collision the merged-in value wins.
+  MetricsRegistry r3;
+  r3.Label("governor.tripped_budget", "max_bigint_bits");
+  merged.Merge(r3.Snapshot());
+  EXPECT_EQ(merged.labels.at("governor.tripped_budget"), "max_bigint_bits");
+}
+
+TEST(MetricsTest, ExportsCarryPercentileEstimates) {
+  MetricsRegistry registry;
+  registry.Observe("lat", 100);
+  const MetricsSnapshot snap = registry.Snapshot();
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  const std::string text = snap.ToString();
+  EXPECT_NE(text.find("lat.p50="), std::string::npos);
+  EXPECT_NE(text.find("lat.p99="), std::string::npos);
+}
+
 TEST(MetricsTest, ClearEmptiesEverything) {
   MetricsRegistry registry;
   registry.Count("a", 1);
