@@ -505,6 +505,45 @@ BENCHMARK(BM_VmDispatch)
     ->Args({4, 1})
     ->Unit(benchmark::kMillisecond);
 
+/// Static-verification overhead experiment (EXPERIMENTS.md, "Static
+/// verification telemetry"): the connectivity sentence through the bytecode
+/// VM with the tier-3 verifiers ablated (Arg 0 — the `--no-verify` path:
+/// no plan invariant walk, no abstract-interpretation pass, the VM's
+/// refusal gate waived) and armed (Arg 1 — the default: VerifyPlan after
+/// optimization plus the full bytecode dataflow before the first
+/// instruction executes). Verification is compile-time-only work per
+/// query, so the CI acceptance gate compares the two timings and requires
+/// the Arg(1) tax to stay under 2%. Counters expose the verified volume.
+void BM_VerifyOverhead(benchmark::State& state) {
+  const size_t teeth = 3;
+  const bool verify = state.range(0) != 0;
+  lcdb::ConstraintDatabase db = lcdb::MakeComb(teeth, /*connected=*/true);
+  auto ext = lcdb::MakeArrangementExtension(db);
+  auto query = lcdb::ParseQuery(lcdb::RegionConnQueryText(), "S");
+  lcdb::Evaluator::Stats last;
+  for (auto _ : state) {
+    lcdb::Evaluator::Options options;
+    options.use_bytecode = true;
+    options.verify = verify;
+    lcdb::Evaluator evaluator(*ext, options);
+    auto result = evaluator.EvaluateSentence(**query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    if (!*result) state.SkipWithError("comb should be connected");
+    last = evaluator.stats();
+    benchmark::DoNotOptimize(*result);
+  }
+  state.counters["regions"] = static_cast<double>(ext->num_regions());
+  state.counters["verify_enabled"] = verify ? 1 : 0;
+  state.counters["plans_verified"] =
+      static_cast<double>(last.verify.plans_verified);
+  state.counters["instructions_verified"] =
+      static_cast<double>(last.verify.instructions_verified);
+  state.counters["loops_verified"] =
+      static_cast<double>(last.verify.loops_verified);
+}
+
+BENCHMARK(BM_VerifyOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 /// Checkpoint/resume acceptance experiment (EXPERIMENTS.md, "Chaos and
 /// resilience telemetry"): the connectivity sentence under four modes.
 ///   mode 0  uninterrupted, checkpoint capture OFF — the baseline;

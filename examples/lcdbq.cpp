@@ -17,6 +17,12 @@
 //                      spans and a summary line
 //   --lint=json        same, but print the diagnostics as a JSON array
 //                      (code/severity/message/begin/end/fix per entry)
+//   --werror           with --lint, promote analyzer warnings to errors:
+//                      the report renders them at error severity and the
+//                      exit code is 1 when any fired (CI gating)
+//   --no-verify        skip the tier-3 static verifiers (plan-IR invariant
+//                      checker + bytecode verifier, analysis/plan_verify.h);
+//                      ablation knob for benchmarking the <2% verify tax
 //   --explain          print the optimized query plan instead of evaluating
 //   --explain-analyze  execute the query and print the plan annotated with
 //                      per-node measured execution (EXPLAIN ANALYZE)
@@ -115,7 +121,9 @@ int main(int argc, char** argv) {
   bool use_vm = false;
   bool lint = false;
   bool lint_json = false;
+  bool werror = false;
   bool optimize = true;
+  bool verify = true;
   std::optional<uint64_t> timeout_ms;
   size_t retries = 0;
   std::string failpoint_spec;
@@ -140,8 +148,12 @@ int main(int argc, char** argv) {
       explain_bytecode = true;
     } else if (std::strcmp(argv[i], "--vm") == 0) {
       use_vm = true;
+    } else if (std::strcmp(argv[i], "--werror") == 0) {
+      werror = true;
     } else if (std::strcmp(argv[i], "--no-optimize") == 0) {
       optimize = false;
+    } else if (std::strcmp(argv[i], "--no-verify") == 0) {
+      verify = false;
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
@@ -184,9 +196,11 @@ int main(int argc, char** argv) {
   if (db_path.empty() || query.empty()) {
     std::fprintf(stderr,
                  "usage: lcdbq <database-file> <query> "
-                 "[--decomposition] [--stats] [--lint[=json]] [--explain] "
+                 "[--decomposition] [--stats] [--lint[=json]] [--werror] "
+                 "[--explain] "
                  "[--explain-analyze] [--explain-bytecode] [--vm] "
-                 "[--no-optimize] [--timeout <ms>] [--retries <n>] "
+                 "[--no-optimize] [--no-verify] [--timeout <ms>] "
+                 "[--retries <n>] "
                  "[--failpoint=SITE[:skip_hits]] [--trace=out.json] "
                  "[--query-log=out.jsonl] [--sample-rate=N] "
                  "[--postmortem=DIR]\n"
@@ -222,6 +236,17 @@ int main(int argc, char** argv) {
   // warning degrades gracefully (the overflow error still fires).
   if (lint) {
     lcdb::LintReport report = lcdb::LintQueryText(query, *db);
+    if (werror) {
+      // Promote warnings to errors before rendering so the output severity
+      // and the exit code tell the same story.
+      for (lcdb::Diagnostic& d : report.diagnostics) {
+        if (d.severity == lcdb::DiagSeverity::kWarning) {
+          d.severity = lcdb::DiagSeverity::kError;
+          --report.stats.warnings;
+          ++report.stats.errors;
+        }
+      }
+    }
     if (lint_json) {
       std::printf("%s\n", lcdb::DiagnosticsToJson(report.diagnostics).c_str());
     } else {
@@ -293,6 +318,7 @@ int main(int argc, char** argv) {
   lcdb::Evaluator::Options options;
   options.optimize = optimize;
   options.use_bytecode = use_vm;
+  options.verify = verify;
   lcdb::Evaluator evaluator(*ext, options);
   evaluator.AttachSource(query);  // carets in analyzer rejections
   if (explain || explain_analyze || explain_bytecode) {

@@ -21,6 +21,8 @@
 //                                  of the GovernorLimits fields, <n> a count
 //                                  or 'unlimited'
 //   \set retries <n>               QuerySession retry budget per query
+//   \set werror on|off             lint: promote analyzer warnings to
+//                                  errors (CI-style gating)
 //   \set sample <n>                continuous profiler: trace every nth
 //                                  query (0 disables), folding sampled spans
 //                                  into the profile.op.* histograms
@@ -90,6 +92,7 @@ struct Session {
   lcdb::GovernorLimits limits;  // applied to every query via ScopedGovernor
   size_t retries = 2;           // QuerySession retry budget per query
   size_t sample_every = 0;      // profiler sampling period (0 = off)
+  bool werror = false;          // lint: promote warnings to errors
   // Flight recorder behind `\show recent`; installed process-wide in main()
   // so it survives extension resets and QuerySession rebuilds.
   lcdb::QueryFlightRecorder recorder;
@@ -225,6 +228,17 @@ void CmdLint(Session& session, const std::string& text) {
   lcdb::AnalyzerOptions options;
   if (session.ext != nullptr) options.num_regions = session.ext->num_regions();
   lcdb::LintReport report = lcdb::LintQueryText(text, *session.db, options);
+  if (session.werror) {
+    // Mirror lcdbq --werror: the rendered severity and the summary line
+    // agree with how a CI gate would exit.
+    for (lcdb::Diagnostic& d : report.diagnostics) {
+      if (d.severity == lcdb::DiagSeverity::kWarning) {
+        d.severity = lcdb::DiagSeverity::kError;
+        --report.stats.warnings;
+        ++report.stats.errors;
+      }
+    }
+  }
   std::printf("%s", lcdb::RenderDiagnostics(report.diagnostics, text).c_str());
   std::printf("lint: %s\n", report.stats.ToString().c_str());
 }
@@ -364,6 +378,16 @@ void CmdSet(Session& session, const std::string& args) {
     }
     session.limits.wall_clock_ms =
         ms == 0 ? lcdb::GovernorLimits::kUnlimited : ms;
+    std::printf("ok\n");
+    return;
+  }
+  if (what == "werror") {
+    std::string value;
+    if (!(in >> value) || (value != "on" && value != "off")) {
+      std::printf("usage: \\set werror on|off\n");
+      return;
+    }
+    session.werror = value == "on";
     std::printf("ok\n");
     return;
   }
@@ -551,6 +575,7 @@ int main() {
             "  \\set timeout <ms>       per-query deadline (0/'off' disables)\n"
             "  \\set budget <name> <n>  per-query resource budget\n"
             "  \\set retries <n>        session retry budget per query\n"
+            "  \\set werror on|off      lint: promote warnings to errors\n"
             "  \\set sample <n>         profile every nth query (0 disables)\n"
             "  \\set failpoint SITE [k] arm fault injection (skip k hits);\n"
             "                          '\\set failpoint off' disarms all\n"

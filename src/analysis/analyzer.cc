@@ -92,6 +92,36 @@ class Analyzer {
           if (ka != kb) return ka < kb;
           return a.code < b.code;
         });
+    // Deduplicate: a guard that several walks classify (e.g. one inside a
+    // fixpoint body revisited per polarity) would repeat its LCDB006/007
+    // warning verbatim and make --lint output depend on walk order. Keep
+    // one diagnostic per (code, span, message) and recount the stats.
+    auto last = std::unique(
+        result_.diagnostics.begin(), result_.diagnostics.end(),
+        [](const Diagnostic& a, const Diagnostic& b) {
+          return a.code == b.code && a.span.begin == b.span.begin &&
+                 a.span.end == b.span.end && a.message == b.message;
+        });
+    if (last != result_.diagnostics.end()) {
+      result_.diagnostics.erase(last, result_.diagnostics.end());
+      result_.stats.diagnostics = result_.diagnostics.size();
+      result_.stats.errors = 0;
+      result_.stats.warnings = 0;
+      result_.stats.notes = 0;
+      for (const Diagnostic& d : result_.diagnostics) {
+        switch (d.severity) {
+          case DiagSeverity::kError:
+            ++result_.stats.errors;
+            break;
+          case DiagSeverity::kWarning:
+            ++result_.stats.warnings;
+            break;
+          case DiagSeverity::kNote:
+            ++result_.stats.notes;
+            break;
+        }
+      }
+    }
     return std::move(result_);
   }
 

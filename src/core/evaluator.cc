@@ -4,6 +4,8 @@
 #include <optional>
 
 #include "analysis/analyzer.h"
+#include "analysis/bytecode_verify.h"
+#include "analysis/plan_verify.h"
 #include "constraint/canonical.h"
 #include "analysis/plan_cost.h"
 #include "core/parser.h"
@@ -187,6 +189,7 @@ Result<QueryAnswer> Evaluator::EvaluateImpl(const FormulaNode& query,
   closure_cache_.clear();
   stats_.op_timings.clear();
   stats_.vm = VmStats();
+  stats_.verify = VerifyStats();
   stats_.plan_cost = PlanCostStats();
 
   // Checkpoint/resume plumbing (core/resume.h). A nonzero token re-installs
@@ -339,6 +342,21 @@ Result<QueryAnswer> Evaluator::EvaluateImpl(const FormulaNode& query,
         stats_.plan = PlanPassStats();
         stats_.plan.plan_nodes = CountPlanNodes(*plan.root);
       }
+      // Tier-3 gate: no plan reaches an executor unverified. A violation
+      // here is an optimizer/planner bug surfacing as a clean LCDB012
+      // kInternal instead of undefined executor behaviour downstream.
+      if (options_.verify) {
+        TraceSpan verify_span("plan.verify");
+        Status verified = VerifyPlan(
+            plan, options_.optimize ? "after plan.optimize" : "after plan.build",
+            &stats_.verify);
+        if (!verified.ok()) {
+          settle();
+          finish_record(verified);
+          return verified;
+        }
+        verify_span.Counter("plan_nodes", stats_.verify.plan_nodes_verified);
+      }
       if (recorder != nullptr) {
         // The optimize phase covers the pass pipeline plus the tier-2 cost
         // pass; the plan fingerprint hashes the final printed plan, so two
@@ -468,6 +486,7 @@ Result<std::string> Evaluator::Explain(const FormulaNode& query) {
     }
     stats_.plan = PlanPassStats();
     stats_.plan_cost = PlanCostStats();
+    stats_.verify = VerifyStats();
     std::string out;
     if (options_.optimize) {
       {
@@ -482,6 +501,17 @@ Result<std::string> Evaluator::Explain(const FormulaNode& query) {
       cost_options.max_tuple_space = options_.max_tuple_space;
       PlanCostReport cost = AnalyzePlanCost(plan, cost_options);
       stats_.plan_cost = cost.stats;
+      // Same tier-3 gate as Evaluate: never print a plan the executor
+      // would refuse.
+      if (options_.verify) {
+        TraceSpan verify_span("plan.verify");
+        Status verified =
+            VerifyPlan(plan, "after plan.optimize", &stats_.verify);
+        if (!verified.ok()) {
+          SettleAmbient(kernel_before);
+          return verified;
+        }
+      }
       out = PrintPlan(plan, nullptr, &cost.costs);
       out += "-- " + stats_.plan.ToString() + "\n";
       out += "-- cost: nodes=" + std::to_string(cost.stats.nodes) +
@@ -492,6 +522,14 @@ Result<std::string> Evaluator::Explain(const FormulaNode& query) {
         out += RenderDiagnostics(cost.diagnostics, source_);
       }
     } else {
+      if (options_.verify) {
+        TraceSpan verify_span("plan.verify");
+        Status verified = VerifyPlan(plan, "after plan.build", &stats_.verify);
+        if (!verified.ok()) {
+          SettleAmbient(kernel_before);
+          return verified;
+        }
+      }
       out = PrintPlan(plan);
       out += "-- " + stats_.plan.ToString() + "\n";
     }
@@ -538,14 +576,35 @@ Result<std::string> Evaluator::ExplainBytecode(const FormulaNode& query) {
       plan = BuildPlan(query, info, ext_);
     }
     stats_.plan = PlanPassStats();
+    stats_.verify = VerifyStats();
     {
       TraceSpan optimize_span("plan.optimize");
       OptimizePlan(&plan, &stats_.plan);
+    }
+    if (options_.verify) {
+      TraceSpan verify_span("plan.verify");
+      Status verified =
+          VerifyPlan(plan, "after plan.optimize", &stats_.verify);
+      if (!verified.ok()) {
+        SettleAmbient(kernel_before);
+        return verified;
+      }
     }
     BytecodeProgram program = [&] {
       TraceSpan lower_span("plan.lower");
       return CompileToBytecode(plan);
     }();
+    if (options_.verify) {
+      // The listing must stay byte-identical to DisassembleBytecode (the
+      // golden test pins it), so verification only gates — no footer.
+      TraceSpan verify_span("bytecode.verify");
+      BytecodeVerifyResult verdict = VerifyBytecode(program);
+      AccumulateVerifyStats(verdict, &stats_.verify);
+      if (!verdict.status.ok()) {
+        SettleAmbient(kernel_before);
+        return verdict.status;
+      }
+    }
     stats_.vm = VmStats();
     stats_.vm.procs = program.procs.size();
     stats_.vm.code_instructions = program.TotalInstructions();
@@ -968,6 +1027,9 @@ MetricsSnapshot Evaluator::Stats::ToMetrics() const {
   // bench harness and the CI metrics assertions.
   registry.RegisterVmStats(vm);
   registry.RegisterPlanCostStats(plan_cost);
+  // Likewise always registered so analysis.verify.* is schema-stable even
+  // under the --no-verify ablation.
+  registry.RegisterVerifyStats(verify);
   return registry.Snapshot();
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "analysis/analysis_stats.h"
+#include "analysis/verify_stats.h"
 #include "core/ast.h"
 #include "core/resume.h"
 #include "core/typecheck.h"
@@ -92,6 +93,14 @@ class Evaluator {
     /// (BM_ResumeVsRecompute bounds it under 2%); the off switch exists for
     /// that ablation.
     bool capture_resume = true;
+    /// Tier-3 static verification (analysis/plan_verify.h,
+    /// analysis/bytecode_verify.h): the compiled plan is checked after the
+    /// optimizer pipeline (after BuildPlan when optimization is off), and
+    /// lowered bytecode is checked before the VM will run it. A violation
+    /// surfaces as a clean LCDB012 kInternal Status instead of undefined
+    /// executor behaviour. The off switch exists for the BM_VerifyOverhead
+    /// ablation (tax bounded under 2%).
+    bool verify = true;
   };
 
   struct Stats {
@@ -129,6 +138,11 @@ class Evaluator {
     /// count, inline-cache outcomes, program shape). All zeros when the
     /// tree backend ran; reset at each Evaluate entry like op_timings.
     VmStats vm;
+    /// Tier-3 static-verifier telemetry (analysis/verify_stats.h) of the
+    /// most recent Evaluate call: plans/programs verified, dataflow
+    /// coverage, and the proved facts the tier-2 analyzer tightens on.
+    /// Reset at each Evaluate entry like op_timings.
+    VerifyStats verify;
     /// Tier-2 cost-analyzer aggregates of the most recent compile
     /// (analysis/plan_cost.h). Zeros when optimization was off.
     PlanCostStats plan_cost;

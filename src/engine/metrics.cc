@@ -124,6 +124,18 @@ void MetricsRegistry::RegisterAnalysisStats(const AnalysisStats& s) {
   Count("analysis.guards_skipped_size", s.guards_skipped_size);
 }
 
+void MetricsRegistry::RegisterVerifyStats(const VerifyStats& s) {
+  Count("analysis.verify.plans", s.plans_verified);
+  Count("analysis.verify.plan_nodes", s.plan_nodes_verified);
+  Count("analysis.verify.programs", s.programs_verified);
+  Count("analysis.verify.procs", s.procs_verified);
+  Count("analysis.verify.instructions", s.instructions_verified);
+  Count("analysis.verify.loops", s.loops_verified);
+  Count("analysis.verify.violations", s.violations);
+  Count("analysis.verify.unreachable_procs", s.unreachable_procs);
+  Count("analysis.verify.dead_caches_proved", s.dead_caches_proved);
+}
+
 void MetricsRegistry::RegisterOpTimings(const OpTimings& timings) {
   for (const auto& [op, timing] : timings) {
     Count("op." + op + ".count", timing.count);

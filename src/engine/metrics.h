@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/analysis_stats.h"
+#include "analysis/verify_stats.h"
 #include "engine/governor.h"
 #include "engine/kernel_stats.h"
 #include "plan/plan_stats.h"
@@ -90,6 +91,7 @@ class MetricsRegistry {
   void RegisterGovernorStats(const GovernorStats& stats);
   void RegisterPlanPassStats(const PlanPassStats& stats);
   void RegisterAnalysisStats(const AnalysisStats& stats);
+  void RegisterVerifyStats(const VerifyStats& stats);
   void RegisterOpTimings(const OpTimings& timings);
   void RegisterVmStats(const VmStats& stats);
   void RegisterPlanCostStats(const PlanCostStats& stats);

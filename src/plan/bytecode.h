@@ -164,6 +164,10 @@ struct BytecodeProgram {
   size_t num_columns = 0;
   size_t num_regions = 0;
   CompiledPlan plan;  ///< keepalive for the node pointers above
+  /// Set by the caller after analysis/bytecode_verify.h accepts the
+  /// program; BytecodeVm refuses to run unverified programs unless
+  /// Options::verify is off.
+  bool verified = false;
 
   size_t TotalInstructions() const {
     size_t n = 0;

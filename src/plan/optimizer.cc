@@ -6,7 +6,9 @@
 #include <utility>
 
 #include "analysis/const_analysis.h"
+#include "analysis/plan_verify.h"
 #include "engine/trace.h"
+#include "util/interrupt.h"
 #include "util/status.h"
 
 namespace lcdb {
@@ -55,7 +57,18 @@ class Optimizer {
   template <typename Fn>
   PlanPtr Pass(const char* name, Fn&& fn, PlanPtr root) {
     TraceSpan span(name);
-    return fn(std::move(root));
+    root = fn(std::move(root));
+#ifndef NDEBUG
+    // Debug builds re-verify the plan between every pass so an invariant
+    // break is pinned to the pass that introduced it, not discovered at
+    // the post-pipeline gate with seven suspects.
+    if (root != nullptr) {
+      if (Status verified = VerifyPlan(*root, m_, n_, name); !verified.ok()) {
+        throw QueryInterrupt(verified);
+      }
+    }
+#endif
+    return root;
   }
 
   // ---- Node constructors. ----

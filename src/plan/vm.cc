@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "analysis/bytecode_verify.h"
 #include "constraint/canonical.h"
 #include "constraint/simplify.h"
 #include "core/pfp_cycle.h"
@@ -63,6 +64,14 @@ BytecodeVm::BytecodeVm(const BytecodeProgram& program,
       icache_(program.num_icache_slots) {}
 
 DnfFormula BytecodeVm::Run() {
+  // The VM trusts operand bounds and bracket balance on its hot path (no
+  // per-dispatch checks), so it refuses programs the tier-3 verifier has
+  // not accepted. Options::verify off waives the gate for the ablation.
+  if (options_.verify && !program_.verified) {
+    throw QueryInterrupt(Status::Internal(
+        "LCDB012: refusing to execute unverified bytecode program (run "
+        "VerifyBytecode and set BytecodeProgram::verified)"));
+  }
   // Same named injection site as PlanExecutor::Run — the backends are
   // interchangeable behind it (failpoint_test.cc, vm_test.cc).
   LCDB_FAILPOINT("plan.execute");
@@ -808,6 +817,17 @@ DnfFormula ExecutePlan(const CompiledPlan& plan, const RegionExtension& ext,
     }
     stats->vm.procs = program.procs.size();
     stats->vm.code_instructions = program.TotalInstructions();
+    // Tier-3 gate at lowering: the VM below refuses unverified programs,
+    // so a lowering bug becomes a clean LCDB012 instead of a register-file
+    // overrun inside the dispatch loop.
+    if (options.verify) {
+      TraceSpan span("bytecode.verify");
+      BytecodeVerifyResult verdict = VerifyBytecode(program);
+      AccumulateVerifyStats(verdict, &stats->verify);
+      if (!verdict.status.ok()) throw QueryInterrupt(verdict.status);
+      span.Counter("instructions", verdict.instructions_verified);
+      program.verified = true;
+    }
     BytecodeVm vm(program, ext, options, stats);
     if (profile != nullptr) vm.EnableProfiling(profile);
     return vm.Run();

@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "analysis/analyzer.h"
@@ -361,6 +363,51 @@ TEST(DiagnosticsTest, JsonShape) {
 
 TEST(DiagnosticsTest, EmptyListIsAnEmptyJsonArray) {
   EXPECT_EQ(DiagnosticsToJson({}), "[]");
+}
+
+// Golden: the exact serialized `--lint=json` object for a deterministic
+// LCDB006 lint — key set, key order, span offsets and fix note. Tooling
+// parses this stream; any schema change must be deliberate and show up
+// here.
+TEST(DiagnosticsTest, JsonGoldenKeySet) {
+  const std::string text = "exists x . (S(x) & (x > 2 & x < 1))";
+  LintReport report = LintQueryText(text, Db1());
+  ASSERT_TRUE(report.parse_ok && report.typecheck_ok);
+  EXPECT_EQ(
+      DiagnosticsToJson(report.diagnostics),
+      "[{\"code\":\"LCDB006\",\"severity\":\"warning\",\"message\":"
+      "\"subquery is provably unsatisfiable (vacuous)\",\"begin\":20,"
+      "\"end\":33,\"fix\":\"this branch contributes nothing; remove it or "
+      "fix the bounds\"}]");
+}
+
+// --lint output is deduplicated and stable: one diagnostic per distinct
+// (code, span, message), identical output on repeated runs, and textually
+// identical guards at *different* spans are never over-merged.
+TEST(DiagnosticsTest, LintOutputIsStableAndMinimal) {
+  const std::string text =
+      "exists x . (S(x) & (x > 2 & x < 1) & (x > 2 & x < 1))";
+  LintReport first = LintQueryText(text, Db1());
+  LintReport second = LintQueryText(text, Db1());
+  EXPECT_EQ(DiagnosticsToJson(first.diagnostics),
+            DiagnosticsToJson(second.diagnostics));
+  std::vector<std::tuple<std::string, size_t, size_t, std::string>> keys;
+  size_t vacuous = 0;
+  for (const Diagnostic& d : first.diagnostics) {
+    keys.emplace_back(d.code, d.span.begin, d.span.end, d.message);
+    if (d.code == "LCDB006") ++vacuous;
+  }
+  std::vector<std::tuple<std::string, size_t, size_t, std::string>> unique =
+      keys;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  EXPECT_EQ(keys.size(), unique.size())
+      << "duplicate diagnostics in: " << DiagnosticsToJson(first.diagnostics);
+  // The two guards sit at distinct source spans: both must survive.
+  EXPECT_EQ(vacuous, 2u) << DiagnosticsToJson(first.diagnostics);
+  EXPECT_EQ(first.stats.warnings,
+            static_cast<uint64_t>(first.stats.diagnostics))
+      << "stats must be recounted after deduplication";
 }
 
 // ---------------------------------------------------------------------------

@@ -144,6 +144,9 @@ TEST(TraceTest, GoldenSpanTree) {
             // Tier-2 cost estimation over the optimized plan (its
             // est_bigint_ops counter is plan-shape arithmetic, stable).
             "  plan.cost est_bigint_ops=2\n"
+            // Tier-3 plan verification gates execution (its plan_nodes
+            // counter is the DAG size it walked).
+            "  plan.verify plan_nodes=2\n"
             "  plan.execute rows=1\n"
             "    qe.exists\n"
             "      qe.project disjuncts_in=1 disjuncts_out=1\n");

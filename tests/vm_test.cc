@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "analysis/bytecode_verify.h"
 #include "constraint/parser.h"
 #include "core/evaluator.h"
 #include "core/parser.h"
@@ -35,7 +36,8 @@ ConstraintDatabase IntervalsDb() {
 }
 
 /// Compiles `text` against `ext` to an optimized bytecode program, the way
-/// the evaluator facade does.
+/// the evaluator facade does — tier-3 verification included, since the VM
+/// refuses programs whose `verified` flag is unset.
 BytecodeProgram Compile(const RegionExtension& ext, const std::string& text) {
   auto query = ParseQuery(text, ext.database().relation_name());
   EXPECT_TRUE(query.ok()) << query.status().ToString();
@@ -44,7 +46,11 @@ BytecodeProgram Compile(const RegionExtension& ext, const std::string& text) {
   CompiledPlan plan = BuildPlan(**query, *info, ext);
   PlanPassStats pass_stats;
   OptimizePlan(&plan, &pass_stats);
-  return CompileToBytecode(plan);
+  BytecodeProgram program = CompileToBytecode(plan);
+  BytecodeVerifyResult verdict = VerifyBytecode(program);
+  EXPECT_TRUE(verdict.status.ok()) << verdict.status.ToString();
+  program.verified = verdict.status.ok();
+  return program;
 }
 
 Evaluator::Options VmOptions() {
